@@ -1,0 +1,320 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AddrError, Component, Depth, Prefix};
+
+/// A complete process address `x(1).x(2).⋯.x(d)`.
+///
+/// Addresses identify processes and encode their position in the compound
+/// spanning tree: the first component selects a depth-1 subgroup, the first
+/// two components a depth-2 subgroup, and so on (Section 2.2 of the paper).
+/// They are totally ordered lexicographically, which is what makes the
+/// *smallest-addresses-first* delegate election deterministic across
+/// processes without any agreement protocol.
+///
+/// # Example
+///
+/// ```rust
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use pmcast_addr::Address;
+///
+/// let addr: Address = "128.178.73".parse()?;
+/// assert_eq!(addr.depth(), 3);
+/// assert_eq!(addr.component(2), Some(178));
+/// assert_eq!(addr.to_string(), "128.178.73");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Address {
+    components: Vec<Component>,
+}
+
+impl Address {
+    /// Creates an address from its components.
+    ///
+    /// The component vector must be non-empty; validation against a concrete
+    /// [`crate::AddressSpace`] (depth and per-level arity) is performed
+    /// separately by [`crate::AddressSpace::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty; an address always has at least one
+    /// component.
+    pub fn new(components: Vec<Component>) -> Self {
+        assert!(
+            !components.is_empty(),
+            "an address must have at least one component"
+        );
+        Self { components }
+    }
+
+    /// Returns the number of components, i.e. the depth `d` of the tree this
+    /// address lives in.
+    pub fn depth(&self) -> Depth {
+        self.components.len()
+    }
+
+    /// Returns the component at the given 1-based level, or `None` if the
+    /// level exceeds the depth.
+    pub fn component(&self, level: Depth) -> Option<Component> {
+        if level == 0 {
+            return None;
+        }
+        self.components.get(level - 1).copied()
+    }
+
+    /// Returns all components as a slice.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Returns the prefix of the given *depth* (1-based, as in the paper):
+    /// the prefix of depth `i` consists of the first `i − 1` components and
+    /// denotes the subgroup of depth `i` this address belongs to.
+    ///
+    /// `prefix_of_depth(1)` is the empty (root) prefix; `prefix_of_depth(d)`
+    /// contains all but the last component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or exceeds `self.depth()`.
+    pub fn prefix_of_depth(&self, depth: Depth) -> Prefix {
+        assert!(
+            depth >= 1 && depth <= self.depth(),
+            "depth {depth} out of range 1..={}",
+            self.depth()
+        );
+        Prefix::from_components(self.components[..depth - 1].to_vec())
+    }
+
+    /// Returns the full address viewed as a prefix (all `d` components).
+    pub fn as_prefix(&self) -> Prefix {
+        Prefix::from_components(self.components.clone())
+    }
+
+    /// Returns the longest common prefix of `self` and `other`.
+    pub fn common_prefix(&self, other: &Address) -> Prefix {
+        let shared = self
+            .components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Prefix::from_components(self.components[..shared].to_vec())
+    }
+
+    /// Returns the distance between two processes as defined in Section 2.2:
+    /// if the longest shared prefix has `L` components (i.e. is of depth
+    /// `L + 1`), the distance is `d − L`.  Two identical addresses have
+    /// distance 0; two addresses differing already in their first component
+    /// have distance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two addresses have different depths, which would make
+    /// the distance meaningless.
+    pub fn distance(&self, other: &Address) -> usize {
+        assert_eq!(
+            self.depth(),
+            other.depth(),
+            "distance is only defined between addresses of equal depth"
+        );
+        self.depth() - self.common_prefix(other).len()
+    }
+
+    /// Returns `true` if this address starts with the given prefix, i.e. the
+    /// process belongs to the subgroup denoted by `prefix`.
+    pub fn has_prefix(&self, prefix: &Prefix) -> bool {
+        prefix.len() <= self.depth()
+            && prefix
+                .components()
+                .iter()
+                .zip(self.components.iter())
+                .all(|(p, c)| p == c)
+    }
+
+    /// Returns the last component of the address.
+    pub fn last_component(&self) -> Component {
+        *self
+            .components
+            .last()
+            .expect("an address always has at least one component")
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.components {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Address {
+    type Err = AddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(AddrError::Parse {
+                input: s.to_string(),
+                reason: "empty string".to_string(),
+            });
+        }
+        let mut components = Vec::new();
+        for part in s.split('.') {
+            if part.is_empty() {
+                return Err(AddrError::Parse {
+                    input: s.to_string(),
+                    reason: "empty component".to_string(),
+                });
+            }
+            let value: Component = part.parse().map_err(|_| AddrError::Parse {
+                input: s.to_string(),
+                reason: format!("component {part:?} is not a non-negative integer"),
+            })?;
+            components.push(value);
+        }
+        Ok(Address::new(components))
+    }
+}
+
+impl From<Vec<Component>> for Address {
+    fn from(components: Vec<Component>) -> Self {
+        Address::new(components)
+    }
+}
+
+impl<const N: usize> From<[Component; N]> for Address {
+    fn from(components: [Component; N]) -> Self {
+        Address::new(components.to_vec())
+    }
+}
+
+impl AsRef<[Component]> for Address {
+    fn as_ref(&self) -> &[Component] {
+        &self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Address {
+        s.parse().expect("test address must parse")
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1.2.3", "128.178.73.3", "21.0.0.7.9"] {
+            assert_eq!(addr(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for s in ["", ".", "1..2", "a.b", "-1.2", "1.2.", ".1.2", "1,2"] {
+            assert!(s.parse::<Address>().is_err(), "input {s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn depth_and_components() {
+        let a = addr("3.17.5");
+        assert_eq!(a.depth(), 3);
+        assert_eq!(a.component(1), Some(3));
+        assert_eq!(a.component(3), Some(5));
+        assert_eq!(a.component(4), None);
+        assert_eq!(a.component(0), None);
+        assert_eq!(a.last_component(), 5);
+        assert_eq!(a.components(), &[3, 17, 5]);
+    }
+
+    #[test]
+    fn prefix_of_depth_matches_paper_convention() {
+        let a = addr("128.178.73.3");
+        // Depth-1 prefix is the empty root prefix.
+        assert_eq!(a.prefix_of_depth(1), Prefix::root());
+        assert_eq!(a.prefix_of_depth(2), Prefix::from_components(vec![128]));
+        assert_eq!(
+            a.prefix_of_depth(4),
+            Prefix::from_components(vec![128, 178, 73])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix_of_depth_zero_panics() {
+        addr("1.2.3").prefix_of_depth(0);
+    }
+
+    #[test]
+    fn common_prefix_and_distance() {
+        let a = addr("128.178.73.3");
+        let b = addr("128.178.41.21");
+        let c = addr("18.12.2.183");
+        assert_eq!(a.common_prefix(&b).len(), 2);
+        assert_eq!(a.distance(&b), 2);
+        assert_eq!(a.common_prefix(&c), Prefix::root());
+        assert_eq!(a.distance(&c), 4);
+        assert_eq!(a.distance(&a), 0);
+        // Distance is symmetric.
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn has_prefix() {
+        let a = addr("128.178.73.3");
+        assert!(a.has_prefix(&Prefix::root()));
+        assert!(a.has_prefix(&Prefix::from_components(vec![128, 178])));
+        assert!(a.has_prefix(&a.as_prefix()));
+        assert!(!a.has_prefix(&Prefix::from_components(vec![128, 177])));
+        assert!(!a.has_prefix(&Prefix::from_components(vec![128, 178, 73, 3, 1])));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![addr("2.0.0"), addr("1.9.9"), addr("1.10.0"), addr("1.9.10")];
+        v.sort();
+        let rendered: Vec<String> = v.iter().map(|a| a.to_string()).collect();
+        assert_eq!(rendered, vec!["1.9.9", "1.9.10", "1.10.0", "2.0.0"]);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Address = vec![1, 2, 3].into();
+        let b: Address = [1u32, 2, 3].into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = addr("128.178.73.3");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Address = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_address_panics() {
+        let _ = Address::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal depth")]
+    fn distance_requires_equal_depth() {
+        let _ = addr("1.2").distance(&addr("1.2.3"));
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+/// Errors produced when constructing or validating addresses and address
+/// spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AddrError {
+    /// The textual representation of an address could not be parsed.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// Human readable reason.
+        reason: String,
+    },
+    /// An address has a different number of components than the depth `d` of
+    /// the address space it is validated against.
+    DepthMismatch {
+        /// Number of components of the address.
+        found: usize,
+        /// Depth `d` expected by the address space.
+        expected: usize,
+    },
+    /// A component exceeds the arity `aᵢ` of its level.
+    ComponentOutOfRange {
+        /// 1-based level of the offending component.
+        level: usize,
+        /// Value of the offending component.
+        component: u32,
+        /// Arity `aᵢ` of that level (components must be `< arity`).
+        arity: u32,
+    },
+    /// An address space was requested with an invalid shape (zero depth or a
+    /// level of arity zero).
+    InvalidShape {
+        /// Human readable reason.
+        reason: String,
+    },
+    /// A prefix is deeper than the address space allows.
+    PrefixTooDeep {
+        /// Number of components of the prefix.
+        found: usize,
+        /// Maximum number of prefix components (`d`; a full address is also a
+        /// valid prefix of itself).
+        max: usize,
+    },
+}
+
+impl fmt::Display for AddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrError::Parse { input, reason } => {
+                write!(f, "invalid address syntax in {input:?}: {reason}")
+            }
+            AddrError::DepthMismatch { found, expected } => {
+                write!(
+                    f,
+                    "address has {found} components but the address space has depth {expected}"
+                )
+            }
+            AddrError::ComponentOutOfRange {
+                level,
+                component,
+                arity,
+            } => write!(
+                f,
+                "component {component} at level {level} exceeds the level arity {arity}"
+            ),
+            AddrError::InvalidShape { reason } => {
+                write!(f, "invalid address space shape: {reason}")
+            }
+            AddrError::PrefixTooDeep { found, max } => {
+                write!(f, "prefix has {found} components but at most {max} are allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            AddrError::Parse {
+                input: "1..2".into(),
+                reason: "empty component".into(),
+            },
+            AddrError::DepthMismatch {
+                found: 2,
+                expected: 3,
+            },
+            AddrError::ComponentOutOfRange {
+                level: 1,
+                component: 30,
+                arity: 22,
+            },
+            AddrError::InvalidShape {
+                reason: "depth must be positive".into(),
+            },
+            AddrError::PrefixTooDeep { found: 5, max: 3 },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<AddrError>();
+    }
+}

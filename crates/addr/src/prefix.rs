@@ -1,0 +1,252 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AddrError, Address, Component, Depth};
+
+/// A partial address `x(1).⋯.x(i−1)` denoting a subgroup of the tree.
+///
+/// Following the paper's convention a prefix with `k` components is said to
+/// be of *depth* `k + 1`: the empty prefix (depth 1) denotes the root, a
+/// single component (depth 2) denotes a depth-2 subgroup, and so on.  A full
+/// address of a tree of depth `d` corresponds to a prefix with `d`
+/// components.
+///
+/// # Example
+///
+/// ```rust
+/// use pmcast_addr::{Address, Prefix};
+///
+/// let subnet = Prefix::from_components(vec![128, 178]);
+/// assert_eq!(subnet.depth(), 3);
+/// let host: Address = "128.178.73.3".parse().unwrap();
+/// assert!(host.has_prefix(&subnet));
+/// assert_eq!(subnet.child(73), Prefix::from_components(vec![128, 178, 73]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    components: Vec<Component>,
+}
+
+impl Prefix {
+    /// Returns the empty (root) prefix, i.e. the prefix of depth 1 shared by
+    /// every process in the group.
+    pub fn root() -> Self {
+        Self {
+            components: Vec::new(),
+        }
+    }
+
+    /// Creates a prefix from its components.
+    pub fn from_components(components: Vec<Component>) -> Self {
+        Self { components }
+    }
+
+    /// Returns the number of components of the prefix.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if this is the empty root prefix.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns the prefix depth as used in the paper: `len() + 1`.
+    pub fn depth(&self) -> Depth {
+        self.components.len() + 1
+    }
+
+    /// Returns the components of the prefix.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Returns the prefix extended by one more component, denoting one of
+    /// this subgroup's child subgroups.
+    pub fn child(&self, component: Component) -> Prefix {
+        let mut components = self.components.clone();
+        components.push(component);
+        Prefix { components }
+    }
+
+    /// Returns the parent prefix (one component shorter), or `None` for the
+    /// root prefix.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Some(Prefix {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Returns the last component, or `None` for the root prefix.
+    pub fn last_component(&self) -> Option<Component> {
+        self.components.last().copied()
+    }
+
+    /// Returns `true` if `self` is a prefix of (or equal to) `other`.
+    pub fn is_prefix_of(&self, other: &Prefix) -> bool {
+        self.components.len() <= other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(other.components.iter())
+                .all(|(a, b)| a == b)
+    }
+
+    /// Returns `true` if the given address belongs to the subgroup denoted by
+    /// this prefix.
+    pub fn contains(&self, address: &Address) -> bool {
+        address.has_prefix(self)
+    }
+
+    /// Completes the prefix into a full [`Address`] by appending the given
+    /// suffix components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both the prefix and the suffix are empty (an address must
+    /// have at least one component).
+    pub fn to_address(&self, suffix: &[Component]) -> Address {
+        let mut components = self.components.clone();
+        components.extend_from_slice(suffix);
+        Address::new(components)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            // The Debug/Display representation must never be empty.
+            return write!(f, "∅");
+        }
+        let mut first = true;
+        for c in &self.components {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = AddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || s == "∅" {
+            return Ok(Prefix::root());
+        }
+        let address: Address = s.parse()?;
+        Ok(Prefix::from_components(address.components().to_vec()))
+    }
+}
+
+impl From<&Address> for Prefix {
+    fn from(address: &Address) -> Self {
+        address.as_prefix()
+    }
+}
+
+impl From<Vec<Component>> for Prefix {
+    fn from(components: Vec<Component>) -> Self {
+        Prefix::from_components(components)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_prefix_properties() {
+        let root = Prefix::root();
+        assert!(root.is_empty());
+        assert_eq!(root.len(), 0);
+        assert_eq!(root.depth(), 1);
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.last_component(), None);
+        assert_eq!(root.to_string(), "∅");
+        assert_eq!(Prefix::default(), root);
+    }
+
+    #[test]
+    fn child_and_parent_are_inverse() {
+        let p = Prefix::from_components(vec![128, 178]);
+        let c = p.child(73);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.parent(), Some(p.clone()));
+        assert_eq!(c.last_component(), Some(73));
+        assert!(p.is_prefix_of(&c));
+        assert!(!c.is_prefix_of(&p));
+    }
+
+    #[test]
+    fn depth_convention_matches_paper() {
+        // A prefix of depth i has i - 1 components (Section 2.2).
+        assert_eq!(Prefix::root().depth(), 1);
+        assert_eq!(Prefix::from_components(vec![128]).depth(), 2);
+        assert_eq!(Prefix::from_components(vec![128, 178, 73]).depth(), 4);
+    }
+
+    #[test]
+    fn contains_addresses() {
+        let p = Prefix::from_components(vec![128, 178]);
+        let inside: Address = "128.178.73.3".parse().unwrap();
+        let outside: Address = "128.179.73.3".parse().unwrap();
+        assert!(p.contains(&inside));
+        assert!(!p.contains(&outside));
+        assert!(Prefix::root().contains(&inside));
+    }
+
+    #[test]
+    fn to_address_appends_suffix() {
+        let p = Prefix::from_components(vec![128, 178]);
+        assert_eq!(p.to_address(&[73, 3]).to_string(), "128.178.73.3");
+        assert_eq!(Prefix::root().to_address(&[7]).to_string(), "7");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let p: Prefix = "128.178".parse().unwrap();
+        assert_eq!(p, Prefix::from_components(vec![128, 178]));
+        let root: Prefix = "".parse().unwrap();
+        assert_eq!(root, Prefix::root());
+        let root2: Prefix = "∅".parse().unwrap();
+        assert_eq!(root2, Prefix::root());
+        assert!("1..2".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn ordering_groups_siblings() {
+        let mut v = vec![
+            Prefix::from_components(vec![2]),
+            Prefix::from_components(vec![1, 5]),
+            Prefix::root(),
+            Prefix::from_components(vec![1]),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Prefix::root(),
+                Prefix::from_components(vec![1]),
+                Prefix::from_components(vec![1, 5]),
+                Prefix::from_components(vec![2]),
+            ]
+        );
+    }
+
+    #[test]
+    fn from_address() {
+        let a: Address = "1.2.3".parse().unwrap();
+        let p: Prefix = (&a).into();
+        assert_eq!(p.components(), a.components());
+    }
+}

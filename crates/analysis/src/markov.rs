@@ -1,0 +1,284 @@
+//! The flat-group infection Markov chain of Section 4.2 (Equations 8–10).
+//!
+//! In a "flat" group (a tree of depth 1) of effective size `n` with
+//! effective fanout `F`, the probability that a given infected process
+//! reaches a given susceptible process in one round is
+//!
+//! ```text
+//! p(n, F) = (F / (n − 1)) · (1 − ε)(1 − τ)          (Equation 8)
+//! ```
+//!
+//! With `j` processes currently infected, the number infected after the next
+//! round follows the transition probabilities of Equation 9, and iterating
+//! the recursion of Equation 10 from a single initially infected process
+//! yields the full distribution of the number of infected processes after
+//! any number of rounds.
+
+use crate::binomial::LnFactorial;
+use crate::EnvParams;
+
+/// The per-round, per-pair infection probability `p(n, F)` of Equation 8.
+///
+/// `n` and `F` are the *effective* group size and fanout (already scaled by
+/// the matching rate when used for a multicast depth).
+pub fn pair_infection_probability(group_size: f64, fanout: f64, env: &EnvParams) -> f64 {
+    if group_size <= 1.0 {
+        return 1.0;
+    }
+    let choice = (fanout / (group_size - 1.0)).min(1.0);
+    (choice * env.survival_factor()).clamp(0.0, 1.0)
+}
+
+/// The exact infection chain over a flat group of `n` (integer) processes.
+///
+/// State: a probability distribution over the number of infected processes
+/// `1..=n`.  The chain is homogeneous; advancing it one round applies the
+/// transition matrix of Equation 9.
+#[derive(Debug, Clone)]
+pub struct InfectionChain {
+    group_size: usize,
+    /// Probability that a given susceptible process is *not* infected by a
+    /// given infected process in one round (`q` in the paper).
+    q: f64,
+    /// `distribution[k]` = P\[s_t = k\] for `k in 0..=n` (index 0 unused
+    /// except for the empty-group corner case).
+    distribution: Vec<f64>,
+    lnf: LnFactorial,
+    rounds_elapsed: u32,
+}
+
+impl InfectionChain {
+    /// Creates the chain for a flat group of `group_size` processes with the
+    /// given fanout and environment, starting from exactly one infected
+    /// process (the multicaster).
+    pub fn new(group_size: usize, fanout: f64, env: &EnvParams) -> Self {
+        let p = pair_infection_probability(group_size as f64, fanout, env);
+        let mut distribution = vec![0.0; group_size + 1];
+        if group_size == 0 {
+            distribution = vec![1.0];
+        } else {
+            distribution[1.min(group_size)] = 1.0;
+        }
+        Self {
+            group_size,
+            q: 1.0 - p,
+            distribution,
+            lnf: LnFactorial::new(),
+            rounds_elapsed: 0,
+        }
+    }
+
+    /// Number of processes in the group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of rounds simulated so far.
+    pub fn rounds_elapsed(&self) -> u32 {
+        self.rounds_elapsed
+    }
+
+    /// The current distribution `P[s_t = k]` for `k = 0..=n`.
+    pub fn distribution(&self) -> &[f64] {
+        &self.distribution
+    }
+
+    /// Transition probability `P[s_{t+1} = k | s_t = j]` (Equation 9).
+    pub fn transition(&mut self, j: usize, k: usize) -> f64 {
+        if k < j || k > self.group_size || j == 0 {
+            return 0.0;
+        }
+        // Probability that a given susceptible process is infected this
+        // round by at least one of the j infected processes.
+        let q_j = self.q.powi(j as i32);
+        let p_infect = 1.0 - q_j;
+        crate::binomial::binomial_pmf(&mut self.lnf, self.group_size - j, k - j, p_infect)
+    }
+
+    /// Advances the chain by one gossip round (Equation 10).
+    pub fn step(&mut self) {
+        let n = self.group_size;
+        if n == 0 {
+            return;
+        }
+        let mut next = vec![0.0; n + 1];
+        for j in 1..=n {
+            let mass = self.distribution[j];
+            if mass <= 0.0 {
+                continue;
+            }
+            for k in j..=n {
+                let t = self.transition(j, k);
+                if t > 0.0 {
+                    next[k] += mass * t;
+                }
+            }
+        }
+        self.distribution = next;
+        self.rounds_elapsed += 1;
+    }
+
+    /// Advances the chain by the given number of rounds.
+    pub fn run(&mut self, rounds: u32) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Expected number of infected processes under the current distribution.
+    pub fn expected_infected(&self) -> f64 {
+        self.distribution
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| k as f64 * p)
+            .sum()
+    }
+
+    /// Probability that every process of the group is infected.
+    pub fn probability_all_infected(&self) -> f64 {
+        *self.distribution.last().unwrap_or(&1.0)
+    }
+
+    /// Probability that a *given* process is infected (by symmetry,
+    /// `E[s_t] / n`).
+    pub fn probability_process_infected(&self) -> f64 {
+        if self.group_size == 0 {
+            return 0.0;
+        }
+        self.expected_infected() / self.group_size as f64
+    }
+}
+
+/// Convenience: expected number of infected processes in a flat group of
+/// `group_size` processes after `rounds` rounds of gossip with the given
+/// fanout (Equation 14 uses this per depth).
+pub fn expected_infected_after(
+    group_size: usize,
+    fanout: f64,
+    rounds: u32,
+    env: &EnvParams,
+) -> f64 {
+    let mut chain = InfectionChain::new(group_size, fanout, env);
+    chain.run(rounds);
+    chain.expected_infected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless() -> EnvParams {
+        EnvParams::lossless()
+    }
+
+    #[test]
+    fn pair_probability_matches_equation_8() {
+        let env = EnvParams {
+            loss_probability: 0.05,
+            crash_probability: 0.01,
+            pittel_constant: 0.0,
+        };
+        let p = pair_infection_probability(100.0, 3.0, &env);
+        let expected = 3.0 / 99.0 * 0.95 * 0.99;
+        assert!((p - expected).abs() < 1e-12);
+        // Tiny group: certain contact.
+        assert_eq!(pair_infection_probability(1.0, 3.0, &env), 1.0);
+        // Fanout larger than the group saturates at the survival factor.
+        let saturated = pair_infection_probability(3.0, 10.0, &env);
+        assert!((saturated - env.survival_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_stays_normalised() {
+        let mut chain = InfectionChain::new(40, 2.0, &EnvParams::default());
+        for _ in 0..15 {
+            chain.step();
+            let total: f64 = chain.distribution().iter().sum();
+            assert!((total - 1.0).abs() < 1e-7, "round {} total {total}", chain.rounds_elapsed());
+        }
+    }
+
+    #[test]
+    fn infection_is_monotone_in_rounds() {
+        let mut chain = InfectionChain::new(60, 2.0, &lossless());
+        let mut previous = chain.expected_infected();
+        for _ in 0..12 {
+            chain.step();
+            let current = chain.expected_infected();
+            assert!(current >= previous - 1e-9, "expected infected must not decrease");
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn everyone_gets_infected_eventually_without_losses() {
+        let mut chain = InfectionChain::new(30, 3.0, &lossless());
+        chain.run(25);
+        assert!(chain.probability_all_infected() > 0.999);
+        assert!((chain.expected_infected() - 30.0).abs() < 0.01);
+        assert!(chain.probability_process_infected() > 0.999);
+    }
+
+    #[test]
+    fn heavy_losses_slow_the_spread() {
+        let lossy = EnvParams {
+            loss_probability: 0.4,
+            crash_probability: 0.0,
+            pittel_constant: 0.0,
+        };
+        let clean = expected_infected_after(50, 2.0, 5, &lossless());
+        let degraded = expected_infected_after(50, 2.0, 5, &lossy);
+        assert!(degraded < clean);
+    }
+
+    #[test]
+    fn pittel_budget_infects_most_of_the_group() {
+        // Running the exact chain for the number of rounds suggested by
+        // Pittel's asymptote should infect almost everybody — this ties the
+        // two halves of the analysis together.
+        let env = lossless();
+        let n = 80usize;
+        let fanout = 3.0;
+        let budget = crate::pittel::round_budget(n as f64, fanout, &env);
+        let expected = expected_infected_after(n, fanout, budget, &env);
+        assert!(
+            expected > 0.95 * n as f64,
+            "Pittel budget {budget} only infects {expected:.1} of {n}"
+        );
+    }
+
+    #[test]
+    fn transition_probabilities_form_a_distribution() {
+        let mut chain = InfectionChain::new(25, 2.0, &EnvParams::default());
+        for j in 1..=25usize {
+            let total: f64 = (j..=25).map(|k| chain.transition(j, k)).sum();
+            assert!((total - 1.0).abs() < 1e-8, "row {j} sums to {total}");
+        }
+        // Impossible transitions are zero.
+        assert_eq!(chain.transition(5, 3), 0.0);
+        assert_eq!(chain.transition(0, 3), 0.0);
+        assert_eq!(chain.transition(5, 26), 0.0);
+    }
+
+    #[test]
+    fn initial_state_is_one_infected_process() {
+        let chain = InfectionChain::new(10, 2.0, &lossless());
+        assert_eq!(chain.group_size(), 10);
+        assert_eq!(chain.rounds_elapsed(), 0);
+        assert!((chain.expected_infected() - 1.0).abs() < 1e-12);
+        assert_eq!(chain.distribution()[1], 1.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_groups_are_harmless() {
+        let mut empty = InfectionChain::new(0, 2.0, &lossless());
+        empty.step();
+        assert_eq!(empty.expected_infected(), 0.0);
+        assert_eq!(empty.probability_process_infected(), 0.0);
+
+        let mut single = InfectionChain::new(1, 2.0, &lossless());
+        single.run(3);
+        assert!((single.expected_infected() - 1.0).abs() < 1e-12);
+        assert!((single.probability_all_infected() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Baseline comparison — pmcast vs flooding gossip broadcast vs genuine
+//! multicast on delivery, spurious reception and message cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcast_bench::{bench_profile, publish_rows};
+use pmcast_sim::experiments::baselines;
+use pmcast_sim::runner::{run_trial, ExperimentConfig, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let rows = baselines::run(bench_profile());
+    publish_rows(
+        "baseline_comparison",
+        "Baselines — pmcast vs flooding broadcast vs genuine multicast",
+        &rows,
+    );
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("pmcast", Protocol::Pmcast),
+        ("flooding", Protocol::FloodBroadcast),
+        ("genuine", Protocol::GenuineMulticast),
+    ] {
+        let config = ExperimentConfig::quick()
+            .with_matching_rate(0.5)
+            .with_trials(1)
+            .with_protocol_kind(kind);
+        group.bench_with_input(BenchmarkId::new("trial", name), &config, |b, config| {
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                run_trial(config, trial)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

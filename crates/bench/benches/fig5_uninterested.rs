@@ -1,0 +1,39 @@
+//! Figure 5 — reception probability of uninterested processes vs matching
+//! rate, contrasted with the flooding baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmcast_bench::{bench_profile, publish_rows};
+use pmcast_sim::experiments::spurious;
+use pmcast_sim::runner::{run_trial, ExperimentConfig, Protocol};
+
+fn bench(c: &mut Criterion) {
+    let rows = spurious::run(bench_profile());
+    publish_rows(
+        "fig5_uninterested",
+        "Figure 5 — reception probability of uninterested processes",
+        &rows,
+    );
+
+    let pmcast = ExperimentConfig::quick().with_matching_rate(0.2).with_trials(1);
+    let flooding = pmcast.clone().with_protocol_kind(Protocol::FloodBroadcast);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("pmcast_trial_rate02", |b| {
+        let mut trial = 0usize;
+        b.iter(|| {
+            trial += 1;
+            run_trial(&pmcast, trial)
+        });
+    });
+    group.bench_function("flooding_trial_rate02", |b| {
+        let mut trial = 0usize;
+        b.iter(|| {
+            trial += 1;
+            run_trial(&flooding, trial)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6 — delivery probability as the subgroup size (and thus the group
+//! size n = a³) grows, for matching rates 0.5 and 0.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcast_bench::{bench_profile, publish_rows};
+use pmcast_sim::experiments::scalability;
+use pmcast_sim::runner::{run_trial, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let rows = scalability::run(bench_profile());
+    publish_rows(
+        "fig6_scalability",
+        "Figure 6 — scalability with growing subgroup size",
+        &rows,
+    );
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for arity in [4u32, 6, 8] {
+        let config = ExperimentConfig::quick()
+            .with_arity(arity)
+            .with_matching_rate(0.5)
+            .with_protocol(pmcast_core::PmcastConfig::paper_scalability())
+            .with_trials(1);
+        group.bench_with_input(BenchmarkId::new("pmcast_trial", arity), &config, |b, config| {
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                run_trial(config, trial)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

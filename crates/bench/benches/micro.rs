@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the protocol's hot paths: predicate matching,
+//! interest regrouping, delegate election / view construction, matching-rate
+//! computation and one gossip round of a mid-sized group.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmcast_addr::AddressSpace;
+use pmcast_core::{build_group, PmcastConfig, SharedViews};
+use pmcast_interest::{Event, Filter, Interest, InterestSummary, Predicate};
+use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, InterestOracle};
+use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    // Predicate / filter matching throughput.
+    let filter = Filter::new()
+        .with("b", Predicate::gt(1.0))
+        .with("c", Predicate::open_range(20.0, 30.0))
+        .with("e", Predicate::one_of(["Bob", "Tom"]));
+    let event = Event::builder(1).int("b", 4).float("c", 25.0).str("e", "Tom").build();
+    c.bench_function("filter_match", |b| b.iter(|| filter.matches(&event)));
+
+    // Interest regrouping of 64 subscriptions.
+    let filters: Vec<Filter> = (0..64)
+        .map(|i| Filter::new().with("b", Predicate::eq_int(i)))
+        .collect();
+    c.bench_function("interest_regrouping_64", |b| {
+        b.iter(|| InterestSummary::from_filters(filters.iter().cloned()))
+    });
+
+    // Shared-view construction for the paper-scale tree (a = 22, d = 3).
+    let big = ImplicitRegularTree::new(AddressSpace::regular(3, 22).expect("valid"));
+    let mut group = c.benchmark_group("views");
+    group.sample_size(10);
+    group.bench_function("shared_views_build_n10648", |b| {
+        b.iter(|| SharedViews::build(&big, 3))
+    });
+    group.finish();
+
+    // Matching-rate computation against an assignment oracle.
+    let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 8).expect("valid"));
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
+    let built = build_group(&topology, oracle.clone(), &PmcastConfig::default());
+    let process = &built.processes[0];
+    let probe = Event::builder(9).build();
+    c.bench_function("matching_rate_depth1_n512", |b| {
+        b.iter(|| process.matching_rate(1, &probe))
+    });
+    c.bench_function("oracle_subtree_count_n512", |b| {
+        b.iter(|| oracle.interested_count_under(&pmcast_addr::Prefix::from_components(vec![3]), &probe))
+    });
+
+    // One full gossip round of a 512-process group with a hot event.
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(10);
+    group.bench_function("gossip_rounds_n512", |b| {
+        b.iter(|| {
+            let built = build_group(&topology, oracle.clone(), &PmcastConfig::default());
+            let mut sim = Simulation::new(built.processes, NetworkConfig::reliable(1));
+            sim.process_mut(ProcessId(0)).pmcast(Event::builder(4).build());
+            sim.run_rounds(5);
+            sim.stats().messages_sent
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Round-count validation — simulated rounds vs the analytical budget of
+//! Equation 13, plus the cost of the analytical machinery itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmcast_analysis::{markov::InfectionChain, tree::TreeModel, EnvParams, GroupParams};
+use pmcast_bench::{bench_profile, publish_rows};
+use pmcast_sim::experiments::rounds;
+
+fn bench(c: &mut Criterion) {
+    let rows = rounds::run(bench_profile());
+    publish_rows(
+        "rounds_bound",
+        "Rounds — simulated rounds vs analytical budget (Eq. 13)",
+        &rows,
+    );
+
+    let model = TreeModel::new(
+        GroupParams { arity: 22, depth: 3, redundancy: 3, fanout: 2 },
+        EnvParams::default(),
+    );
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("tree_model_reliability_pd05", |b| {
+        b.iter(|| model.reliability(0.5))
+    });
+    group.bench_function("infection_chain_100_processes_20_rounds", |b| {
+        b.iter(|| {
+            let mut chain = InfectionChain::new(100, 2.0, &EnvParams::default());
+            chain.run(20);
+            chain.expected_infected()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

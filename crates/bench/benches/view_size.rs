@@ -1,0 +1,35 @@
+//! Membership scalability (Equations 2 and 12) — per-process view sizes and
+//! the cost of building concrete view tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcast_addr::AddressSpace;
+use pmcast_bench::{bench_profile, publish_rows};
+use pmcast_interest::Filter;
+use pmcast_membership::{GroupTree, TreeTopology, ViewTable};
+use pmcast_sim::experiments::views;
+
+fn bench(c: &mut Criterion) {
+    let rows = views::run(bench_profile());
+    publish_rows(
+        "view_sizes",
+        "Membership scalability — per-process view sizes (Eq. 2/12)",
+        &rows,
+    );
+
+    let mut group = c.benchmark_group("view_size");
+    group.sample_size(10);
+    for arity in [4u32, 8] {
+        let space = AddressSpace::regular(3, arity).expect("valid shape");
+        let tree = GroupTree::fully_populated(space, Filter::match_all());
+        let owner = tree.members()[0].clone();
+        group.bench_with_input(
+            BenchmarkId::new("build_view_table", arity),
+            &(&tree, &owner),
+            |b, (tree, owner)| b.iter(|| ViewTable::build(tree, owner, 3)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

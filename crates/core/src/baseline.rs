@@ -1,0 +1,525 @@
+//! Baseline dissemination protocols pmcast is compared against.
+//!
+//! Section 1 of the paper discusses the alternatives to a dedicated
+//! gossip-based multicast:
+//!
+//! * **Gossip broadcast with filtering on delivery** (pbcast / lpbcast
+//!   style): every process gossips every event to random members of the
+//!   whole group; uninterested processes receive (and forward) events they
+//!   will never deliver.  High reliability, maximal spurious traffic.
+//! * **Genuine multicast**: only interested processes are ever contacted.
+//!   With global interest knowledge this is maximally frugal; the paper
+//!   argues that with realistic partial knowledge crucial forwarders may be
+//!   missing — which our simulations can reproduce by restricting the
+//!   membership view.
+//!
+//! Both baselines run over the same [`pmcast_simnet`] substrate and the same
+//! interest oracles as pmcast, so the comparison isolates the dissemination
+//! strategy itself.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use pmcast_addr::Address;
+use pmcast_analysis::pittel;
+use pmcast_interest::{Event, EventId};
+use pmcast_membership::{InterestOracle, TreeTopology};
+use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
+use rand::seq::SliceRandom;
+
+use crate::{DeliveryOutcome, Gossip, PmcastConfig};
+
+/// Shared state of a buffered event in a flat gossip protocol.
+#[derive(Debug, Clone)]
+struct FlatEntry {
+    event: Event,
+    round: u32,
+    budget: u32,
+}
+
+/// Gossip **broadcast** with filtering on delivery: every process forwards
+/// every fresh event to `F` uniformly random members of the whole group for
+/// the Pittel-bounded number of rounds; interest only decides whether the
+/// event is delivered locally.
+pub struct FloodBroadcastProcess {
+    address: Address,
+    id: ProcessId,
+    fanout: usize,
+    budget: u32,
+    group_size: usize,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    buffered: HashMap<EventId, FlatEntry>,
+    delivered: HashSet<EventId>,
+    received: HashSet<EventId>,
+}
+
+impl std::fmt::Debug for FloodBroadcastProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FloodBroadcastProcess")
+            .field("address", &self.address)
+            .field("buffered", &self.buffered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FloodBroadcastProcess {
+    /// Creates one flood-broadcast process.
+    pub fn new(
+        address: Address,
+        id: ProcessId,
+        group_size: usize,
+        config: &PmcastConfig,
+        oracle: Arc<dyn InterestOracle + Send + Sync>,
+    ) -> Self {
+        let budget = pittel::round_budget(group_size as f64, config.fanout as f64, &config.env)
+            .min(config.max_rounds_per_depth);
+        Self {
+            address,
+            id,
+            fanout: config.fanout,
+            budget,
+            group_size,
+            oracle,
+            buffered: HashMap::new(),
+            delivered: HashSet::new(),
+            received: HashSet::new(),
+        }
+    }
+
+    /// Publishes an event into the broadcast.
+    pub fn broadcast(&mut self, event: Event) {
+        self.accept(event);
+    }
+
+    fn accept(&mut self, event: Event) {
+        let id = event.id();
+        // `received` doubles as the seen-set: once an event has been
+        // buffered (and possibly garbage collected), later copies are
+        // ignored so gossiping terminates.
+        if !self.received.insert(id) {
+            return;
+        }
+        if self.oracle.is_interested(&self.address, &event) {
+            self.delivered.insert(id);
+        }
+        self.buffered.insert(
+            id,
+            FlatEntry {
+                event,
+                round: 0,
+                budget: self.budget,
+            },
+        );
+    }
+
+    /// Returns `true` if the event was delivered locally.
+    pub fn has_delivered(&self, event: EventId) -> bool {
+        self.delivered.contains(&event)
+    }
+
+    /// Returns `true` if the event was received at all.
+    pub fn has_received(&self, event: EventId) -> bool {
+        self.received.contains(&event)
+    }
+
+    /// The process address.
+    pub fn address(&self) -> &Address {
+        &self.address
+    }
+}
+
+impl RoundProcess for FloodBroadcastProcess {
+    type Message = Gossip;
+
+    fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
+        let everyone: Vec<usize> = (0..self.group_size).filter(|&i| i != self.id.0).collect();
+        let mut finished = Vec::new();
+        let fanout = self.fanout;
+        for (id, entry) in self.buffered.iter_mut() {
+            if entry.round >= entry.budget {
+                finished.push(*id);
+                continue;
+            }
+            entry.round += 1;
+            let targets: Vec<usize> = everyone
+                .choose_multiple(ctx.rng(), fanout.min(everyone.len()))
+                .copied()
+                .collect();
+            for target in targets {
+                let gossip = Gossip::new(entry.event.clone(), 1, 1.0, entry.round);
+                let size = gossip.wire_size();
+                ctx.send_sized(ProcessId(target), gossip, size);
+            }
+        }
+        for id in finished {
+            self.buffered.remove(&id);
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, gossip: Gossip, _ctx: &mut RoundContext<'_, Gossip>) {
+        self.accept(gossip.event);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.buffered.is_empty()
+    }
+}
+
+impl DeliveryOutcome for FloodBroadcastProcess {
+    fn outcome_address(&self) -> &Address {
+        &self.address
+    }
+    fn outcome_delivered(&self, event: EventId) -> bool {
+        self.has_delivered(event)
+    }
+    fn outcome_received(&self, event: EventId) -> bool {
+        self.has_received(event)
+    }
+}
+
+/// Builds a flood-broadcast process for every member of a topology.
+pub fn build_flood_group<T: TreeTopology>(
+    topology: &T,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    config: &PmcastConfig,
+) -> Vec<FloodBroadcastProcess> {
+    config.validate();
+    let members = topology.members();
+    let group_size = members.len();
+    members
+        .into_iter()
+        .enumerate()
+        .map(|(index, address)| {
+            FloodBroadcastProcess::new(
+                address,
+                ProcessId(index),
+                group_size,
+                config,
+                Arc::clone(&oracle),
+            )
+        })
+        .collect()
+}
+
+/// Genuine multicast: gossip only among the processes interested in the
+/// event, assuming (optimistically) that every process knows exactly which
+/// other processes are interested.
+pub struct GenuineMulticastProcess {
+    address: Address,
+    id: ProcessId,
+    fanout: usize,
+    max_rounds: u32,
+    env: pmcast_analysis::EnvParams,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    /// Interested peers per event, resolved lazily from the shared directory.
+    directory: Arc<HashMap<EventId, Vec<ProcessId>>>,
+    buffered: HashMap<EventId, FlatEntry>,
+    delivered: HashSet<EventId>,
+    received: HashSet<EventId>,
+}
+
+impl std::fmt::Debug for GenuineMulticastProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenuineMulticastProcess")
+            .field("address", &self.address)
+            .field("buffered", &self.buffered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GenuineMulticastProcess {
+    fn budget_for(&self, audience: usize) -> u32 {
+        pittel::round_budget(audience as f64, self.fanout as f64, &self.env).min(self.max_rounds)
+    }
+
+    fn accept(&mut self, event: Event) {
+        let id = event.id();
+        // As for the flooding baseline, the received set doubles as the
+        // seen-set so garbage-collected events are not resurrected.
+        if !self.received.insert(id) {
+            return;
+        }
+        if self.oracle.is_interested(&self.address, &event) {
+            self.delivered.insert(id);
+        }
+        let audience = self.directory.get(&id).map(Vec::len).unwrap_or(0);
+        self.buffered.insert(
+            id,
+            FlatEntry {
+                event,
+                round: 0,
+                budget: self.budget_for(audience),
+            },
+        );
+    }
+
+    /// Publishes an event into the genuine multicast.
+    pub fn multicast(&mut self, event: Event) {
+        self.accept(event);
+    }
+
+    /// Returns `true` if the event was delivered locally.
+    pub fn has_delivered(&self, event: EventId) -> bool {
+        self.delivered.contains(&event)
+    }
+
+    /// Returns `true` if the event was received at all.
+    pub fn has_received(&self, event: EventId) -> bool {
+        self.received.contains(&event)
+    }
+
+    /// The process address.
+    pub fn address(&self) -> &Address {
+        &self.address
+    }
+}
+
+impl RoundProcess for GenuineMulticastProcess {
+    type Message = Gossip;
+
+    fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
+        let mut finished = Vec::new();
+        let fanout = self.fanout;
+        let own_id = self.id;
+        for (id, entry) in self.buffered.iter_mut() {
+            if entry.round >= entry.budget {
+                finished.push(*id);
+                continue;
+            }
+            entry.round += 1;
+            let Some(audience) = self.directory.get(id) else {
+                finished.push(*id);
+                continue;
+            };
+            let candidates: Vec<ProcessId> =
+                audience.iter().copied().filter(|&p| p != own_id).collect();
+            let targets: Vec<ProcessId> = candidates
+                .choose_multiple(ctx.rng(), fanout.min(candidates.len()))
+                .copied()
+                .collect();
+            for target in targets {
+                let gossip = Gossip::new(entry.event.clone(), 1, 1.0, entry.round);
+                let size = gossip.wire_size();
+                ctx.send_sized(target, gossip, size);
+            }
+        }
+        for id in finished {
+            self.buffered.remove(&id);
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, gossip: Gossip, _ctx: &mut RoundContext<'_, Gossip>) {
+        self.accept(gossip.event);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.buffered.is_empty()
+    }
+}
+
+impl DeliveryOutcome for GenuineMulticastProcess {
+    fn outcome_address(&self) -> &Address {
+        &self.address
+    }
+    fn outcome_delivered(&self, event: EventId) -> bool {
+        self.has_delivered(event)
+    }
+    fn outcome_received(&self, event: EventId) -> bool {
+        self.has_received(event)
+    }
+}
+
+/// Builds a genuine-multicast process for every member of a topology, with a
+/// shared directory listing, for each event, the identifiers of the
+/// interested processes (the global interest knowledge the paper deems
+/// unrealistic — which is the point of the comparison).
+pub fn build_genuine_group<T: TreeTopology>(
+    topology: &T,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    config: &PmcastConfig,
+    events: &[Event],
+) -> Vec<GenuineMulticastProcess> {
+    config.validate();
+    let members = topology.members();
+    let mut directory: HashMap<EventId, Vec<ProcessId>> = HashMap::new();
+    for event in events {
+        let interested = members
+            .iter()
+            .enumerate()
+            .filter(|(_, address)| oracle.is_interested(address, event))
+            .map(|(index, _)| ProcessId(index))
+            .collect();
+        directory.insert(event.id(), interested);
+    }
+    let directory = Arc::new(directory);
+    members
+        .into_iter()
+        .enumerate()
+        .map(|(index, address)| GenuineMulticastProcess {
+            address,
+            id: ProcessId(index),
+            fanout: config.fanout,
+            max_rounds: config.max_rounds_per_depth,
+            env: config.env,
+            oracle: Arc::clone(&oracle),
+            directory: Arc::clone(&directory),
+            buffered: HashMap::new(),
+            delivered: HashSet::new(),
+            received: HashSet::new(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, UniformOracle};
+    use pmcast_simnet::{NetworkConfig, Simulation};
+
+    fn topology() -> ImplicitRegularTree {
+        ImplicitRegularTree::new(AddressSpace::regular(2, 4).unwrap())
+    }
+
+    fn half_interested_oracle() -> Arc<AssignmentOracle> {
+        // Subtrees 0 and 1 are interested (8 of 16 processes).
+        let interested: Vec<Address> = (0..2u32)
+            .flat_map(|hi| (0..4u32).map(move |lo| Address::from(vec![hi, lo])))
+            .collect();
+        Arc::new(AssignmentOracle::new(interested))
+    }
+
+    #[test]
+    fn flood_broadcast_reaches_uninterested_processes_too() {
+        let topology = topology();
+        let oracle = half_interested_oracle();
+        let event = Event::builder(1).build();
+        let processes = build_flood_group(&topology, oracle.clone(), &PmcastConfig::default());
+        let mut sim = Simulation::new(processes, NetworkConfig::reliable(4));
+        sim.process_mut(ProcessId(0)).broadcast(event.clone());
+        sim.run_until_quiescent(200);
+
+        let delivered = sim
+            .processes()
+            .filter(|p| p.has_delivered(event.id()))
+            .count();
+        let received = sim
+            .processes()
+            .filter(|p| p.has_received(event.id()))
+            .count();
+        // Only interested processes deliver…
+        assert_eq!(delivered, 8);
+        // …but flooding makes (nearly) everybody receive.
+        assert!(received >= 14, "flooding reached only {received}/16");
+    }
+
+    #[test]
+    fn genuine_multicast_never_touches_uninterested_processes() {
+        let topology = topology();
+        let oracle = half_interested_oracle();
+        let event = Event::builder(2).build();
+        let processes = build_genuine_group(
+            &topology,
+            oracle.clone(),
+            &PmcastConfig::default(),
+            std::slice::from_ref(&event),
+        );
+        let mut sim = Simulation::new(processes, NetworkConfig::reliable(4));
+        // The multicaster is an interested process (0.0).
+        sim.process_mut(ProcessId(0)).multicast(event.clone());
+        sim.run_until_quiescent(200);
+
+        for p in sim.processes() {
+            let interested = oracle.is_interested(p.address(), &event);
+            if interested {
+                assert!(p.has_delivered(event.id()), "{} should deliver", p.address());
+            } else {
+                assert!(
+                    !p.has_received(event.id()),
+                    "{} should never receive the event",
+                    p.address()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flood_broadcast_sends_more_messages_than_genuine_multicast() {
+        let topology = topology();
+        let oracle = half_interested_oracle();
+        let event = Event::builder(3).build();
+
+        let flood = build_flood_group(&topology, oracle.clone(), &PmcastConfig::default());
+        let mut flood_sim = Simulation::new(flood, NetworkConfig::reliable(9));
+        flood_sim.process_mut(ProcessId(0)).broadcast(event.clone());
+        flood_sim.run_until_quiescent(200);
+
+        let genuine = build_genuine_group(
+            &topology,
+            oracle,
+            &PmcastConfig::default(),
+            std::slice::from_ref(&event),
+        );
+        let mut genuine_sim = Simulation::new(genuine, NetworkConfig::reliable(9));
+        genuine_sim.process_mut(ProcessId(0)).multicast(event.clone());
+        genuine_sim.run_until_quiescent(200);
+
+        assert!(
+            flood_sim.stats().messages_sent > genuine_sim.stats().messages_sent,
+            "flooding ({}) should cost more than genuine multicast ({})",
+            flood_sim.stats().messages_sent,
+            genuine_sim.stats().messages_sent
+        );
+    }
+
+    #[test]
+    fn broadcast_case_delivers_to_everyone() {
+        let topology = topology();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
+        let event = Event::builder(4).build();
+        let processes = build_flood_group(&topology, oracle, &PmcastConfig::default().with_fanout(3));
+        let mut sim = Simulation::new(processes, NetworkConfig::reliable(12));
+        sim.process_mut(ProcessId(5)).broadcast(event.clone());
+        sim.run_until_quiescent(200);
+        let delivered = sim
+            .processes()
+            .filter(|p| p.has_delivered(event.id()))
+            .count();
+        assert_eq!(delivered, 16);
+    }
+
+    #[test]
+    fn duplicate_events_are_accepted_once() {
+        let topology = topology();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
+        let mut processes = build_flood_group(&topology, oracle, &PmcastConfig::default());
+        let event = Event::builder(5).build();
+        processes[0].broadcast(event.clone());
+        processes[0].broadcast(event.clone());
+        assert!(processes[0].has_delivered(event.id()));
+        assert_eq!(processes[0].buffered.len(), 1);
+        assert!(!format!("{:?}", processes[0]).is_empty());
+    }
+
+    #[test]
+    fn genuine_multicast_with_unknown_event_stays_quiet() {
+        let topology = topology();
+        let oracle = half_interested_oracle();
+        // Build the directory for a different event than the one multicast.
+        let known = Event::builder(10).build();
+        let unknown = Event::builder(11).build();
+        let processes =
+            build_genuine_group(&topology, oracle, &PmcastConfig::default(), &[known]);
+        let mut sim = Simulation::new(processes, NetworkConfig::reliable(2));
+        sim.process_mut(ProcessId(0)).multicast(unknown.clone());
+        sim.run_until_quiescent(50);
+        // Without directory information the event cannot spread beyond the
+        // publisher.
+        let received = sim
+            .processes()
+            .filter(|p| p.has_received(unknown.id()))
+            .count();
+        assert_eq!(received, 1);
+        assert!(!format!("{:?}", sim.process(ProcessId(0))).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+use serde::{Deserialize, Serialize};
+
+use pmcast_analysis::EnvParams;
+
+/// The audience-inflation tuning of Section 5.3.
+///
+/// When the number of interested processes at a depth falls below the
+/// threshold `h`, the first `h` processes of the view are treated as
+/// interested in addition to the effectively interested ones, so that
+/// Pittel's round estimate (which assumes a large audience) applies again.
+/// This trades a higher rate of infected *non-interested* processes for a
+/// better delivery probability at small matching rates (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuningConfig {
+    /// Minimum audience `h` per depth.
+    pub threshold: usize,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        Self { threshold: 10 }
+    }
+}
+
+/// Configuration of the pmcast protocol (the parameters of Figure 3 plus
+/// the environmental estimates of Section 3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PmcastConfig {
+    /// Redundancy factor `R`: delegates per subgroup.
+    pub redundancy: usize,
+    /// Gossip fanout `F`: targets contacted per buffered event per round.
+    pub fanout: usize,
+    /// Environmental estimates (message loss `ε`, crash fraction `τ`,
+    /// Pittel constant `c`) used to compute per-depth round budgets.
+    pub env: EnvParams,
+    /// Optional audience-inflation tuning for small matching rates.
+    pub tuning: Option<TuningConfig>,
+    /// Skip root depths in which only the multicaster's own subtree is
+    /// interested (Section 3.2, last paragraph).
+    pub local_interest_shortcut: bool,
+    /// Hard cap on the per-depth round budget, protecting against degenerate
+    /// estimates.
+    pub max_rounds_per_depth: u32,
+}
+
+impl Default for PmcastConfig {
+    fn default() -> Self {
+        Self {
+            redundancy: 3,
+            fanout: 2,
+            env: EnvParams::default(),
+            tuning: None,
+            local_interest_shortcut: false,
+            max_rounds_per_depth: 64,
+        }
+    }
+}
+
+impl PmcastConfig {
+    /// The configuration used throughout the paper's reliability figures:
+    /// `R = 3`, `F = 2`.
+    pub fn paper_reliability() -> Self {
+        Self::default()
+    }
+
+    /// The configuration of the paper's scalability figure (Figure 6):
+    /// `R = 4`, `F = 3`.
+    pub fn paper_scalability() -> Self {
+        Self {
+            redundancy: 4,
+            fanout: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the redundancy factor, returning the config for chaining.
+    pub fn with_redundancy(mut self, redundancy: usize) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// Sets the fanout, returning the config for chaining.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Sets the environmental estimates, returning the config for chaining.
+    pub fn with_env(mut self, env: EnvParams) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Enables the Section 5.3 tuning with the given threshold.
+    pub fn with_tuning(mut self, threshold: usize) -> Self {
+        self.tuning = Some(TuningConfig { threshold });
+        self
+    }
+
+    /// Enables the local-interest shortcut of Section 3.2.
+    pub fn with_local_interest_shortcut(mut self, enabled: bool) -> Self {
+        self.local_interest_shortcut = enabled;
+        self
+    }
+
+    /// Validates the configuration, panicking on nonsensical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `redundancy` or `fanout` is zero.
+    pub fn validate(&self) {
+        assert!(self.redundancy >= 1, "redundancy R must be at least 1");
+        assert!(self.fanout >= 1, "fanout F must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.env.loss_probability),
+            "loss probability must lie in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.env.crash_probability),
+            "crash probability must lie in [0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_reliability_setup() {
+        let config = PmcastConfig::default();
+        assert_eq!(config.redundancy, 3);
+        assert_eq!(config.fanout, 2);
+        assert!(config.tuning.is_none());
+        assert!(!config.local_interest_shortcut);
+        config.validate();
+        assert_eq!(PmcastConfig::paper_reliability(), config);
+    }
+
+    #[test]
+    fn scalability_preset() {
+        let config = PmcastConfig::paper_scalability();
+        assert_eq!(config.redundancy, 4);
+        assert_eq!(config.fanout, 3);
+        config.validate();
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let config = PmcastConfig::default()
+            .with_redundancy(5)
+            .with_fanout(4)
+            .with_env(EnvParams::lossless())
+            .with_tuning(12)
+            .with_local_interest_shortcut(true);
+        assert_eq!(config.redundancy, 5);
+        assert_eq!(config.fanout, 4);
+        assert_eq!(config.env, EnvParams::lossless());
+        assert_eq!(config.tuning, Some(TuningConfig { threshold: 12 }));
+        assert!(config.local_interest_shortcut);
+        config.validate();
+        assert_eq!(TuningConfig::default().threshold, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout F must be at least 1")]
+    fn zero_fanout_is_rejected() {
+        PmcastConfig::default().with_fanout(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "redundancy R must be at least 1")]
+    fn zero_redundancy_is_rejected() {
+        PmcastConfig::default().with_redundancy(0).validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = PmcastConfig::paper_scalability().with_tuning(7);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: PmcastConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}

@@ -1,0 +1,68 @@
+use serde::{Deserialize, Serialize};
+
+use pmcast_addr::Depth;
+use pmcast_interest::Event;
+
+/// A pmcast gossip message (the payload of `SEND` in Figure 3).
+///
+/// Besides the event itself, a gossip carries the depth at which the event
+/// is currently being multicast, the matching rate computed for that depth,
+/// and the round counter within that depth — everything a receiver needs to
+/// file the event into the right gossip buffer and keep forwarding it with
+/// a consistent round budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gossip {
+    /// The multicast event being disseminated.
+    pub event: Event,
+    /// The tree depth the event is currently gossiped at.
+    pub depth: Depth,
+    /// The matching rate (fraction of interested entries) computed for this
+    /// depth by the process that promoted the event to it.
+    pub rate: f64,
+    /// The round counter of the event within this depth.
+    pub round: u32,
+}
+
+impl Gossip {
+    /// Creates a gossip message.
+    pub fn new(event: Event, depth: Depth, rate: f64, round: u32) -> Self {
+        Self {
+            event,
+            depth,
+            rate,
+            round,
+        }
+    }
+
+    /// Approximate wire size in bytes, used for traffic accounting.
+    pub fn wire_size(&self) -> usize {
+        self.event.payload_size()
+            + std::mem::size_of::<u32>()   // depth
+            + std::mem::size_of::<f64>()   // rate
+            + std::mem::size_of::<u32>() // round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_size() {
+        let event = Event::builder(4).int("b", 2).str("e", "Bob").build();
+        let gossip = Gossip::new(event.clone(), 2, 0.5, 3);
+        assert_eq!(gossip.depth, 2);
+        assert_eq!(gossip.round, 3);
+        assert!((gossip.rate - 0.5).abs() < f64::EPSILON);
+        assert_eq!(gossip.event, event);
+        assert!(gossip.wire_size() > event.payload_size());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let gossip = Gossip::new(Event::builder(9).float("c", 1.25).build(), 1, 0.25, 0);
+        let json = serde_json::to_string(&gossip).unwrap();
+        let back: Gossip = serde_json::from_str(&json).unwrap();
+        assert_eq!(gossip, back);
+    }
+}

@@ -1,0 +1,654 @@
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use pmcast_addr::{Address, Depth};
+use pmcast_analysis::pittel;
+use pmcast_interest::{Event, EventId};
+use pmcast_membership::{InterestOracle, TreeTopology};
+use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
+use rand::seq::SliceRandom;
+
+use crate::{BufferedGossip, Gossip, GossipBuffers, GossipTarget, PmcastConfig, SharedViews};
+
+/// A whole pmcast group ready to be handed to a
+/// [`pmcast_simnet::Simulation`]: one protocol state machine per process
+/// plus the shared views they gossip over.
+pub struct PmcastGroup {
+    /// One protocol instance per process, indexed by [`ProcessId`].
+    pub processes: Vec<PmcastProcess>,
+    /// The shared per-depth views.
+    pub views: Arc<SharedViews>,
+    /// Member addresses in dense-identifier order.
+    pub addresses: Arc<Vec<Address>>,
+}
+
+impl std::fmt::Debug for PmcastGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmcastGroup")
+            .field("processes", &self.processes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds the pmcast protocol instances for every member of a topology.
+///
+/// The returned processes are ordered by dense identifier, matching the
+/// order of [`TreeTopology::members`]; hand them directly to
+/// [`pmcast_simnet::Simulation::new`].
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`PmcastConfig::validate`]).
+pub fn build_group<T: TreeTopology>(
+    topology: &T,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    config: &PmcastConfig,
+) -> PmcastGroup {
+    config.validate();
+    let views = Arc::new(SharedViews::build(topology, config.redundancy));
+    let addresses = Arc::clone(views.addresses());
+    let processes = addresses
+        .iter()
+        .enumerate()
+        .map(|(index, address)| {
+            PmcastProcess::new(
+                address.clone(),
+                ProcessId(index),
+                config.clone(),
+                Arc::clone(&views),
+                Arc::clone(&oracle),
+            )
+        })
+        .collect();
+    PmcastGroup {
+        processes,
+        views,
+        addresses,
+    }
+}
+
+/// One process running the pmcast algorithm of Figure 3.
+pub struct PmcastProcess {
+    address: Address,
+    id: ProcessId,
+    config: PmcastConfig,
+    views: Arc<SharedViews>,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    buffers: GossipBuffers,
+    delivered: Vec<Event>,
+    delivered_ids: HashSet<EventId>,
+    received_ids: HashSet<EventId>,
+    rounds_active: u64,
+}
+
+impl std::fmt::Debug for PmcastProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmcastProcess")
+            .field("address", &self.address)
+            .field("id", &self.id)
+            .field("buffered", &self.buffers.len())
+            .field("delivered", &self.delivered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PmcastProcess {
+    /// Creates a process; normally done through [`build_group`].
+    pub fn new(
+        address: Address,
+        id: ProcessId,
+        config: PmcastConfig,
+        views: Arc<SharedViews>,
+        oracle: Arc<dyn InterestOracle + Send + Sync>,
+    ) -> Self {
+        let depth = views.depth();
+        Self {
+            address,
+            id,
+            config,
+            views,
+            oracle,
+            buffers: GossipBuffers::new(depth),
+            delivered: Vec::new(),
+            delivered_ids: HashSet::new(),
+            received_ids: HashSet::new(),
+            rounds_active: 0,
+        }
+    }
+
+    /// The process's address.
+    pub fn address(&self) -> &Address {
+        &self.address
+    }
+
+    /// The process's dense simulation identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Events delivered to the application (`HPDELIVER` in Figure 3), in
+    /// delivery order.
+    pub fn delivered(&self) -> &[Event] {
+        &self.delivered
+    }
+
+    /// Returns `true` if the given event was delivered to the application.
+    pub fn has_delivered(&self, event: EventId) -> bool {
+        self.delivered_ids.contains(&event)
+    }
+
+    /// Returns `true` if the given event was *received* by this process at
+    /// all (delivered or merely buffered/forwarded); the paper's Figure 5
+    /// measures exactly this for uninterested processes.
+    pub fn has_received(&self, event: EventId) -> bool {
+        self.received_ids.contains(&event)
+    }
+
+    /// Number of rounds during which this process had something buffered.
+    pub fn rounds_active(&self) -> u64 {
+        self.rounds_active
+    }
+
+    /// Current number of buffered gossip entries.
+    pub fn buffered(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Multicasts an event (`PMCAST` in Figure 3).
+    ///
+    /// Following the prose of Section 3 the event is injected at the root
+    /// depth; with the local-interest shortcut enabled it skips depths in
+    /// which only the multicaster's own subtree is interested.
+    pub fn pmcast(&mut self, event: Event) {
+        let depth = self.initial_depth(&event);
+        let rate = self.effective_rate(depth, &event);
+        let budget = self.round_budget(depth, rate);
+        self.received_ids.insert(event.id());
+        if self.oracle.is_interested(&self.address, &event) {
+            self.deliver(event.clone());
+        }
+        self.buffers.insert(
+            depth,
+            BufferedGossip {
+                event,
+                rate,
+                round: 0,
+                budget,
+            },
+        );
+    }
+
+    /// The depth at which a locally published event starts gossiping.
+    fn initial_depth(&self, event: &Event) -> Depth {
+        let d = self.views.depth();
+        if !self.config.local_interest_shortcut {
+            return 1;
+        }
+        let mut depth = 1;
+        while depth < d {
+            let view = self.views.view_for(&self.address, depth);
+            let own_subtree = self.address.prefix_of_depth(depth + 1);
+            let foreign_interest = view.iter().any(|target| {
+                target.subgroup != own_subtree
+                    && self.oracle.subtree_interested(&target.subgroup, event)
+            });
+            if foreign_interest {
+                break;
+            }
+            depth += 1;
+        }
+        depth
+    }
+
+    /// `GETRATE(depth, event)`: the fraction of view entries (delegates /
+    /// neighbours) whose subtree is interested in the event.
+    pub fn matching_rate(&self, depth: Depth, event: &Event) -> f64 {
+        let view = self.views.view_for(&self.address, depth);
+        if view.is_empty() {
+            return 0.0;
+        }
+        let hits = view
+            .iter()
+            .filter(|target| self.oracle.subtree_interested(&target.subgroup, event))
+            .count();
+        hits as f64 / view.len() as f64
+    }
+
+    /// The rate used for round-budget computation and gossiping, with the
+    /// Section 5.3 audience inflation applied when configured.
+    fn effective_rate(&self, depth: Depth, event: &Event) -> f64 {
+        let raw = self.matching_rate(depth, event);
+        match self.config.tuning {
+            Some(tuning) => {
+                let view_len = self.views.view_for(&self.address, depth).len();
+                if view_len == 0 {
+                    return raw;
+                }
+                let floor = (tuning.threshold as f64 / view_len as f64).min(1.0);
+                raw.max(floor)
+            }
+            None => raw,
+        }
+    }
+
+    /// The Pittel round budget for one depth given the (effective) matching
+    /// rate there (Figure 3, line 7).
+    fn round_budget(&self, depth: Depth, rate: f64) -> u32 {
+        let view_len = self.views.view_for(&self.address, depth).len();
+        let effective_size = view_len as f64 * rate;
+        let effective_fanout = self.config.fanout as f64 * rate;
+        pittel::round_budget(effective_size, effective_fanout, &self.config.env)
+            .min(self.config.max_rounds_per_depth)
+    }
+
+    /// Whether a gossip destination should be sent the event: its subtree is
+    /// interested, or audience inflation designates it (it is among the
+    /// first `h` entries of the view).
+    fn target_selected(&self, target: &GossipTarget, position: usize, event: &Event) -> bool {
+        if self.oracle.subtree_interested(&target.subgroup, event) {
+            return true;
+        }
+        match self.config.tuning {
+            Some(tuning) => position < tuning.threshold,
+            None => false,
+        }
+    }
+
+    fn deliver(&mut self, event: Event) {
+        if self.delivered_ids.insert(event.id()) {
+            self.delivered.push(event);
+        }
+    }
+
+    /// One iteration of the `GOSSIP` task of Figure 3 for a single depth.
+    fn gossip_depth(&mut self, depth: Depth, ctx: &mut RoundContext<'_, Gossip>) {
+        let view = self.views.view_for(&self.address, depth);
+        let d = self.views.depth();
+        let fanout = self.config.fanout;
+        let own_id = self.id;
+
+        // Take the entries out to avoid aliasing `self` while we both send
+        // messages and compute promotion rates.
+        let mut entries = std::mem::take(self.buffers.at_depth_mut(depth));
+        let mut kept = Vec::with_capacity(entries.len());
+        let mut promoted = Vec::new();
+
+        for mut entry in entries.drain(..) {
+            if entry.round < entry.budget {
+                entry.round += 1;
+                // Choose F distinct destinations uniformly from the view,
+                // then send only to those that pass the interest test
+                // (Figure 3, lines 10–14).
+                let candidates: Vec<usize> = (0..view.len())
+                    .filter(|&i| view[i].id != own_id)
+                    .collect();
+                let chosen: Vec<usize> = candidates
+                    .choose_multiple(ctx.rng(), fanout.min(candidates.len()))
+                    .copied()
+                    .collect();
+                for position in chosen {
+                    let target = &view[position];
+                    if self.target_selected(target, position, &entry.event) {
+                        let gossip = Gossip::new(entry.event.clone(), depth, entry.rate, entry.round);
+                        let size = gossip.wire_size();
+                        ctx.send_sized(target.id, gossip, size);
+                    }
+                }
+                kept.push(entry);
+            } else if depth < d {
+                // Budget exhausted: promote to the next depth (lines 16–18).
+                let next_rate = self.effective_rate(depth + 1, &entry.event);
+                let budget = self.round_budget(depth + 1, next_rate);
+                promoted.push(BufferedGossip {
+                    event: entry.event,
+                    rate: next_rate,
+                    round: 0,
+                    budget,
+                });
+            }
+            // At the leaf depth an exhausted entry is simply garbage collected.
+        }
+
+        *self.buffers.at_depth_mut(depth) = kept;
+        for entry in promoted {
+            self.buffers.promote(depth + 1, entry);
+        }
+    }
+}
+
+impl RoundProcess for PmcastProcess {
+    type Message = Gossip;
+
+    fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
+        if self.buffers.is_empty() {
+            return;
+        }
+        self.rounds_active += 1;
+        for depth in 1..=self.views.depth() {
+            self.gossip_depth(depth, ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, gossip: Gossip, _ctx: &mut RoundContext<'_, Gossip>) {
+        self.received_ids.insert(gossip.event.id());
+        if self.buffers.has_seen(gossip.event.id()) {
+            return;
+        }
+        // File the event into the buffer of the depth it is travelling at
+        // (Figure 3, lines 19–23).
+        let budget = self.round_budget(gossip.depth, gossip.rate);
+        let interested = self.oracle.is_interested(&self.address, &gossip.event);
+        let event = gossip.event.clone();
+        self.buffers.insert(
+            gossip.depth,
+            BufferedGossip {
+                event: gossip.event,
+                rate: gossip.rate,
+                round: gossip.round,
+                budget,
+            },
+        );
+        if interested {
+            self.deliver(event);
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.buffers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_interest::{Filter, Predicate};
+    use pmcast_membership::{
+        AssignmentOracle, GroupTree, ImplicitRegularTree, UniformOracle,
+    };
+    use pmcast_simnet::{NetworkConfig, Simulation};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_topology() -> ImplicitRegularTree {
+        ImplicitRegularTree::new(AddressSpace::regular(2, 4).unwrap())
+    }
+
+    fn run_multicast(
+        oracle: Arc<dyn InterestOracle + Send + Sync>,
+        config: PmcastConfig,
+        network: NetworkConfig,
+        event: Event,
+        sender: usize,
+    ) -> (Vec<PmcastProcess>, pmcast_simnet::TrafficStats) {
+        let topology = small_topology();
+        let group = build_group(&topology, oracle, &config);
+        let mut sim = Simulation::new(group.processes, network);
+        sim.process_mut(ProcessId(sender)).pmcast(event);
+        sim.run_until_quiescent(300);
+        let stats = *sim.stats();
+        (sim.into_processes(), stats)
+    }
+
+    #[test]
+    fn broadcast_case_reaches_every_process() {
+        // With everyone interested and a reliable network, pmcast degenerates
+        // to a reliable broadcast.
+        let event = Event::builder(1).int("b", 1).build();
+        let oracle = Arc::new(UniformOracle::new(16));
+        let (processes, stats) = run_multicast(
+            oracle,
+            PmcastConfig::default(),
+            NetworkConfig::reliable(3),
+            event.clone(),
+            0,
+        );
+        let delivered = processes.iter().filter(|p| p.has_delivered(event.id())).count();
+        assert_eq!(delivered, 16);
+        assert!(stats.messages_sent > 0);
+    }
+
+    #[test]
+    fn uninterested_subtrees_are_not_infected() {
+        // Only subtree 0 is interested; processes of other subtrees should
+        // not even receive the event (that is the whole point of pmcast).
+        let interested: Vec<Address> = ["0.0", "0.1", "0.2", "0.3"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let oracle = Arc::new(AssignmentOracle::new(interested));
+        let event = Event::builder(2).int("b", 1).build();
+        let (processes, _) = run_multicast(
+            oracle.clone(),
+            PmcastConfig::default(),
+            NetworkConfig::reliable(5),
+            event.clone(),
+            0, // sender 0.0 is itself interested
+        );
+        for p in &processes {
+            let interested = oracle.is_interested(p.address(), &event);
+            if interested {
+                assert!(p.has_delivered(event.id()), "{} must deliver", p.address());
+            } else {
+                assert!(!p.has_delivered(event.id()));
+            }
+        }
+        // Spurious reception is limited to delegates of interested subtrees
+        // (and possibly nobody in this tiny tree).
+        let spurious = processes
+            .iter()
+            .filter(|p| !oracle.is_interested(p.address(), &event) && p.has_received(event.id()))
+            .count();
+        assert!(spurious <= 4, "at most a few uninterested receivers, got {spurious}");
+    }
+
+    #[test]
+    fn delivery_requires_interest() {
+        let oracle = Arc::new(AssignmentOracle::new(vec!["1.1".parse::<Address>().unwrap()]));
+        let event = Event::builder(3).int("b", 1).build();
+        let (processes, _) = run_multicast(
+            oracle,
+            PmcastConfig::default(),
+            NetworkConfig::reliable(8),
+            event.clone(),
+            5, // sender 1.1 (index 5 in a 4x4 tree)
+        );
+        let deliverers: Vec<&PmcastProcess> = processes
+            .iter()
+            .filter(|p| p.has_delivered(event.id()))
+            .collect();
+        assert_eq!(deliverers.len(), 1);
+        assert_eq!(deliverers[0].address().to_string(), "1.1");
+    }
+
+    #[test]
+    fn matching_rate_reflects_oracle() {
+        let topology = small_topology();
+        let interested: Vec<Address> = ["0.0", "0.1", "1.0", "1.1", "2.0", "2.1", "3.0", "3.1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> =
+            Arc::new(AssignmentOracle::new(interested));
+        let group = build_group(&topology, oracle, &PmcastConfig::default());
+        let process = &group.processes[0];
+        let event = Event::builder(1).build();
+        // Depth 1: all four subtrees contain interested processes.
+        assert!((process.matching_rate(1, &event) - 1.0).abs() < 1e-12);
+        // Depth 2 (leaf): half of the neighbours are interested.
+        assert!((process.matching_rate(2, &event) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuning_inflates_the_effective_audience() {
+        let topology = small_topology();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> =
+            Arc::new(AssignmentOracle::new(vec!["0.0".parse::<Address>().unwrap()]));
+        let tuned_config = PmcastConfig::default().with_tuning(6);
+        let group = build_group(&topology, oracle.clone(), &tuned_config);
+        let process = &group.processes[0];
+        let event = Event::builder(1).build();
+        let raw = process.matching_rate(1, &event);
+        let effective = process.effective_rate(1, &event);
+        assert!(effective > raw);
+        assert!(effective <= 1.0);
+
+        // Without tuning the effective rate equals the raw rate.
+        let plain_group = build_group(&topology, oracle, &PmcastConfig::default());
+        let plain = &plain_group.processes[0];
+        assert!((plain.effective_rate(1, &event) - plain.matching_rate(1, &event)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_interest_shortcut_skips_the_root() {
+        let topology = small_topology();
+        // Only the sender's own subtree (prefix 2) is interested.
+        let interested: Vec<Address> = ["2.0", "2.1", "2.2"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> =
+            Arc::new(AssignmentOracle::new(interested));
+        let config = PmcastConfig::default().with_local_interest_shortcut(true);
+        let group = build_group(&topology, oracle.clone(), &config);
+        let sender_index = group
+            .addresses
+            .iter()
+            .position(|a| a.to_string() == "2.0")
+            .unwrap();
+        let mut sender = group
+            .processes
+            .into_iter()
+            .nth(sender_index)
+            .unwrap();
+        let event = Event::builder(7).build();
+        assert_eq!(sender.initial_depth(&event), 2);
+        sender.pmcast(event.clone());
+        // The event was filed directly at the leaf depth.
+        assert_eq!(sender.buffers.at_depth(1).len(), 0);
+        assert_eq!(sender.buffers.at_depth(2).len(), 1);
+
+        // Without the shortcut the event starts at the root.
+        let group2 = build_group(&topology, oracle, &PmcastConfig::default());
+        assert_eq!(group2.processes[sender_index].initial_depth(&event), 1);
+    }
+
+    #[test]
+    fn message_loss_degrades_but_rarely_destroys_delivery() {
+        let oracle = Arc::new(UniformOracle::new(16));
+        let event = Event::builder(4).build();
+        let (processes, stats) = run_multicast(
+            oracle,
+            PmcastConfig::default().with_fanout(3),
+            NetworkConfig::default().with_loss(0.2).with_seed(17),
+            event.clone(),
+            0,
+        );
+        let delivered = processes.iter().filter(|p| p.has_delivered(event.id())).count();
+        assert!(delivered >= 12, "only {delivered}/16 delivered under 20% loss");
+        assert!(stats.messages_lost > 0);
+    }
+
+    #[test]
+    fn content_based_subscriptions_drive_delivery() {
+        // Use a GroupTree with real filters as both topology and oracle.
+        let space = AddressSpace::regular(2, 3).unwrap();
+        let mut tree = GroupTree::new(space.clone());
+        for (index, address) in space.iter().enumerate() {
+            let filter = if index % 3 == 0 {
+                Filter::new().with("kind", Predicate::eq_str("alert"))
+            } else {
+                Filter::new().with("kind", Predicate::eq_str("heartbeat"))
+            };
+            tree.join(address, filter).unwrap();
+        }
+        let tree = Arc::new(tree);
+        let oracle: Arc<dyn InterestOracle + Send + Sync> = tree.clone();
+        let group = build_group(tree.as_ref(), oracle, &PmcastConfig::default());
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(2));
+        let event = Event::builder(11).str("kind", "alert").build();
+        sim.process_mut(ProcessId(0)).pmcast(event.clone());
+        sim.run_until_quiescent(200);
+        for p in sim.processes() {
+            let wants_alerts = tree
+                .subscription(p.address())
+                .map(|f| {
+                    use pmcast_interest::Interest;
+                    f.matches(&event)
+                })
+                .unwrap_or(false);
+            assert_eq!(p.has_delivered(event.id()), wants_alerts, "{}", p.address());
+        }
+    }
+
+    #[test]
+    fn multiple_concurrent_events_are_kept_apart() {
+        let topology = small_topology();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
+        let group = build_group(&topology, oracle, &PmcastConfig::default());
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(23));
+        let event_a = Event::builder(100).int("b", 1).build();
+        let event_b = Event::builder(200).int("b", 2).build();
+        sim.process_mut(ProcessId(0)).pmcast(event_a.clone());
+        sim.process_mut(ProcessId(9)).pmcast(event_b.clone());
+        sim.run_until_quiescent(300);
+        for p in sim.processes() {
+            assert!(p.has_delivered(event_a.id()));
+            assert!(p.has_delivered(event_b.id()));
+            // Delivered list contains each event exactly once.
+            assert_eq!(p.delivered().len(), 2);
+        }
+    }
+
+    #[test]
+    fn quiescence_is_reached_and_buffers_drain() {
+        let oracle = Arc::new(UniformOracle::new(16));
+        let event = Event::builder(5).build();
+        let (processes, _) = run_multicast(
+            oracle,
+            PmcastConfig::default(),
+            NetworkConfig::reliable(31),
+            event,
+            3,
+        );
+        for p in &processes {
+            assert!(p.is_quiescent());
+            assert_eq!(p.buffered(), 0);
+            assert!(p.rounds_active() > 0 || p.delivered().is_empty());
+        }
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let topology = small_topology();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
+        let group = build_group(&topology, oracle, &PmcastConfig::default());
+        let text = format!("{:?}", group);
+        assert!(text.contains("PmcastGroup"));
+        let process_text = format!("{:?}", group.processes[0]);
+        assert!(process_text.contains("PmcastProcess"));
+        assert!(process_text.contains("address"));
+    }
+
+    #[test]
+    fn deterministic_given_equal_seeds() {
+        let run = |seed: u64| {
+            let oracle = Arc::new(AssignmentOracle::sample(
+                &small_topology(),
+                0.5,
+                &mut ChaCha8Rng::seed_from_u64(7),
+            ));
+            let event = Event::builder(1).build();
+            let (processes, stats) = run_multicast(
+                oracle,
+                PmcastConfig::default(),
+                NetworkConfig::default().with_loss(0.1).with_seed(seed),
+                event.clone(),
+                0,
+            );
+            let delivered = processes.iter().filter(|p| p.has_delivered(event.id())).count();
+            (delivered, stats.messages_sent)
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

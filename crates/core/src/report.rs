@@ -1,0 +1,216 @@
+use serde::{Deserialize, Serialize};
+
+use pmcast_addr::Address;
+use pmcast_interest::{Event, EventId};
+use pmcast_membership::InterestOracle;
+
+/// Read-only view of a protocol instance's delivery state, implemented by
+/// [`crate::PmcastProcess`] and by the baseline protocols so that the same
+/// reporting code covers all of them.
+pub trait DeliveryOutcome {
+    /// The process's address.
+    fn outcome_address(&self) -> &Address;
+    /// Returns `true` if the event was delivered to the application.
+    fn outcome_delivered(&self, event: EventId) -> bool;
+    /// Returns `true` if the event was received at all (delivered or merely
+    /// buffered / forwarded).
+    fn outcome_received(&self, event: EventId) -> bool;
+}
+
+impl DeliveryOutcome for crate::PmcastProcess {
+    fn outcome_address(&self) -> &Address {
+        self.address()
+    }
+    fn outcome_delivered(&self, event: EventId) -> bool {
+        self.has_delivered(event)
+    }
+    fn outcome_received(&self, event: EventId) -> bool {
+        self.has_received(event)
+    }
+}
+
+/// Aggregated outcome of one multicast over a whole group: the quantities of
+/// the paper's Figures 4 and 5 plus the raw counts they derive from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MulticastReport {
+    /// Processes interested in the event.
+    pub interested: usize,
+    /// Interested processes that delivered it.
+    pub delivered_interested: usize,
+    /// Processes not interested in the event.
+    pub uninterested: usize,
+    /// Uninterested processes that nevertheless received it.
+    pub received_uninterested: usize,
+    /// Total processes that received the event in any role.
+    pub received_total: usize,
+}
+
+impl MulticastReport {
+    /// Collects the outcome of one event over an iterator of protocol
+    /// states, classifying every process with the given oracle.
+    pub fn collect<'a, P, I>(event: &Event, processes: I, oracle: &dyn InterestOracle) -> Self
+    where
+        P: DeliveryOutcome + 'a,
+        I: IntoIterator<Item = &'a P>,
+    {
+        let mut report = MulticastReport::default();
+        for process in processes {
+            let address = process.outcome_address();
+            let interested = oracle.is_interested(address, event);
+            let delivered = process.outcome_delivered(event.id());
+            let received = process.outcome_received(event.id());
+            if received {
+                report.received_total += 1;
+            }
+            if interested {
+                report.interested += 1;
+                if delivered {
+                    report.delivered_interested += 1;
+                }
+            } else {
+                report.uninterested += 1;
+                if received {
+                    report.received_uninterested += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Probability of delivery for interested processes (the y-axis of
+    /// Figure 4).  Returns 1 when nobody was interested.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.interested == 0 {
+            return 1.0;
+        }
+        self.delivered_interested as f64 / self.interested as f64
+    }
+
+    /// Probability of reception for uninterested processes (the y-axis of
+    /// Figure 5).  Returns 0 when everybody was interested.
+    pub fn spurious_ratio(&self) -> f64 {
+        if self.uninterested == 0 {
+            return 0.0;
+        }
+        self.received_uninterested as f64 / self.uninterested as f64
+    }
+
+    /// Merges counters of another report (e.g. a different trial) into this
+    /// one.
+    pub fn merge(&mut self, other: &MulticastReport) {
+        self.interested += other.interested;
+        self.delivered_interested += other.delivered_interested;
+        self.uninterested += other.uninterested;
+        self.received_uninterested += other.received_uninterested;
+        self.received_total += other.received_total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeProcess {
+        address: Address,
+        delivered: bool,
+        received: bool,
+    }
+
+    impl DeliveryOutcome for FakeProcess {
+        fn outcome_address(&self) -> &Address {
+            &self.address
+        }
+        fn outcome_delivered(&self, _event: EventId) -> bool {
+            self.delivered
+        }
+        fn outcome_received(&self, _event: EventId) -> bool {
+            self.received
+        }
+    }
+
+    struct FakeOracle;
+    impl InterestOracle for FakeOracle {
+        fn is_interested(&self, address: &Address, _event: &Event) -> bool {
+            // Processes with first component 0 are interested.
+            address.components()[0] == 0
+        }
+        fn interested_count_under(
+            &self,
+            _prefix: &pmcast_addr::Prefix,
+            _event: &Event,
+        ) -> usize {
+            0
+        }
+    }
+
+    fn fake(addr: &str, delivered: bool, received: bool) -> FakeProcess {
+        FakeProcess {
+            address: addr.parse().unwrap(),
+            delivered,
+            received,
+        }
+    }
+
+    #[test]
+    fn collect_classifies_processes() {
+        let processes = vec![
+            fake("0.0", true, true),   // interested, delivered
+            fake("0.1", false, false), // interested, missed
+            fake("1.0", false, true),  // uninterested, received anyway
+            fake("1.1", false, false), // uninterested, untouched
+        ];
+        let event = Event::new(1);
+        let report = MulticastReport::collect(&event, &processes, &FakeOracle);
+        assert_eq!(report.interested, 2);
+        assert_eq!(report.delivered_interested, 1);
+        assert_eq!(report.uninterested, 2);
+        assert_eq!(report.received_uninterested, 1);
+        assert_eq!(report.received_total, 2);
+        assert!((report.delivery_ratio() - 0.5).abs() < 1e-12);
+        assert!((report.spurious_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_handle_empty_classes() {
+        let report = MulticastReport::default();
+        assert_eq!(report.delivery_ratio(), 1.0);
+        assert_eq!(report.spurious_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_trials() {
+        let mut a = MulticastReport {
+            interested: 10,
+            delivered_interested: 9,
+            uninterested: 5,
+            received_uninterested: 1,
+            received_total: 10,
+        };
+        let b = MulticastReport {
+            interested: 10,
+            delivered_interested: 10,
+            uninterested: 5,
+            received_uninterested: 0,
+            received_total: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.interested, 20);
+        assert_eq!(a.delivered_interested, 19);
+        assert!((a.delivery_ratio() - 0.95).abs() < 1e-12);
+        assert!((a.spurious_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = MulticastReport {
+            interested: 3,
+            delivered_interested: 2,
+            uninterested: 1,
+            received_uninterested: 0,
+            received_total: 2,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MulticastReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

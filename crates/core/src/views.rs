@@ -1,0 +1,222 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmcast_addr::{Address, Depth, Prefix};
+use pmcast_simnet::ProcessId;
+
+use pmcast_membership::TreeTopology;
+
+/// One gossip destination in a per-depth view: the process, its dense
+/// simulation identifier, and the subgroup it represents at that depth (its
+/// own address at the leaf depth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipTarget {
+    /// The destination process address.
+    pub address: Address,
+    /// The destination's simulation identifier.
+    pub id: ProcessId,
+    /// The subgroup the destination represents at this depth.
+    pub subgroup: Prefix,
+}
+
+/// Precomputed, shareable per-depth views for a whole group.
+///
+/// A process's view at depth `i` only depends on its own prefix of depth `i`
+/// (Section 2.2), so instead of materialising `n` view tables the simulation
+/// shares one table per `(depth, prefix)` pair — a few hundred entries even
+/// for the 10 000-process evaluation group.  Every target also carries the
+/// dense [`ProcessId`] so protocol code never needs to search for addresses
+/// at gossip time.
+#[derive(Debug, Clone)]
+pub struct SharedViews {
+    depth: Depth,
+    redundancy: usize,
+    views: HashMap<Prefix, Arc<Vec<GossipTarget>>>,
+    ids: HashMap<Address, ProcessId>,
+    addresses: Arc<Vec<Address>>,
+}
+
+impl SharedViews {
+    /// Builds the views of every populated prefix of the topology, electing
+    /// `redundancy` delegates per subgroup.
+    pub fn build<T: TreeTopology>(topology: &T, redundancy: usize) -> Self {
+        let depth = topology.depth();
+        let addresses: Vec<Address> = topology.members();
+        let ids: HashMap<Address, ProcessId> = addresses
+            .iter()
+            .enumerate()
+            .map(|(index, address)| (address.clone(), ProcessId(index)))
+            .collect();
+
+        let mut views: HashMap<Prefix, Arc<Vec<GossipTarget>>> = HashMap::new();
+        // Enumerate populated prefixes breadth-first from the root.
+        let mut frontier = vec![Prefix::root()];
+        for level in 0..depth {
+            let mut next_frontier = Vec::new();
+            for prefix in &frontier {
+                let view_depth = level + 1;
+                let mut targets = Vec::new();
+                if view_depth == depth {
+                    // Leaf views: one target per neighbour process.
+                    for address in topology.members_under(prefix) {
+                        let id = ids[&address];
+                        targets.push(GossipTarget {
+                            subgroup: address.as_prefix(),
+                            address,
+                            id,
+                        });
+                    }
+                } else {
+                    // Inner views: R delegates per populated child subgroup.
+                    for component in topology.populated_children(prefix) {
+                        let child = prefix.child(component);
+                        for address in topology.delegates(&child, redundancy) {
+                            let id = ids[&address];
+                            targets.push(GossipTarget {
+                                subgroup: child.clone(),
+                                address,
+                                id,
+                            });
+                        }
+                        next_frontier.push(child);
+                    }
+                }
+                views.insert(prefix.clone(), Arc::new(targets));
+            }
+            frontier = next_frontier;
+        }
+
+        Self {
+            depth,
+            redundancy,
+            views,
+            ids,
+            addresses: Arc::new(addresses),
+        }
+    }
+
+    /// The tree depth `d`.
+    pub fn depth(&self) -> Depth {
+        self.depth
+    }
+
+    /// The redundancy factor the views were built with.
+    pub fn redundancy(&self) -> usize {
+        self.redundancy
+    }
+
+    /// All member addresses in dense-identifier order.
+    pub fn addresses(&self) -> &Arc<Vec<Address>> {
+        &self.addresses
+    }
+
+    /// Number of member processes.
+    pub fn member_count(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// The dense identifier of an address.
+    pub fn id_of(&self, address: &Address) -> Option<ProcessId> {
+        self.ids.get(address).copied()
+    }
+
+    /// The address of a dense identifier.
+    pub fn address_of(&self, id: ProcessId) -> &Address {
+        &self.addresses[id.0]
+    }
+
+    /// The view a process with the given address holds at the given depth:
+    /// the gossip targets below its own prefix of that depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the depth is out of range.
+    pub fn view_for(&self, address: &Address, depth: Depth) -> Arc<Vec<GossipTarget>> {
+        assert!(depth >= 1 && depth <= self.depth, "depth {depth} out of range");
+        let prefix = address.prefix_of_depth(depth);
+        self.views
+            .get(&prefix)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Vec::new()))
+    }
+
+    /// Number of distinct `(depth, prefix)` views materialised.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_membership::ImplicitRegularTree;
+
+    fn views() -> SharedViews {
+        let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 3).unwrap());
+        SharedViews::build(&topology, 2)
+    }
+
+    #[test]
+    fn build_covers_all_prefixes() {
+        let v = views();
+        assert_eq!(v.depth(), 3);
+        assert_eq!(v.redundancy(), 2);
+        assert_eq!(v.member_count(), 27);
+        // Prefix counts: 1 root + 3 depth-2 + 9 depth-3 = 13 views.
+        assert_eq!(v.view_count(), 13);
+    }
+
+    #[test]
+    fn inner_views_have_r_delegates_per_subgroup() {
+        let v = views();
+        let address: Address = "1.2.0".parse().unwrap();
+        let root_view = v.view_for(&address, 1);
+        assert_eq!(root_view.len(), 3 * 2);
+        // Every target's subgroup is a depth-2 prefix.
+        assert!(root_view.iter().all(|t| t.subgroup.len() == 1));
+        // Delegates are the smallest addresses of their subgroup.
+        assert!(root_view
+            .iter()
+            .any(|t| t.address.to_string() == "0.0.0" && t.subgroup.components() == [0]));
+        let depth2 = v.view_for(&address, 2);
+        assert_eq!(depth2.len(), 3 * 2);
+        assert!(depth2.iter().all(|t| t.subgroup.components()[0] == 1));
+    }
+
+    #[test]
+    fn leaf_views_list_neighbours() {
+        let v = views();
+        let address: Address = "2.1.2".parse().unwrap();
+        let leaf = v.view_for(&address, 3);
+        assert_eq!(leaf.len(), 3);
+        assert!(leaf.iter().all(|t| t.subgroup.len() == 3));
+        assert!(leaf.iter().any(|t| t.address == address));
+    }
+
+    #[test]
+    fn views_are_shared_between_siblings() {
+        let v = views();
+        let a = v.view_for(&"0.1.2".parse().unwrap(), 2);
+        let b = v.view_for(&"0.2.0".parse().unwrap(), 2);
+        assert!(Arc::ptr_eq(&a, &b), "siblings share the same view allocation");
+    }
+
+    #[test]
+    fn id_and_address_round_trip() {
+        let v = views();
+        for index in 0..v.member_count() {
+            let id = ProcessId(index);
+            let address = v.address_of(id).clone();
+            assert_eq!(v.id_of(&address), Some(id));
+        }
+        assert_eq!(v.id_of(&"9.9.9".parse().unwrap()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_depth_panics() {
+        let v = views();
+        let _ = v.view_for(&"0.0.0".parse().unwrap(), 4);
+    }
+}

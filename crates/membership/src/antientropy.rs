@@ -1,0 +1,356 @@
+use serde::{Deserialize, Serialize};
+
+use pmcast_addr::{Address, Component, Depth};
+
+use crate::{ViewEntry, ViewTable};
+
+/// Identifies one line of a view table: the depth of the table and the
+/// infix of the subgroup the line describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineKey {
+    /// Depth of the view the line belongs to.
+    pub depth: Depth,
+    /// Infix (next address component) of the subgroup described by the line.
+    pub infix: Component,
+}
+
+/// A compact description of a process's view table: one `(line, timestamp)`
+/// pair per line of every per-depth table, exactly what the paper's
+/// membership gossip carries (Section 2.3, "Membership information").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewDigest {
+    owner: Address,
+    lines: Vec<(LineKey, u64)>,
+}
+
+impl ViewDigest {
+    /// Builds the digest of a view table.
+    pub fn of(table: &ViewTable) -> Self {
+        let mut lines = Vec::new();
+        for view in table.iter() {
+            for entry in view.entries() {
+                lines.push((
+                    LineKey {
+                        depth: view.depth(),
+                        infix: entry.infix(),
+                    },
+                    entry.timestamp(),
+                ));
+            }
+        }
+        Self {
+            owner: table.owner().clone(),
+            lines,
+        }
+    }
+
+    /// The process whose table this digest describes.
+    pub fn owner(&self) -> &Address {
+        &self.owner
+    }
+
+    /// Number of lines in the digest.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` if the digest describes an empty table.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The timestamp the digest's owner holds for a given line, if any.
+    pub fn timestamp(&self, key: &LineKey) -> Option<u64> {
+        self.lines
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, timestamp)| *timestamp)
+    }
+
+    /// Rough wire size of the digest in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.lines.len() * (std::mem::size_of::<LineKey>() + std::mem::size_of::<u64>())
+            + self.owner.components().len() * std::mem::size_of::<Component>()
+    }
+}
+
+/// The gossip-pull view exchange of Section 2.3.
+///
+/// The exchange is *pull*-oriented: the gossiper sends only a digest of its
+/// lines; the receiver answers with the full content of every line for which
+/// the gossiper's timestamp is smaller than its own (i.e. the receiver
+/// "updates the gossiper").  Membership information can be piggybacked onto
+/// event gossip or sent in dedicated messages — this type only implements
+/// the state reconciliation itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewExchange;
+
+impl ViewExchange {
+    /// Creates the exchange helper.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the pull response: the lines of `responder` that are
+    /// strictly newer than (or unknown to) the gossiper according to its
+    /// digest.
+    pub fn newer_lines(&self, responder: &ViewTable, digest: &ViewDigest) -> Vec<(LineKey, ViewEntry)> {
+        let mut updates = Vec::new();
+        for view in responder.iter() {
+            for entry in view.entries() {
+                let key = LineKey {
+                    depth: view.depth(),
+                    infix: entry.infix(),
+                };
+                let gossiper_timestamp = digest.timestamp(&key);
+                let is_newer = match gossiper_timestamp {
+                    Some(timestamp) => entry.timestamp() > timestamp,
+                    None => true,
+                };
+                if is_newer {
+                    updates.push((key, entry.clone()));
+                }
+            }
+        }
+        updates
+    }
+
+    /// Applies a pull response to the gossiper's table.  Lines already known
+    /// are overwritten only if the incoming line is strictly newer; unknown
+    /// lines that fall under a view the gossiper maintains are inserted.
+    /// Lines for depths the gossiper does not maintain are ignored.
+    ///
+    /// Returns the number of lines that changed.
+    pub fn apply(&self, table: &mut ViewTable, updates: &[(LineKey, ViewEntry)]) -> usize {
+        let mut changed = 0;
+        for (key, incoming) in updates {
+            if key.depth == 0 || key.depth > table.depth() {
+                continue;
+            }
+            let view = table.view_mut(key.depth);
+            // Only accept lines describing subgroups directly under this
+            // view's prefix; anything else belongs to a different branch of
+            // the tree and would corrupt the table.
+            if incoming.prefix().parent().as_ref() != Some(view.prefix()) {
+                continue;
+            }
+            match view
+                .entries_mut()
+                .iter_mut()
+                .find(|existing| existing.infix() == key.infix)
+            {
+                Some(existing) => {
+                    if existing.merge_newer(incoming) {
+                        changed += 1;
+                    }
+                }
+                None => {
+                    view.entries_mut().push(incoming.clone());
+                    view.entries_mut().sort_by_key(ViewEntry::infix);
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Runs one full bidirectional exchange between two processes: each
+    /// pulls the lines the other holds with newer timestamps.  Returns the
+    /// number of lines updated on `(first, second)` respectively.
+    pub fn reconcile(&self, first: &mut ViewTable, second: &mut ViewTable) -> (usize, usize) {
+        let first_digest = ViewDigest::of(first);
+        let second_digest = ViewDigest::of(second);
+        let for_first = self.newer_lines(second, &first_digest);
+        let for_second = self.newer_lines(first, &second_digest);
+        let first_changed = self.apply(first, &for_first);
+        let second_changed = self.apply(second, &for_second);
+        (first_changed, second_changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_interest::{Filter, InterestSummary, Predicate};
+
+    use crate::GroupTree;
+
+    fn tables() -> (ViewTable, ViewTable) {
+        let space = AddressSpace::regular(2, 3).unwrap();
+        let tree = GroupTree::fully_populated(space, Filter::match_all());
+        // Two processes of the same leaf subgroup see the same lines.
+        let a = tree.view_table_for(&"1.0".parse().unwrap(), 2).unwrap();
+        let b = tree.view_table_for(&"1.2".parse().unwrap(), 2).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn digest_covers_every_line() {
+        let (a, _) = tables();
+        let digest = ViewDigest::of(&a);
+        let line_count: usize = a.iter().map(|v| v.len()).sum();
+        assert_eq!(digest.len(), line_count);
+        assert!(!digest.is_empty());
+        assert_eq!(digest.owner(), a.owner());
+        assert!(digest.wire_size() > 0);
+        assert_eq!(
+            digest.timestamp(&LineKey { depth: 1, infix: 0 }),
+            Some(0)
+        );
+        assert_eq!(digest.timestamp(&LineKey { depth: 1, infix: 9 }), None);
+    }
+
+    #[test]
+    fn newer_lines_and_apply_propagate_updates() {
+        let (mut a, mut b) = tables();
+        // Process a learns fresher information about subgroup 2 at depth 1.
+        a.view_mut(1)
+            .entries_mut()
+            .iter_mut()
+            .find(|e| e.infix() == 2)
+            .unwrap()
+            .update(
+                vec!["2.0".parse().unwrap()],
+                InterestSummary::from_filter(Filter::new().with("b", Predicate::gt(0.0))),
+                7,
+                42,
+            );
+
+        let exchange = ViewExchange::new();
+        let digest_b = ViewDigest::of(&b);
+        let updates = exchange.newer_lines(&a, &digest_b);
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].0, LineKey { depth: 1, infix: 2 });
+
+        let changed = exchange.apply(&mut b, &updates);
+        assert_eq!(changed, 1);
+        let entry = b.view(1).entry(2).unwrap();
+        assert_eq!(entry.timestamp(), 42);
+        assert_eq!(entry.process_count(), 7);
+
+        // Re-applying the same updates is a no-op (idempotence).
+        assert_eq!(exchange.apply(&mut b, &updates), 0);
+    }
+
+    #[test]
+    fn stale_updates_are_rejected() {
+        let (mut a, b) = tables();
+        let exchange = ViewExchange::new();
+        // b has only timestamp-0 lines; a already has timestamp 5 somewhere.
+        a.view_mut(1)
+            .entries_mut()
+            .iter_mut()
+            .find(|e| e.infix() == 0)
+            .unwrap()
+            .update(vec![], InterestSummary::empty(), 1, 5);
+        let digest_a = ViewDigest::of(&a);
+        let updates = exchange.newer_lines(&b, &digest_a);
+        // Nothing b holds is newer than a's lines.
+        assert!(updates.iter().all(|(k, _)| !(k.depth == 1 && k.infix == 0)));
+    }
+
+    #[test]
+    fn reconcile_converges_bidirectionally() {
+        let (mut a, mut b) = tables();
+        a.view_mut(1)
+            .entries_mut()
+            .iter_mut()
+            .find(|e| e.infix() == 0)
+            .unwrap()
+            .update(vec![], InterestSummary::empty(), 11, 10);
+        b.view_mut(1)
+            .entries_mut()
+            .iter_mut()
+            .find(|e| e.infix() == 1)
+            .unwrap()
+            .update(vec![], InterestSummary::empty(), 22, 20);
+
+        let exchange = ViewExchange::new();
+        let (a_changed, b_changed) = exchange.reconcile(&mut a, &mut b);
+        assert_eq!(a_changed, 1);
+        assert_eq!(b_changed, 1);
+        assert_eq!(a.view(1).entry(1).unwrap().process_count(), 22);
+        assert_eq!(b.view(1).entry(0).unwrap().process_count(), 11);
+
+        // A second reconciliation changes nothing: they converged.
+        assert_eq!(exchange.reconcile(&mut a, &mut b), (0, 0));
+    }
+
+    #[test]
+    fn updates_for_foreign_branches_are_ignored() {
+        let space = AddressSpace::regular(2, 3).unwrap();
+        let tree = GroupTree::fully_populated(space, Filter::match_all());
+        let mut a = tree.view_table_for(&"1.0".parse().unwrap(), 2).unwrap();
+        // A line describing a leaf subgroup of branch 2 does not belong in
+        // a's depth-2 view (whose prefix is 1).
+        let foreign = ViewEntry::new(
+            pmcast_addr::Prefix::from_components(vec![2, 1]),
+            vec!["2.1".parse().unwrap()],
+            InterestSummary::match_all(),
+            1,
+            99,
+        );
+        let exchange = ViewExchange::new();
+        let changed = exchange.apply(
+            &mut a,
+            &[(LineKey { depth: 2, infix: 1 }, foreign)],
+        );
+        assert_eq!(changed, 0);
+        // Depths outside the table are also ignored.
+        let out_of_depth = ViewEntry::new(
+            pmcast_addr::Prefix::from_components(vec![0]),
+            vec![],
+            InterestSummary::empty(),
+            1,
+            99,
+        );
+        assert_eq!(
+            exchange.apply(&mut a, &[(LineKey { depth: 7, infix: 0 }, out_of_depth)]),
+            0
+        );
+    }
+
+    #[test]
+    fn pairwise_gossip_converges_a_small_group() {
+        // Three replicas of the same subgroup's views with disjoint fresh
+        // updates converge after a couple of pairwise exchanges.
+        let space = AddressSpace::regular(2, 3).unwrap();
+        let tree = GroupTree::fully_populated(space, Filter::match_all());
+        let mut tables: Vec<ViewTable> = ["0.0", "0.1", "0.2"]
+            .iter()
+            .map(|s| tree.view_table_for(&s.parse().unwrap(), 2).unwrap())
+            .collect();
+        for (index, table) in tables.iter_mut().enumerate() {
+            table
+                .view_mut(1)
+                .entries_mut()
+                .iter_mut()
+                .find(|e| e.infix() == index as u32)
+                .unwrap()
+                .update(vec![], InterestSummary::empty(), 100 + index, 50 + index as u64);
+        }
+        let exchange = ViewExchange::new();
+        // Ring of exchanges, two sweeps.
+        for _ in 0..2 {
+            for i in 0..3 {
+                let j = (i + 1) % 3;
+                let (left, right) = tables.split_at_mut(j.max(i));
+                if i < j {
+                    exchange.reconcile(&mut left[i], &mut right[0]);
+                } else {
+                    exchange.reconcile(&mut right[0], &mut left[j]);
+                }
+            }
+        }
+        for table in &tables {
+            for index in 0..3u32 {
+                assert_eq!(
+                    table.view(1).entry(index).unwrap().process_count(),
+                    100 + index as usize,
+                    "all replicas must agree on line {index}"
+                );
+            }
+        }
+    }
+}

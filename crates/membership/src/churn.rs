@@ -1,0 +1,419 @@
+use std::collections::BTreeMap;
+
+use pmcast_addr::{Address, Depth};
+use pmcast_interest::{Filter, InterestSummary};
+
+use crate::{ViewEntry, ViewTable};
+
+/// A membership change observed or decided by a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MembershipEvent {
+    /// A new process joined the group.
+    Joined(Address),
+    /// A process left the group gracefully.
+    Left(Address),
+    /// A process is suspected to have crashed (no contact within the
+    /// failure timeout).
+    Suspected(Address),
+}
+
+/// Tracks the last time each immediate neighbour was heard from, and flags
+/// processes that exceeded the failure timeout (Section 2.3, "Leaving and
+/// Failures": every process keeps track of the last time it was contacted by
+/// its most immediate neighbour processes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureDetector {
+    timeout: u64,
+    last_heard: BTreeMap<Address, u64>,
+}
+
+impl FailureDetector {
+    /// Creates a detector with the given timeout (in the same logical time
+    /// unit as the `now` arguments, typically gossip periods).
+    pub fn new(timeout: u64) -> Self {
+        Self {
+            timeout,
+            last_heard: BTreeMap::new(),
+        }
+    }
+
+    /// Starts monitoring a neighbour, treating `now` as its last contact.
+    pub fn monitor(&mut self, neighbour: Address, now: u64) {
+        self.last_heard.entry(neighbour).or_insert(now);
+    }
+
+    /// Stops monitoring a neighbour (it left or was excluded).
+    pub fn forget(&mut self, neighbour: &Address) {
+        self.last_heard.remove(neighbour);
+    }
+
+    /// Records a contact from a neighbour.
+    pub fn record_contact(&mut self, neighbour: &Address, now: u64) {
+        if let Some(last) = self.last_heard.get_mut(neighbour) {
+            *last = (*last).max(now);
+        }
+    }
+
+    /// Number of monitored neighbours.
+    pub fn monitored_count(&self) -> usize {
+        self.last_heard.len()
+    }
+
+    /// Returns the neighbours whose silence exceeds the timeout.
+    pub fn suspected(&self, now: u64) -> Vec<Address> {
+        self.last_heard
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) > self.timeout)
+            .map(|(address, _)| address.clone())
+            .collect()
+    }
+}
+
+/// The per-process membership maintenance state: the local [`ViewTable`]
+/// plus a failure detector over the immediate neighbours, applying joins,
+/// leaves and suspicions locally (the loose coordination of Section 2.3 —
+/// the updates then spread through gossip-pull anti-entropy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipManager {
+    table: ViewTable,
+    r: usize,
+    clock: u64,
+    detector: FailureDetector,
+}
+
+impl MembershipManager {
+    /// Creates a manager around an initial view table (obtained from the
+    /// contact process at join time).
+    pub fn new(table: ViewTable, r: usize, failure_timeout: u64) -> Self {
+        let mut detector = FailureDetector::new(failure_timeout);
+        let leaf_depth = table.depth();
+        for entry in table.view(leaf_depth).entries() {
+            for neighbour in entry.delegates() {
+                if neighbour != table.owner() {
+                    detector.monitor(neighbour.clone(), 0);
+                }
+            }
+        }
+        Self {
+            table,
+            r,
+            clock: 0,
+            detector,
+        }
+    }
+
+    /// The local view table.
+    pub fn table(&self) -> &ViewTable {
+        &self.table
+    }
+
+    /// Mutable access to the local view table (e.g. for anti-entropy).
+    pub fn table_mut(&mut self) -> &mut ViewTable {
+        &mut self.table
+    }
+
+    /// The redundancy factor `R` used for delegate bookkeeping.
+    pub fn redundancy(&self) -> usize {
+        self.r
+    }
+
+    /// The current logical time of this process.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances logical time by one gossip period and returns the processes
+    /// newly suspected of having crashed.
+    pub fn tick(&mut self) -> Vec<MembershipEvent> {
+        self.clock += 1;
+        let suspected = self.detector.suspected(self.clock);
+        suspected
+            .into_iter()
+            .map(MembershipEvent::Suspected)
+            .collect()
+    }
+
+    /// Records that a neighbour contacted this process (any received gossip
+    /// counts).
+    pub fn record_contact(&mut self, neighbour: &Address) {
+        self.detector.record_contact(neighbour, self.clock);
+    }
+
+    /// Applies a join: the new process is added to the views of every depth
+    /// whose subgroup contains it, possibly displacing a delegate (the
+    /// smallest-address rule is preserved locally).
+    pub fn apply_join(&mut self, joiner: Address, filter: Filter) -> MembershipEvent {
+        self.clock += 1;
+        let owner = self.table.owner().clone();
+        let depth = self.table.depth();
+        let timestamp = self.clock;
+        for view_depth in 1..=depth {
+            let own_prefix = owner.prefix_of_depth(view_depth);
+            if !joiner.has_prefix(&own_prefix) {
+                continue;
+            }
+            let view = self.table.view_mut(view_depth);
+            if view_depth == depth {
+                // Leaf depth: one line per neighbour process.
+                let already_known = view.entries().iter().any(|e| e.delegates().contains(&joiner));
+                if !already_known {
+                    view.entries_mut().push(ViewEntry::new(
+                        joiner.as_prefix(),
+                        vec![joiner.clone()],
+                        InterestSummary::from_filter(filter.clone()),
+                        1,
+                        timestamp,
+                    ));
+                    view.entries_mut().sort_by_key(ViewEntry::infix);
+                }
+                self.detector.monitor(joiner.clone(), self.clock);
+            } else {
+                // Inner depth: the joiner belongs to exactly one subgroup line.
+                let infix = joiner.components()[view_depth - 1];
+                let r = self.r;
+                if let Some(entry) = view
+                    .entries_mut()
+                    .iter_mut()
+                    .find(|e| e.infix() == infix)
+                {
+                    let mut delegates = entry.delegates().to_vec();
+                    if !delegates.contains(&joiner) {
+                        delegates.push(joiner.clone());
+                        delegates.sort();
+                        delegates.truncate(r);
+                    }
+                    let summary = entry.summary().merged_with(&InterestSummary::from_filter(filter.clone()));
+                    let count = entry.process_count() + 1;
+                    entry.update(delegates, summary, count, timestamp);
+                } else {
+                    // First process of a brand new sibling subgroup.
+                    let prefix = own_prefix.child(infix);
+                    view.entries_mut().push(ViewEntry::new(
+                        prefix,
+                        vec![joiner.clone()],
+                        InterestSummary::from_filter(filter.clone()),
+                        1,
+                        timestamp,
+                    ));
+                    view.entries_mut().sort_by_key(ViewEntry::infix);
+                }
+            }
+        }
+        MembershipEvent::Joined(joiner)
+    }
+
+    /// Applies a graceful leave or an exclusion after a crash suspicion.
+    ///
+    /// Process counts are decremented and the process is removed from every
+    /// delegate list it appears in; the replacement delegates are learnt
+    /// later through anti-entropy (a process cannot always determine them
+    /// locally).
+    pub fn apply_leave(&mut self, leaver: &Address) -> MembershipEvent {
+        self.clock += 1;
+        let timestamp = self.clock;
+        let depth = self.table.depth();
+        let owner = self.table.owner().clone();
+        for view_depth in 1..=depth {
+            let own_prefix = owner.prefix_of_depth(view_depth);
+            if !leaver.has_prefix(&own_prefix) {
+                continue;
+            }
+            let view = self.table.view_mut(view_depth);
+            if view_depth == depth {
+                view.entries_mut()
+                    .retain(|entry| !entry.delegates().contains(leaver));
+            } else {
+                let infix = leaver.components()[view_depth - 1];
+                let mut remove_line = false;
+                if let Some(entry) = view
+                    .entries_mut()
+                    .iter_mut()
+                    .find(|e| e.infix() == infix)
+                {
+                    let mut delegates = entry.delegates().to_vec();
+                    delegates.retain(|d| d != leaver);
+                    let count = entry.process_count().saturating_sub(1);
+                    if count == 0 {
+                        remove_line = true;
+                    } else {
+                        let summary = entry.summary().clone();
+                        entry.update(delegates, summary, count, timestamp);
+                    }
+                }
+                if remove_line {
+                    view.entries_mut().retain(|e| e.infix() != infix);
+                }
+            }
+        }
+        self.detector.forget(leaver);
+        MembershipEvent::Left(leaver.clone())
+    }
+
+    /// Returns the neighbours currently suspected of having crashed.
+    pub fn suspected(&self) -> Vec<Address> {
+        self.detector.suspected(self.clock)
+    }
+
+    /// Number of neighbours currently monitored by the failure detector.
+    pub fn monitored_neighbours(&self) -> usize {
+        self.detector.monitored_count()
+    }
+
+    /// The depth of the local tree view.
+    pub fn depth(&self) -> Depth {
+        self.table.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_interest::Predicate;
+
+    use crate::GroupTree;
+
+    fn manager() -> MembershipManager {
+        let space = AddressSpace::regular(3, 3).unwrap();
+        let tree = GroupTree::fully_populated(space, Filter::match_all());
+        let table = tree.view_table_for(&"1.1.1".parse().unwrap(), 2).unwrap();
+        MembershipManager::new(table, 2, 3)
+    }
+
+    #[test]
+    fn construction_monitors_leaf_neighbours() {
+        let m = manager();
+        // Leaf subgroup 1.1.* has 3 members; the owner itself is not monitored.
+        assert_eq!(m.monitored_neighbours(), 2);
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.redundancy(), 2);
+        assert_eq!(m.now(), 0);
+        assert!(m.suspected().is_empty());
+    }
+
+    #[test]
+    fn failure_detection_after_silence() {
+        let mut m = manager();
+        let noisy: Address = "1.1.0".parse().unwrap();
+        let mut suspected_events = Vec::new();
+        for _ in 0..6 {
+            m.record_contact(&noisy);
+            suspected_events.extend(m.tick());
+        }
+        let suspected: Vec<Address> = suspected_events
+            .iter()
+            .filter_map(|e| match e {
+                MembershipEvent::Suspected(a) => Some(a.clone()),
+                _ => None,
+            })
+            .collect();
+        // The silent neighbour 1.1.2 gets suspected, the noisy one does not.
+        assert!(suspected.contains(&"1.1.2".parse().unwrap()));
+        assert!(!suspected.contains(&noisy));
+    }
+
+    #[test]
+    fn join_updates_all_relevant_depths() {
+        let space = AddressSpace::regular(2, 4).unwrap();
+        let mut tree = GroupTree::new(space);
+        for raw in ["0.0", "0.1", "1.0", "2.0"] {
+            tree.join(raw.parse().unwrap(), Filter::match_all()).unwrap();
+        }
+        let table = tree.view_table_for(&"0.1".parse().unwrap(), 2).unwrap();
+        let mut m = MembershipManager::new(table, 2, 5);
+
+        // A process joins the owner's own leaf subgroup.
+        let event = m.apply_join("0.2".parse().unwrap(), Filter::new().with("b", Predicate::gt(0.0)));
+        assert_eq!(event, MembershipEvent::Joined("0.2".parse().unwrap()));
+        // Leaf view now has 3 neighbours, depth-1 line for subgroup 0 counts 3.
+        assert_eq!(m.table().view(2).len(), 3);
+        assert_eq!(m.table().view(1).entry(0).unwrap().process_count(), 3);
+        assert_eq!(m.monitored_neighbours(), 2);
+
+        // A process joins a sibling subgroup that did not exist yet.
+        m.apply_join("3.3".parse().unwrap(), Filter::match_all());
+        assert!(m.table().view(1).entry(3).is_some());
+        assert_eq!(m.table().view(1).entry(3).unwrap().process_count(), 1);
+        // The leaf view is untouched by a remote join.
+        assert_eq!(m.table().view(2).len(), 3);
+    }
+
+    #[test]
+    fn join_with_smaller_address_displaces_a_delegate() {
+        let space = AddressSpace::regular(2, 4).unwrap();
+        let mut tree = GroupTree::new(space);
+        for raw in ["0.0", "1.2", "1.3"] {
+            tree.join(raw.parse().unwrap(), Filter::match_all()).unwrap();
+        }
+        let table = tree.view_table_for(&"0.0".parse().unwrap(), 2).unwrap();
+        let mut m = MembershipManager::new(table, 2, 5);
+        // Subgroup 1's delegates are currently 1.2 and 1.3.
+        let before: Vec<String> = m
+            .table()
+            .view(1)
+            .entry(1)
+            .unwrap()
+            .delegates()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        assert_eq!(before, vec!["1.2", "1.3"]);
+        // 1.0 joins: with R = 2 it displaces 1.3.
+        m.apply_join("1.0".parse().unwrap(), Filter::match_all());
+        let after: Vec<String> = m
+            .table()
+            .view(1)
+            .entry(1)
+            .unwrap()
+            .delegates()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        assert_eq!(after, vec!["1.0", "1.2"]);
+    }
+
+    #[test]
+    fn leave_decrements_and_removes_lines() {
+        let mut m = manager();
+        // A leaf neighbour leaves.
+        m.apply_leave(&"1.1.0".parse().unwrap());
+        assert_eq!(m.table().view(3).len(), 2);
+        assert_eq!(m.monitored_neighbours(), 1);
+        // A delegate of a sibling depth-1 subgroup leaves.
+        let before = m.table().view(1).entry(0).unwrap().process_count();
+        m.apply_leave(&"0.0.0".parse().unwrap());
+        let entry = m.table().view(1).entry(0).unwrap();
+        assert_eq!(entry.process_count(), before - 1);
+        assert!(!entry
+            .delegates()
+            .contains(&"0.0.0".parse::<Address>().unwrap()));
+    }
+
+    #[test]
+    fn leave_of_last_member_removes_the_subgroup_line() {
+        let space = AddressSpace::regular(2, 3).unwrap();
+        let mut tree = GroupTree::new(space);
+        for raw in ["0.0", "1.0"] {
+            tree.join(raw.parse().unwrap(), Filter::match_all()).unwrap();
+        }
+        let table = tree.view_table_for(&"0.0".parse().unwrap(), 2).unwrap();
+        let mut m = MembershipManager::new(table, 2, 5);
+        assert!(m.table().view(1).entry(1).is_some());
+        m.apply_leave(&"1.0".parse().unwrap());
+        assert!(m.table().view(1).entry(1).is_none());
+    }
+
+    #[test]
+    fn clock_advances_with_every_membership_operation() {
+        let mut m = manager();
+        let t0 = m.now();
+        m.apply_join("1.1.2".parse().unwrap(), Filter::match_all());
+        m.apply_leave(&"1.1.2".parse().unwrap());
+        m.tick();
+        assert!(m.now() >= t0 + 3);
+        // table_mut exposes the table for anti-entropy.
+        let depth = m.depth();
+        assert_eq!(m.table_mut().view_mut(depth).entries_mut().is_empty(), false);
+    }
+}

@@ -1,0 +1,133 @@
+use pmcast_addr::Address;
+
+/// A deterministic delegate-election policy.
+///
+/// Delegates must be chosen from a deterministic characteristic, since all
+/// processes of a subgroup must agree on the same delegates *without any
+/// explicit agreement protocol* (Section 2.3).  The paper elects the
+/// processes with the smallest addresses; alternative policies may weigh
+/// resources (computing power, memory) or the nature of interests to reduce
+/// pure forwarding.
+///
+/// Implementations must be pure functions of their inputs: electing twice
+/// from the same candidate set yields the same delegates.
+pub trait DelegatePolicy {
+    /// Selects up to `r` delegates from the candidate set.
+    ///
+    /// `candidates` is sorted by address in increasing order and free of
+    /// duplicates; the returned vector preserves that order and contains at
+    /// most `r` addresses drawn from `candidates`.
+    fn elect(&self, candidates: &[Address], r: usize) -> Vec<Address>;
+}
+
+/// The paper's default policy: the `r` smallest addresses become delegates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmallestAddressPolicy;
+
+impl DelegatePolicy for SmallestAddressPolicy {
+    fn elect(&self, candidates: &[Address], r: usize) -> Vec<Address> {
+        candidates.iter().take(r).cloned().collect()
+    }
+}
+
+/// An alternative policy sketched in Section 2.3: weigh candidates by an
+/// externally provided capacity score (computing power, memory, …) and pick
+/// the strongest, breaking ties by smallest address.
+///
+/// The capacity of a process is obtained through a deterministic scoring
+/// function so that all group members still agree on the outcome without
+/// coordination.
+pub struct CapacityWeightedPolicy<F> {
+    score: F,
+}
+
+impl<F> std::fmt::Debug for CapacityWeightedPolicy<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CapacityWeightedPolicy").finish_non_exhaustive()
+    }
+}
+
+impl<F> CapacityWeightedPolicy<F>
+where
+    F: Fn(&Address) -> u64,
+{
+    /// Creates a policy using the given deterministic capacity score.
+    pub fn new(score: F) -> Self {
+        Self { score }
+    }
+}
+
+impl<F> DelegatePolicy for CapacityWeightedPolicy<F>
+where
+    F: Fn(&Address) -> u64,
+{
+    fn elect(&self, candidates: &[Address], r: usize) -> Vec<Address> {
+        let mut scored: Vec<(&Address, u64)> =
+            candidates.iter().map(|a| (a, (self.score)(a))).collect();
+        // Highest capacity first, ties broken by the smaller address; the
+        // input order (ascending addresses) makes the sort stable w.r.t. it.
+        scored.sort_by(|(a_addr, a_score), (b_addr, b_score)| {
+            b_score.cmp(a_score).then_with(|| a_addr.cmp(b_addr))
+        });
+        let mut elected: Vec<Address> = scored.into_iter().take(r).map(|(a, _)| a.clone()).collect();
+        elected.sort();
+        elected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses(specs: &[&str]) -> Vec<Address> {
+        let mut v: Vec<Address> = specs.iter().map(|s| s.parse().unwrap()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn smallest_address_policy_takes_prefix() {
+        let candidates = addresses(&["0.3", "0.1", "1.0", "2.2"]);
+        let policy = SmallestAddressPolicy;
+        let elected = policy.elect(&candidates, 2);
+        assert_eq!(elected.len(), 2);
+        assert_eq!(elected[0].to_string(), "0.1");
+        assert_eq!(elected[1].to_string(), "0.3");
+        // Fewer candidates than r.
+        assert_eq!(policy.elect(&candidates, 10).len(), 4);
+        // Zero delegates requested.
+        assert!(policy.elect(&candidates, 0).is_empty());
+    }
+
+    #[test]
+    fn smallest_address_policy_is_deterministic() {
+        let candidates = addresses(&["5.5", "1.2", "3.4", "0.9"]);
+        let policy = SmallestAddressPolicy;
+        assert_eq!(policy.elect(&candidates, 3), policy.elect(&candidates, 3));
+    }
+
+    #[test]
+    fn capacity_weighted_policy_prefers_high_scores() {
+        let candidates = addresses(&["0.1", "0.2", "0.3", "0.4"]);
+        // Score is the last component: 0.4 and 0.3 are the strongest.
+        let policy = CapacityWeightedPolicy::new(|a: &Address| a.last_component() as u64);
+        let elected = policy.elect(&candidates, 2);
+        let rendered: Vec<String> = elected.iter().map(|a| a.to_string()).collect();
+        assert_eq!(rendered, vec!["0.3", "0.4"]);
+    }
+
+    #[test]
+    fn capacity_weighted_policy_breaks_ties_by_address() {
+        let candidates = addresses(&["0.1", "0.2", "0.3"]);
+        let policy = CapacityWeightedPolicy::new(|_: &Address| 7);
+        let elected = policy.elect(&candidates, 2);
+        let rendered: Vec<String> = elected.iter().map(|a| a.to_string()).collect();
+        assert_eq!(rendered, vec!["0.1", "0.2"]);
+    }
+
+    #[test]
+    fn capacity_weighted_policy_debug_is_nonempty() {
+        let policy = CapacityWeightedPolicy::new(|_: &Address| 1);
+        assert!(!format!("{policy:?}").is_empty());
+    }
+}

@@ -1,0 +1,392 @@
+use std::collections::BTreeSet;
+
+use pmcast_addr::{Address, Prefix};
+use pmcast_interest::{Event, Interest};
+use rand::Rng;
+
+use crate::{GroupTree, TreeTopology};
+
+/// Answers interest queries for processes and whole subtrees.
+///
+/// The dissemination layer needs two questions answered when handling an
+/// event (the `⊲` tests of Figure 3):
+///
+/// 1. is an individual process interested? (delivery at the leaves), and
+/// 2. is *any* process below a given subgroup interested? (whether a
+///    delegate, acting on behalf of its subtree, is "susceptible").
+///
+/// Implementations:
+///
+/// * [`SubscriptionOracle`] — exact answers from per-process subscriptions
+///   held in a [`GroupTree`]; this is the content-based pub/sub path.
+/// * [`AssignmentOracle`] — an explicit set of interested processes, e.g.
+///   drawn i.i.d. with probability `p_d` per process, which is the workload
+///   model of the paper's analysis and evaluation (Section 4.1).
+/// * [`UniformOracle`] — everybody is interested (the broadcast special
+///   case, useful for baselines and sanity checks).
+pub trait InterestOracle {
+    /// Returns `true` if the given process is interested in the event.
+    fn is_interested(&self, address: &Address, event: &Event) -> bool;
+
+    /// Number of interested processes below the given prefix.
+    fn interested_count_under(&self, prefix: &Prefix, event: &Event) -> usize;
+
+    /// Returns `true` if at least one process below the prefix is
+    /// interested.  The default delegates to the count; implementations may
+    /// shortcut.
+    fn subtree_interested(&self, prefix: &Prefix, event: &Event) -> bool {
+        self.interested_count_under(prefix, event) > 0
+    }
+
+    /// Total number of interested processes in the whole group.
+    fn interested_total(&self, event: &Event) -> usize {
+        self.interested_count_under(&Prefix::root(), event)
+    }
+}
+
+impl<T: InterestOracle + ?Sized> InterestOracle for &T {
+    fn is_interested(&self, address: &Address, event: &Event) -> bool {
+        (**self).is_interested(address, event)
+    }
+    fn interested_count_under(&self, prefix: &Prefix, event: &Event) -> usize {
+        (**self).interested_count_under(prefix, event)
+    }
+    fn subtree_interested(&self, prefix: &Prefix, event: &Event) -> bool {
+        (**self).subtree_interested(prefix, event)
+    }
+    fn interested_total(&self, event: &Event) -> usize {
+        (**self).interested_total(event)
+    }
+}
+
+/// Exact interest answers derived from the subscriptions stored in a
+/// [`GroupTree`].
+#[derive(Debug)]
+pub struct SubscriptionOracle<'a> {
+    tree: &'a GroupTree,
+}
+
+impl<'a> SubscriptionOracle<'a> {
+    /// Creates an oracle over the given group.
+    pub fn new(tree: &'a GroupTree) -> Self {
+        Self { tree }
+    }
+}
+
+impl InterestOracle for SubscriptionOracle<'_> {
+    fn is_interested(&self, address: &Address, event: &Event) -> bool {
+        self.tree
+            .subscription(address)
+            .map(|filter| filter.matches(event))
+            .unwrap_or(false)
+    }
+
+    fn interested_count_under(&self, prefix: &Prefix, event: &Event) -> usize {
+        self.tree.interested_count_under(prefix, event)
+    }
+}
+
+/// A [`GroupTree`] can itself serve as an oracle (owned variant of
+/// [`SubscriptionOracle`], convenient behind an `Arc`).
+impl InterestOracle for GroupTree {
+    fn is_interested(&self, address: &Address, event: &Event) -> bool {
+        self.subscription(address)
+            .map(|filter| filter.matches(event))
+            .unwrap_or(false)
+    }
+
+    fn interested_count_under(&self, prefix: &Prefix, event: &Event) -> usize {
+        GroupTree::interested_count_under(self, prefix, event)
+    }
+}
+
+/// An explicit assignment of interested processes, independent of any
+/// attribute matching.
+///
+/// This models the analysis workload of Section 4.1, where every process is
+/// interested in a given event with probability `p_d`, independently of all
+/// others.  Queries are answered by binary search over the sorted interested
+/// addresses, so subtree counts cost `O(log n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignmentOracle {
+    interested: Vec<Address>,
+}
+
+impl AssignmentOracle {
+    /// Creates an oracle from an explicit set of interested processes.
+    pub fn new<I: IntoIterator<Item = Address>>(interested: I) -> Self {
+        let set: BTreeSet<Address> = interested.into_iter().collect();
+        Self {
+            interested: set.into_iter().collect(),
+        }
+    }
+
+    /// Samples an assignment over the members of a topology: every process
+    /// is interested independently with probability `matching_rate`
+    /// (`p_d` in the paper).
+    pub fn sample<T: TreeTopology, R: Rng>(
+        topology: &T,
+        matching_rate: f64,
+        rng: &mut R,
+    ) -> Self {
+        let interested = topology
+            .members()
+            .into_iter()
+            .filter(|_| rng.gen_bool(matching_rate.clamp(0.0, 1.0)))
+            .collect::<Vec<_>>();
+        Self::new(interested)
+    }
+
+    /// Samples an assignment with an exact number of interested processes,
+    /// drawn uniformly without replacement.  Useful to pin `n·p_d` exactly in
+    /// experiments with very small rates.
+    pub fn sample_exact<T: TreeTopology, R: Rng>(
+        topology: &T,
+        interested_count: usize,
+        rng: &mut R,
+    ) -> Self {
+        use rand::seq::SliceRandom;
+        let mut members = topology.members();
+        members.shuffle(rng);
+        members.truncate(interested_count);
+        Self::new(members)
+    }
+
+    /// Number of interested processes in the assignment.
+    pub fn len(&self) -> usize {
+        self.interested.len()
+    }
+
+    /// Returns `true` if nobody is interested.
+    pub fn is_empty(&self) -> bool {
+        self.interested.is_empty()
+    }
+
+    /// Iterates over the interested processes in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Address> {
+        self.interested.iter()
+    }
+
+    /// Index of the first interested address that is `>=` every address
+    /// strictly below the prefix (binary search helper).
+    fn range_for(&self, prefix: &Prefix) -> (usize, usize) {
+        let start = self
+            .interested
+            .partition_point(|address| address.as_prefix() < *prefix);
+        let end = start
+            + self.interested[start..]
+                .iter()
+                .take_while(|address| address.has_prefix(prefix))
+                .count();
+        (start, end)
+    }
+}
+
+impl InterestOracle for AssignmentOracle {
+    fn is_interested(&self, address: &Address, _event: &Event) -> bool {
+        self.interested.binary_search(address).is_ok()
+    }
+
+    fn interested_count_under(&self, prefix: &Prefix, _event: &Event) -> usize {
+        if prefix.is_empty() {
+            return self.interested.len();
+        }
+        let (start, end) = self.range_for(prefix);
+        end - start
+    }
+
+    fn subtree_interested(&self, prefix: &Prefix, _event: &Event) -> bool {
+        if prefix.is_empty() {
+            return !self.interested.is_empty();
+        }
+        let start = self
+            .interested
+            .partition_point(|address| address.as_prefix() < *prefix);
+        self.interested
+            .get(start)
+            .map(|address| address.has_prefix(prefix))
+            .unwrap_or(false)
+    }
+}
+
+impl FromIterator<Address> for AssignmentOracle {
+    fn from_iter<I: IntoIterator<Item = Address>>(iter: I) -> Self {
+        AssignmentOracle::new(iter)
+    }
+}
+
+/// Every process is interested in every event: the broadcast special case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformOracle {
+    member_count: usize,
+}
+
+impl UniformOracle {
+    /// Creates a broadcast oracle for a group of the given size.
+    pub fn new(member_count: usize) -> Self {
+        Self { member_count }
+    }
+}
+
+impl InterestOracle for UniformOracle {
+    fn is_interested(&self, _address: &Address, _event: &Event) -> bool {
+        true
+    }
+
+    fn interested_count_under(&self, prefix: &Prefix, _event: &Event) -> usize {
+        if prefix.is_empty() {
+            self.member_count
+        } else {
+            // Without a topology the exact per-subtree count is unknown; the
+            // conservative answer "at least one" is what matters for gossip
+            // target selection.
+            1
+        }
+    }
+
+    fn subtree_interested(&self, _prefix: &Prefix, _event: &Event) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_interest::{Filter, Predicate};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    use crate::ImplicitRegularTree;
+
+    fn event() -> Event {
+        Event::builder(1).int("b", 10).build()
+    }
+
+    #[test]
+    fn subscription_oracle_matches_filters() {
+        let space = AddressSpace::regular(2, 3).unwrap();
+        let mut tree = GroupTree::new(space);
+        tree.join("0.0".parse().unwrap(), Filter::new().with("b", Predicate::gt(0.0)))
+            .unwrap();
+        tree.join("0.1".parse().unwrap(), Filter::new().with("b", Predicate::lt(0.0)))
+            .unwrap();
+        tree.join("2.2".parse().unwrap(), Filter::new().with("b", Predicate::gt(5.0)))
+            .unwrap();
+        let oracle = SubscriptionOracle::new(&tree);
+        let e = event();
+        assert!(oracle.is_interested(&"0.0".parse().unwrap(), &e));
+        assert!(!oracle.is_interested(&"0.1".parse().unwrap(), &e));
+        assert!(!oracle.is_interested(&"1.1".parse().unwrap(), &e));
+        assert_eq!(oracle.interested_count_under(&Prefix::root(), &e), 2);
+        assert_eq!(
+            oracle.interested_count_under(&Prefix::from_components(vec![0]), &e),
+            1
+        );
+        assert!(oracle.subtree_interested(&Prefix::from_components(vec![2]), &e));
+        assert!(!oracle.subtree_interested(&Prefix::from_components(vec![1]), &e));
+        assert_eq!(oracle.interested_total(&e), 2);
+    }
+
+    #[test]
+    fn assignment_oracle_counts_by_prefix() {
+        let interested: Vec<Address> = ["0.0.1", "0.2.2", "1.0.0", "1.0.1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let oracle = AssignmentOracle::new(interested);
+        let e = event();
+        assert_eq!(oracle.len(), 4);
+        assert!(!oracle.is_empty());
+        assert!(oracle.is_interested(&"0.0.1".parse().unwrap(), &e));
+        assert!(!oracle.is_interested(&"0.0.0".parse().unwrap(), &e));
+        assert_eq!(oracle.interested_count_under(&Prefix::root(), &e), 4);
+        assert_eq!(
+            oracle.interested_count_under(&Prefix::from_components(vec![0]), &e),
+            2
+        );
+        assert_eq!(
+            oracle.interested_count_under(&Prefix::from_components(vec![1, 0]), &e),
+            2
+        );
+        assert_eq!(
+            oracle.interested_count_under(&Prefix::from_components(vec![2]), &e),
+            0
+        );
+        assert!(oracle.subtree_interested(&Prefix::from_components(vec![0, 2]), &e));
+        assert!(!oracle.subtree_interested(&Prefix::from_components(vec![0, 1]), &e));
+    }
+
+    #[test]
+    fn assignment_oracle_deduplicates() {
+        let a: Address = "0.0".parse().unwrap();
+        let oracle = AssignmentOracle::new(vec![a.clone(), a.clone(), a]);
+        assert_eq!(oracle.len(), 1);
+        let collected: AssignmentOracle =
+            vec!["1.1".parse::<Address>().unwrap()].into_iter().collect();
+        assert_eq!(collected.len(), 1);
+    }
+
+    #[test]
+    fn sampled_assignment_has_plausible_size() {
+        let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 8).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let oracle = AssignmentOracle::sample(&topology, 0.5, &mut rng);
+        let n = topology.member_count() as f64;
+        // A Bernoulli(0.5) sample over 512 processes stays well within 4 σ.
+        assert!((oracle.len() as f64 - 0.5 * n).abs() < 4.0 * (0.25f64 * n).sqrt());
+
+        let exact = AssignmentOracle::sample_exact(&topology, 37, &mut rng);
+        assert_eq!(exact.len(), 37);
+        // Counts under the root match the total.
+        assert_eq!(exact.interested_count_under(&Prefix::root(), &event()), 37);
+    }
+
+    #[test]
+    fn sampled_assignment_is_deterministic_per_seed() {
+        let topology = ImplicitRegularTree::new(AddressSpace::regular(2, 10).unwrap());
+        let a = AssignmentOracle::sample(&topology, 0.3, &mut ChaCha8Rng::seed_from_u64(42));
+        let b = AssignmentOracle::sample(&topology, 0.3, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_oracle_is_always_interested() {
+        let oracle = UniformOracle::new(100);
+        let e = event();
+        assert!(oracle.is_interested(&"1.2".parse().unwrap(), &e));
+        assert!(oracle.subtree_interested(&Prefix::from_components(vec![5]), &e));
+        assert_eq!(oracle.interested_total(&e), 100);
+        assert_eq!(UniformOracle::default().interested_total(&e), 0);
+    }
+
+    #[test]
+    fn oracle_references_delegate() {
+        let oracle = UniformOracle::new(10);
+        let by_ref: &dyn InterestOracle = &oracle;
+        assert!(by_ref.is_interested(&"0.0".parse().unwrap(), &event()));
+        assert_eq!((&oracle).interested_total(&event()), 10);
+    }
+
+    #[test]
+    fn assignment_counts_agree_with_linear_scan() {
+        let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 4).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let oracle = AssignmentOracle::sample(&topology, 0.35, &mut rng);
+        let e = event();
+        for prefix in [
+            Prefix::root(),
+            Prefix::from_components(vec![0]),
+            Prefix::from_components(vec![3]),
+            Prefix::from_components(vec![1, 2]),
+            Prefix::from_components(vec![2, 3]),
+        ] {
+            let expected = oracle
+                .iter()
+                .filter(|address| address.has_prefix(&prefix))
+                .count();
+            assert_eq!(oracle.interested_count_under(&prefix, &e), expected);
+            assert_eq!(oracle.subtree_interested(&prefix, &e), expected > 0);
+        }
+    }
+}

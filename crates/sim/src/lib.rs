@@ -1,0 +1,44 @@
+//! # pmcast-sim — simulation harness and figure regenerators
+//!
+//! This crate turns the building blocks of the other `pmcast` crates into
+//! the *experiments* of the paper's evaluation (Section 5): it samples
+//! workloads, runs Monte-Carlo multicast trials over the simulated network,
+//! aggregates the outcomes and regenerates the data behind every figure.
+//!
+//! * [`runner`] — run one or many multicast trials for a given group shape,
+//!   protocol configuration and matching rate, optionally in parallel.
+//! * [`workload`] — interest-assignment generators: i.i.d. Bernoulli
+//!   (the paper's analysis model), exact-count, subtree-clustered, and a
+//!   content-based stock-ticker workload exercising real filters.
+//! * [`experiments`] — one module per figure/claim: Figure 4 (delivery
+//!   reliability), Figure 5 (spurious reception), Figure 6 (scalability),
+//!   Figure 7 (tuning), view sizes (Eq. 2/12), baseline comparison and
+//!   round-count validation.
+//! * [`report`] — ASCII tables and CSV output under `target/figures/`.
+//!
+//! The `figures` binary (`cargo run -p pmcast-sim --bin figures -- all`)
+//! regenerates everything; `--paper` switches from the quick profile (small
+//! group, few trials — used in tests and CI) to the full paper-scale profile
+//! (`a = 22`, `d = 3`, `n = 10 648`).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use pmcast_sim::runner::{ExperimentConfig, run_experiment};
+//!
+//! let config = ExperimentConfig::quick()
+//!     .with_matching_rate(0.5)
+//!     .with_trials(3);
+//! let outcome = run_experiment(&config);
+//! assert!(outcome.delivery_mean > 0.5);
+//! assert_eq!(outcome.trials, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod workload;

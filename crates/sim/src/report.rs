@@ -1,0 +1,127 @@
+//! Rendering of experiment results as CSV files and ASCII tables.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A row of an experiment's output table.
+///
+/// Every experiment module defines its own row struct; implementing this
+/// trait is all that is needed to render it as CSV or an ASCII table and to
+/// write it under `target/figures/`.
+pub trait FigureRow {
+    /// Column headers, in order.
+    fn headers() -> Vec<&'static str>;
+    /// The numeric values of this row, in header order.
+    fn values(&self) -> Vec<f64>;
+}
+
+/// Renders rows as CSV with a header line.
+pub fn to_csv<R: FigureRow>(rows: &[R]) -> String {
+    let mut out = String::new();
+    out.push_str(&R::headers().join(","));
+    out.push('\n');
+    for row in rows {
+        let values: Vec<String> = row.values().iter().map(|v| format!("{v:.6}")).collect();
+        out.push_str(&values.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as a fixed-width ASCII table (what the `figures` binary
+/// prints).
+pub fn to_ascii_table<R: FigureRow>(title: &str, rows: &[R]) -> String {
+    let headers = R::headers();
+    let width = 14usize;
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let header_line: Vec<String> = headers.iter().map(|h| format!("{h:>width$}")).collect();
+    out.push_str(&header_line.join(" "));
+    out.push('\n');
+    out.push_str(&"-".repeat((width + 1) * headers.len()));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row
+            .values()
+            .iter()
+            .map(|v| format!("{v:>width$.4}"))
+            .collect();
+        out.push_str(&cells.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows to `<directory>/<name>.csv`, creating the directory if
+/// needed, and returns the written path.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing the file.
+pub fn write_csv<R: FigureRow>(directory: &Path, name: &str, rows: &[R]) -> io::Result<PathBuf> {
+    fs::create_dir_all(directory)?;
+    let path = directory.join(format!("{name}.csv"));
+    fs::write(&path, to_csv(rows))?;
+    Ok(path)
+}
+
+/// The default output directory for figure data (`target/figures`).
+pub fn default_output_dir() -> PathBuf {
+    PathBuf::from("target").join("figures")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        x: f64,
+        y: f64,
+    }
+
+    impl FigureRow for Row {
+        fn headers() -> Vec<&'static str> {
+            vec!["x", "y"]
+        }
+        fn values(&self) -> Vec<f64> {
+            vec![self.x, self.y]
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![Row { x: 1.0, y: 0.5 }, Row { x: 2.0, y: 0.25 }];
+        let csv = to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "x,y");
+        assert!(lines[1].starts_with("1.000000,"));
+        assert!(lines[2].starts_with("2.000000,"));
+    }
+
+    #[test]
+    fn ascii_table_contains_title_and_values() {
+        let rows = vec![Row { x: 1.0, y: 0.5 }];
+        let table = to_ascii_table("Figure 4", &rows);
+        assert!(table.contains("Figure 4"));
+        assert!(table.contains('x'));
+        assert!(table.contains("0.5000"));
+    }
+
+    #[test]
+    fn write_csv_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!("pmcast-report-test-{}", std::process::id()));
+        let rows = vec![Row { x: 3.0, y: 0.125 }];
+        let path = write_csv(&dir, "sample", &rows).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("3.000000"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_output_dir_is_under_target() {
+        assert!(default_output_dir().starts_with("target"));
+    }
+}

@@ -1,0 +1,456 @@
+//! Monte-Carlo multicast trials and their aggregation.
+
+use std::sync::Arc;
+
+use pmcast_addr::AddressSpace;
+use pmcast_core::{build_group, MulticastReport, PmcastConfig};
+use pmcast_interest::Event;
+use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, TreeTopology};
+use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which dissemination protocol a trial runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Protocol {
+    /// The pmcast algorithm of Figure 3.
+    Pmcast,
+    /// Gossip broadcast with filtering on delivery (flooding baseline).
+    FloodBroadcast,
+    /// Genuine multicast with global interest knowledge (frugal baseline).
+    GenuineMulticast,
+}
+
+/// Everything needed to run one experiment point: the group shape, the
+/// protocol parameters, the workload and the fault model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Subgroups per level (`a`).
+    pub arity: u32,
+    /// Tree depth (`d`).
+    pub depth: usize,
+    /// Protocol parameters (R, F, env, tuning, …).
+    pub protocol: PmcastConfig,
+    /// Which protocol to run.
+    pub protocol_kind: Protocol,
+    /// Fraction of interested processes (`p_d`).
+    pub matching_rate: f64,
+    /// Network message-loss probability (`ε`).
+    pub loss_probability: f64,
+    /// Fraction of processes crashed at the start of the run (`τ`).
+    pub crash_fraction: f64,
+    /// Independent trials to average over.
+    pub trials: usize,
+    /// Base PRNG seed; trial `t` uses `seed + t`.
+    pub seed: u64,
+    /// Safety cap on simulated rounds per trial.
+    pub max_rounds: u64,
+}
+
+impl ExperimentConfig {
+    /// A small, fast profile (216 processes) for tests and smoke benches.
+    pub fn quick() -> Self {
+        Self {
+            arity: 6,
+            depth: 3,
+            protocol: PmcastConfig::default(),
+            protocol_kind: Protocol::Pmcast,
+            matching_rate: 0.5,
+            loss_probability: 0.01,
+            crash_fraction: 0.001,
+            trials: 5,
+            seed: 42,
+            max_rounds: 400,
+        }
+    }
+
+    /// The paper-scale profile of Figures 4, 5 and 7: `a = 22`, `d = 3`
+    /// (n ≈ 10 648), `R = 3`, `F = 2`.
+    pub fn paper_reliability() -> Self {
+        Self {
+            arity: 22,
+            depth: 3,
+            protocol: PmcastConfig::paper_reliability(),
+            protocol_kind: Protocol::Pmcast,
+            matching_rate: 0.5,
+            loss_probability: 0.01,
+            crash_fraction: 0.001,
+            trials: 5,
+            seed: 42,
+            max_rounds: 600,
+        }
+    }
+
+    /// The paper-scale profile of Figure 6: `d = 3`, `R = 4`, `F = 3`, with
+    /// the arity varied by the experiment.
+    pub fn paper_scalability(arity: u32) -> Self {
+        Self {
+            arity,
+            protocol: PmcastConfig::paper_scalability(),
+            ..Self::paper_reliability()
+        }
+    }
+
+    /// Group size `n = a^d`.
+    pub fn group_size(&self) -> usize {
+        (self.arity as usize).pow(self.depth as u32)
+    }
+
+    /// Sets the matching rate, returning the config for chaining.
+    pub fn with_matching_rate(mut self, matching_rate: f64) -> Self {
+        self.matching_rate = matching_rate;
+        self
+    }
+
+    /// Sets the number of trials, returning the config for chaining.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the arity, returning the config for chaining.
+    pub fn with_arity(mut self, arity: u32) -> Self {
+        self.arity = arity;
+        self
+    }
+
+    /// Sets the protocol kind, returning the config for chaining.
+    pub fn with_protocol_kind(mut self, kind: Protocol) -> Self {
+        self.protocol_kind = kind;
+        self
+    }
+
+    /// Sets the protocol parameters, returning the config for chaining.
+    pub fn with_protocol(mut self, protocol: PmcastConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the PRNG seed, returning the config for chaining.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the loss probability, returning the config for chaining.
+    pub fn with_loss(mut self, loss_probability: f64) -> Self {
+        self.loss_probability = loss_probability;
+        self
+    }
+
+    /// Sets the initial crash fraction, returning the config for chaining.
+    pub fn with_crash_fraction(mut self, crash_fraction: f64) -> Self {
+        self.crash_fraction = crash_fraction;
+        self
+    }
+}
+
+/// Outcome of one multicast trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Delivery/reception classification of every process.
+    pub report: MulticastReport,
+    /// Gossip messages handed to the network.
+    pub messages_sent: u64,
+    /// Rounds executed before quiescence (or the cap).
+    pub rounds: u64,
+}
+
+/// Aggregated outcome of several trials of the same experiment point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateOutcome {
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Mean delivery probability of interested processes (Figure 4 metric).
+    pub delivery_mean: f64,
+    /// Sample standard deviation of the delivery probability.
+    pub delivery_std: f64,
+    /// Mean reception probability of uninterested processes (Figure 5
+    /// metric).
+    pub spurious_mean: f64,
+    /// Mean number of gossip messages per multicast.
+    pub messages_mean: f64,
+    /// Mean number of rounds to quiescence.
+    pub rounds_mean: f64,
+}
+
+impl AggregateOutcome {
+    /// Aggregates a non-empty slice of trial outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    pub fn from_trials(outcomes: &[TrialOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "cannot aggregate zero trials");
+        let deliveries: Vec<f64> = outcomes.iter().map(|o| o.report.delivery_ratio()).collect();
+        let spurious: Vec<f64> = outcomes.iter().map(|o| o.report.spurious_ratio()).collect();
+        let delivery_mean = mean(&deliveries);
+        Self {
+            trials: outcomes.len(),
+            delivery_mean,
+            delivery_std: std_dev(&deliveries, delivery_mean),
+            spurious_mean: mean(&spurious),
+            messages_mean: mean(
+                &outcomes
+                    .iter()
+                    .map(|o| o.messages_sent as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            rounds_mean: mean(&outcomes.iter().map(|o| o.rounds as f64).collect::<Vec<_>>()),
+        }
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn std_dev(values: &[f64], mean: f64) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let variance =
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    variance.sqrt()
+}
+
+/// Runs a single trial with the given trial index (offsetting the seed).
+pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialOutcome {
+    let seed = config.seed.wrapping_add(trial as u64);
+    let topology = ImplicitRegularTree::new(
+        AddressSpace::regular(config.depth, config.arity).expect("valid shape"),
+    );
+    let mut workload_rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+    let oracle = Arc::new(AssignmentOracle::sample(
+        &topology,
+        config.matching_rate,
+        &mut workload_rng,
+    ));
+    let event = Event::builder(1_000 + trial as u64).int("b", 1).build();
+    let network = NetworkConfig::faulty(config.loss_probability, config.crash_fraction, seed);
+
+    // The multicaster is a uniformly random process; if the assignment is
+    // non-empty prefer an interested one (a publisher usually cares about
+    // its own events), matching the analysis where the publisher counts as
+    // the initially infected process.
+    let sender_index = if oracle.is_empty() {
+        workload_rng.gen_range(0..topology.member_count())
+    } else {
+        let interested: Vec<_> = oracle.iter().collect();
+        let pick = workload_rng.gen_range(0..interested.len());
+        topology
+            .space()
+            .index_of_address(interested[pick])
+            .expect("interested address is valid") as usize
+    };
+
+    match config.protocol_kind {
+        Protocol::Pmcast => {
+            let group = build_group(&topology, oracle.clone(), &config.protocol);
+            let mut sim = Simulation::new(group.processes, network);
+            sim.process_mut(ProcessId(sender_index)).pmcast(event.clone());
+            let rounds = sim.run_until_quiescent(config.max_rounds);
+            let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
+            TrialOutcome {
+                report,
+                messages_sent: sim.stats().messages_sent,
+                rounds,
+            }
+        }
+        Protocol::FloodBroadcast => {
+            let processes = pmcast_core::build_flood_group(&topology, oracle.clone(), &config.protocol);
+            let mut sim = Simulation::new(processes, network);
+            sim.process_mut(ProcessId(sender_index)).broadcast(event.clone());
+            let rounds = sim.run_until_quiescent(config.max_rounds);
+            let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
+            TrialOutcome {
+                report,
+                messages_sent: sim.stats().messages_sent,
+                rounds,
+            }
+        }
+        Protocol::GenuineMulticast => {
+            let processes = pmcast_core::build_genuine_group(
+                &topology,
+                oracle.clone(),
+                &config.protocol,
+                std::slice::from_ref(&event),
+            );
+            let mut sim = Simulation::new(processes, network);
+            sim.process_mut(ProcessId(sender_index)).multicast(event.clone());
+            let rounds = sim.run_until_quiescent(config.max_rounds);
+            let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
+            TrialOutcome {
+                report,
+                messages_sent: sim.stats().messages_sent,
+                rounds,
+            }
+        }
+    }
+}
+
+/// Runs all trials of an experiment point sequentially.
+pub fn run_experiment(config: &ExperimentConfig) -> AggregateOutcome {
+    let outcomes: Vec<TrialOutcome> = (0..config.trials.max(1))
+        .map(|trial| run_trial(config, trial))
+        .collect();
+    AggregateOutcome::from_trials(&outcomes)
+}
+
+/// Runs all trials of an experiment point in parallel using scoped threads.
+pub fn run_experiment_parallel(config: &ExperimentConfig) -> AggregateOutcome {
+    let trials = config.trials.max(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials);
+    if threads <= 1 {
+        return run_experiment(config);
+    }
+    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; trials];
+    crossbeam::thread::scope(|scope| {
+        for (worker, chunk) in outcomes.chunks_mut(trials.div_ceil(threads)).enumerate() {
+            let config = config.clone();
+            let base = worker * trials.div_ceil(threads);
+            scope.spawn(move |_| {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(run_trial(&config, base + offset));
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    let collected: Vec<TrialOutcome> = outcomes.into_iter().flatten().collect();
+    AggregateOutcome::from_trials(&collected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_shape() {
+        let config = ExperimentConfig::quick();
+        assert_eq!(config.group_size(), 216);
+        let paper = ExperimentConfig::paper_reliability();
+        assert_eq!(paper.group_size(), 10_648);
+        let scal = ExperimentConfig::paper_scalability(10);
+        assert_eq!(scal.group_size(), 1_000);
+        assert_eq!(scal.protocol.redundancy, 4);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let config = ExperimentConfig::quick()
+            .with_matching_rate(0.25)
+            .with_trials(2)
+            .with_arity(4)
+            .with_seed(9)
+            .with_loss(0.05)
+            .with_crash_fraction(0.01)
+            .with_protocol(PmcastConfig::default().with_fanout(4))
+            .with_protocol_kind(Protocol::FloodBroadcast);
+        assert_eq!(config.matching_rate, 0.25);
+        assert_eq!(config.trials, 2);
+        assert_eq!(config.arity, 4);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.protocol.fanout, 4);
+        assert_eq!(config.protocol_kind, Protocol::FloodBroadcast);
+    }
+
+    #[test]
+    fn pmcast_trial_delivers_to_most_interested_processes() {
+        let config = ExperimentConfig::quick().with_trials(1);
+        let outcome = run_trial(&config, 0);
+        assert!(outcome.report.interested > 0);
+        assert!(outcome.report.delivery_ratio() > 0.7, "{outcome:?}");
+        assert!(outcome.messages_sent > 0);
+        assert!(outcome.rounds > 0);
+    }
+
+    #[test]
+    fn aggregation_computes_mean_and_std() {
+        let outcomes = vec![
+            TrialOutcome {
+                report: MulticastReport {
+                    interested: 10,
+                    delivered_interested: 10,
+                    uninterested: 10,
+                    received_uninterested: 0,
+                    received_total: 10,
+                },
+                messages_sent: 100,
+                rounds: 10,
+            },
+            TrialOutcome {
+                report: MulticastReport {
+                    interested: 10,
+                    delivered_interested: 5,
+                    uninterested: 10,
+                    received_uninterested: 2,
+                    received_total: 7,
+                },
+                messages_sent: 200,
+                rounds: 20,
+            },
+        ];
+        let aggregate = AggregateOutcome::from_trials(&outcomes);
+        assert_eq!(aggregate.trials, 2);
+        assert!((aggregate.delivery_mean - 0.75).abs() < 1e-12);
+        assert!(aggregate.delivery_std > 0.0);
+        assert!((aggregate.spurious_mean - 0.1).abs() < 1e-12);
+        assert!((aggregate.messages_mean - 150.0).abs() < 1e-12);
+        assert!((aggregate.rounds_mean - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn aggregating_nothing_panics() {
+        let _ = AggregateOutcome::from_trials(&[]);
+    }
+
+    #[test]
+    fn experiments_are_deterministic_per_seed() {
+        let config = ExperimentConfig::quick().with_trials(2).with_seed(77);
+        let a = run_experiment(&config);
+        let b = run_experiment(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let config = ExperimentConfig::quick().with_trials(4).with_seed(5);
+        let serial = run_experiment(&config);
+        let parallel = run_experiment_parallel(&config);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn flood_baseline_reaches_more_uninterested_processes_than_pmcast() {
+        let base = ExperimentConfig::quick().with_trials(2).with_matching_rate(0.3);
+        let pmcast = run_experiment(&base);
+        let flood = run_experiment(&base.clone().with_protocol_kind(Protocol::FloodBroadcast));
+        assert!(
+            flood.spurious_mean > pmcast.spurious_mean,
+            "flooding ({}) should touch more uninterested processes than pmcast ({})",
+            flood.spurious_mean,
+            pmcast.spurious_mean
+        );
+    }
+
+    #[test]
+    fn genuine_baseline_never_touches_uninterested_processes() {
+        let config = ExperimentConfig::quick()
+            .with_trials(2)
+            .with_matching_rate(0.3)
+            .with_protocol_kind(Protocol::GenuineMulticast);
+        let outcome = run_experiment(&config);
+        assert_eq!(outcome.spurious_mean, 0.0);
+        assert!(outcome.delivery_mean > 0.7);
+    }
+}

@@ -1,0 +1,179 @@
+//! Workload generators: who is interested in what.
+//!
+//! The paper's analysis and figures use the simplest possible workload —
+//! every process is interested in a given event independently with
+//! probability `p_d` (Section 4.1) — but the motivation is content-based
+//! publish/subscribe, so this module also provides structured workloads:
+//! subtree-clustered interest (events of regional relevance) and a
+//! stock-ticker workload with real attribute filters in the style of the
+//! paper's Figure 2.
+
+use pmcast_addr::{Address, Prefix};
+use pmcast_interest::{Event, Filter, Predicate};
+use pmcast_membership::{AssignmentOracle, TreeTopology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples the paper's i.i.d. Bernoulli(`p_d`) interest assignment.
+pub fn bernoulli_assignment<T: TreeTopology, R: Rng>(
+    topology: &T,
+    matching_rate: f64,
+    rng: &mut R,
+) -> AssignmentOracle {
+    AssignmentOracle::sample(topology, matching_rate, rng)
+}
+
+/// Samples an assignment where interest is clustered inside a few depth-1
+/// subtrees: `subtree_count` subtrees are picked uniformly and within them
+/// every process is interested with probability `inner_rate`.  Everybody
+/// else is uninterested.  This models events of "local" relevance and
+/// exercises the local-interest shortcut of Section 3.2.
+pub fn clustered_assignment<T: TreeTopology, R: Rng>(
+    topology: &T,
+    subtree_count: usize,
+    inner_rate: f64,
+    rng: &mut R,
+) -> AssignmentOracle {
+    let mut roots = topology.populated_children(&Prefix::root());
+    roots.shuffle(rng);
+    roots.truncate(subtree_count.max(1));
+    let chosen: Vec<Prefix> = roots
+        .into_iter()
+        .map(|component| Prefix::root().child(component))
+        .collect();
+    let interested: Vec<Address> = topology
+        .members()
+        .into_iter()
+        .filter(|address| {
+            chosen.iter().any(|prefix| address.has_prefix(prefix))
+                && rng.gen_bool(inner_rate.clamp(0.0, 1.0))
+        })
+        .collect();
+    AssignmentOracle::new(interested)
+}
+
+/// The symbols of the stock-ticker workload.
+pub const TICKER_SYMBOLS: [&str; 8] = [
+    "ABB", "CSGN", "NESN", "NOVN", "ROG", "UBSG", "ZURN", "SWX",
+];
+
+/// Generates a content-based subscription for one process of the
+/// stock-ticker workload: the subscriber follows a random subset of symbols
+/// and only wants trades above a personal price threshold (and optionally
+/// above a volume threshold), mirroring the attribute mix of Figure 2.
+pub fn ticker_subscription<R: Rng>(rng: &mut R) -> Filter {
+    let follow_count = rng.gen_range(1..=3);
+    let followed: Vec<&str> = TICKER_SYMBOLS
+        .choose_multiple(rng, follow_count)
+        .copied()
+        .collect();
+    let mut filter = Filter::new().with("symbol", Predicate::one_of(followed));
+    if rng.gen_bool(0.7) {
+        filter.set("price", Predicate::gt(rng.gen_range(10.0..500.0)));
+    }
+    if rng.gen_bool(0.3) {
+        filter.set("volume", Predicate::ge(rng.gen_range(100.0..10_000.0)));
+    }
+    filter
+}
+
+/// Generates one trade event of the stock-ticker workload.
+pub fn ticker_event<R: Rng>(id: u64, rng: &mut R) -> Event {
+    let symbol = *TICKER_SYMBOLS.choose(rng).expect("symbol list is non-empty");
+    Event::builder(id)
+        .str("symbol", symbol)
+        .float("price", rng.gen_range(5.0..1_000.0))
+        .int("volume", rng.gen_range(1..50_000))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_interest::Interest;
+    use pmcast_membership::{ImplicitRegularTree, InterestOracle};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn topology() -> ImplicitRegularTree {
+        ImplicitRegularTree::new(AddressSpace::regular(3, 6).unwrap())
+    }
+
+    #[test]
+    fn bernoulli_assignment_tracks_the_rate() {
+        let topology = topology();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let oracle = bernoulli_assignment(&topology, 0.3, &mut rng);
+        let n = topology.member_count() as f64;
+        let expected = 0.3 * n;
+        let sigma = (0.3f64 * 0.7 * n).sqrt();
+        assert!(
+            (oracle.len() as f64 - expected).abs() < 5.0 * sigma,
+            "sampled {} expected ≈ {expected}",
+            oracle.len()
+        );
+    }
+
+    #[test]
+    fn clustered_assignment_stays_in_chosen_subtrees() {
+        let topology = topology();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let oracle = clustered_assignment(&topology, 2, 0.8, &mut rng);
+        assert!(!oracle.is_empty());
+        // All interested processes fall into at most two depth-1 subtrees.
+        let mut roots: Vec<u32> = oracle.iter().map(|a| a.components()[0]).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        assert!(roots.len() <= 2, "interest leaked into {} subtrees", roots.len());
+        // Uninterested subtrees are reported as such by the oracle.
+        let event = Event::new(1);
+        let untouched = (0..6u32)
+            .filter(|c| !roots.contains(c))
+            .map(|c| Prefix::root().child(c))
+            .collect::<Vec<_>>();
+        for prefix in untouched {
+            assert!(!oracle.subtree_interested(&prefix, &event));
+        }
+    }
+
+    #[test]
+    fn ticker_subscriptions_match_some_events() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let subscriptions: Vec<Filter> = (0..50).map(|_| ticker_subscription(&mut rng)).collect();
+        let events: Vec<Event> = (0..50).map(|i| ticker_event(i, &mut rng)).collect();
+        let mut matches = 0usize;
+        for s in &subscriptions {
+            for e in &events {
+                if s.matches(e) {
+                    matches += 1;
+                }
+            }
+        }
+        // The workload is selective but not degenerate: some but not all
+        // (subscription, event) pairs match.
+        assert!(matches > 0, "no subscription matched any event");
+        assert!(matches < 50 * 50 / 2, "workload matches almost everything");
+    }
+
+    #[test]
+    fn ticker_events_have_the_expected_attributes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let event = ticker_event(7, &mut rng);
+        assert!(event.has_attribute("symbol"));
+        assert!(event.has_attribute("price"));
+        assert!(event.has_attribute("volume"));
+        assert_eq!(event.id().0, 7);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let topology = topology();
+        let a = bernoulli_assignment(&topology, 0.4, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = bernoulli_assignment(&topology, 0.4, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let e1 = ticker_event(1, &mut ChaCha8Rng::seed_from_u64(9));
+        let e2 = ticker_event(1, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,120 @@
+use serde::{Deserialize, Serialize};
+
+/// Failure injection plan: which processes crash, and when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CrashPlan {
+    /// Nobody crashes.
+    None,
+    /// Crash a uniformly random fraction `τ` of the processes before the
+    /// run starts (the paper's model: `τ = f / n` crash "during the run";
+    /// crashing them up-front is the pessimistic variant).
+    InitialFraction(f64),
+    /// Crash the listed process indices at the listed rounds.
+    Scheduled(Vec<(u64, usize)>),
+}
+
+impl Default for CrashPlan {
+    fn default() -> Self {
+        CrashPlan::None
+    }
+}
+
+/// Configuration of the simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Probability `ε` that any message is lost in transit.
+    pub loss_probability: f64,
+    /// Failure injection plan.
+    pub crash_plan: CrashPlan,
+    /// PRNG seed making the run reproducible.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// A perfectly reliable network (no loss, no crashes) with the given
+    /// seed — useful for tests where only the protocol's own randomness
+    /// matters.
+    pub fn reliable(seed: u64) -> Self {
+        Self {
+            loss_probability: 0.0,
+            crash_plan: CrashPlan::None,
+            seed,
+        }
+    }
+
+    /// The lossy, crash-prone environment of the paper's analysis:
+    /// message-loss probability `ε` and an initial crashed fraction `τ`.
+    pub fn faulty(loss_probability: f64, crash_fraction: f64, seed: u64) -> Self {
+        Self {
+            loss_probability,
+            crash_plan: if crash_fraction > 0.0 {
+                CrashPlan::InitialFraction(crash_fraction)
+            } else {
+                CrashPlan::None
+            },
+            seed,
+        }
+    }
+
+    /// Sets the loss probability, returning the config for chaining.
+    pub fn with_loss(mut self, loss_probability: f64) -> Self {
+        self.loss_probability = loss_probability;
+        self
+    }
+
+    /// Sets the crash plan, returning the config for chaining.
+    pub fn with_crash_plan(mut self, crash_plan: CrashPlan) -> Self {
+        self.crash_plan = crash_plan;
+        self
+    }
+
+    /// Sets the seed, returning the config for chaining.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::reliable(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_builders() {
+        let reliable = NetworkConfig::reliable(7);
+        assert_eq!(reliable.loss_probability, 0.0);
+        assert_eq!(reliable.crash_plan, CrashPlan::None);
+        assert_eq!(reliable.seed, 7);
+
+        let faulty = NetworkConfig::faulty(0.05, 0.01, 3);
+        assert_eq!(faulty.loss_probability, 0.05);
+        assert_eq!(faulty.crash_plan, CrashPlan::InitialFraction(0.01));
+
+        let no_crashes = NetworkConfig::faulty(0.05, 0.0, 3);
+        assert_eq!(no_crashes.crash_plan, CrashPlan::None);
+
+        let chained = NetworkConfig::default()
+            .with_loss(0.2)
+            .with_seed(9)
+            .with_crash_plan(CrashPlan::Scheduled(vec![(3, 1)]));
+        assert_eq!(chained.loss_probability, 0.2);
+        assert_eq!(chained.seed, 9);
+        assert_eq!(chained.crash_plan, CrashPlan::Scheduled(vec![(3, 1)]));
+        assert_eq!(CrashPlan::default(), CrashPlan::None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = NetworkConfig::faulty(0.1, 0.02, 11);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: NetworkConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}

@@ -1,0 +1,436 @@
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{CrashPlan, Envelope, NetworkConfig, ProcessId, RoundNetwork, TrafficStats};
+
+/// A protocol state machine attached to one simulated process.
+///
+/// The [`Simulation`] drives all processes in lockstep rounds: at every
+/// round each live process first handles the messages delivered to it (sent
+/// during the previous round), then gets one [`RoundProcess::on_round`] call
+/// to emit new messages.  This matches the synchronous-round model of the
+/// paper's analysis while the protocol code itself stays oblivious to the
+/// simulation details.
+pub trait RoundProcess {
+    /// The protocol's message type.
+    type Message: Clone;
+
+    /// Called once per round after message delivery; the process may send
+    /// messages and inspect the round number through the context.
+    fn on_round(&mut self, ctx: &mut RoundContext<'_, Self::Message>);
+
+    /// Called for every message delivered to this process at the beginning
+    /// of a round.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        message: Self::Message,
+        ctx: &mut RoundContext<'_, Self::Message>,
+    );
+
+    /// Returns `true` if the process has nothing left to do; a simulation
+    /// may stop early once every process is quiescent and no messages are in
+    /// flight.  Defaults to `false` (never quiescent).
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+}
+
+/// The per-process, per-round execution context handed to [`RoundProcess`]
+/// callbacks: the process's identity, the current round, a deterministic
+/// PRNG and the outgoing-message queue.
+pub struct RoundContext<'a, M> {
+    process: ProcessId,
+    round: u64,
+    outbox: &'a mut Vec<(ProcessId, M, usize)>,
+    rng: &'a mut ChaCha8Rng,
+}
+
+impl<M> std::fmt::Debug for RoundContext<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundContext")
+            .field("process", &self.process)
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> RoundContext<'_, M> {
+    /// The process this context belongs to.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sends a message with no payload-size accounting.
+    pub fn send(&mut self, to: ProcessId, message: M) {
+        self.outbox.push((to, message, 0));
+    }
+
+    /// Sends a message, recording its payload size for traffic accounting.
+    pub fn send_sized(&mut self, to: ProcessId, message: M, payload_size: usize) {
+        self.outbox.push((to, message, payload_size));
+    }
+
+    /// Deterministic per-run PRNG (shared across processes).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Picks up to `count` distinct random elements of `candidates`
+    /// (convenience for fanout-style gossip target selection).
+    pub fn choose_targets<'c, T>(&mut self, candidates: &'c [T], count: usize) -> Vec<&'c T> {
+        candidates.choose_multiple(self.rng, count.min(candidates.len())).collect()
+    }
+}
+
+/// Drives a set of [`RoundProcess`] state machines over a [`RoundNetwork`].
+pub struct Simulation<P: RoundProcess> {
+    processes: Vec<P>,
+    network: RoundNetwork<P::Message>,
+    protocol_rng: ChaCha8Rng,
+    scheduled_crashes: Vec<(u64, usize)>,
+    round: u64,
+}
+
+impl<P: RoundProcess> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("processes", &self.processes.len())
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: RoundProcess> Simulation<P> {
+    /// Creates a simulation over the given processes and network
+    /// configuration, applying any initial crash plan.
+    pub fn new(processes: Vec<P>, config: NetworkConfig) -> Self {
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let network_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
+        let protocol_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
+        let mut network = RoundNetwork::new(processes.len(), config.loss_probability, network_rng);
+        let mut scheduled_crashes = Vec::new();
+        match &config.crash_plan {
+            CrashPlan::None => {}
+            CrashPlan::InitialFraction(fraction) => {
+                let mut crash_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
+                for index in 0..processes.len() {
+                    if crash_rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                        network.crash(ProcessId(index));
+                    }
+                }
+            }
+            CrashPlan::Scheduled(schedule) => {
+                scheduled_crashes = schedule.clone();
+                scheduled_crashes.sort();
+            }
+        }
+        Self {
+            processes,
+            network,
+            protocol_rng,
+            scheduled_crashes,
+            round: 0,
+        }
+    }
+
+    /// Number of simulated processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Immutable access to a process's protocol state.
+    pub fn process(&self, id: ProcessId) -> &P {
+        &self.processes[id.0]
+    }
+
+    /// Mutable access to a process's protocol state (e.g. to inject an
+    /// application-level multicast before running).
+    pub fn process_mut(&mut self, id: ProcessId) -> &mut P {
+        &mut self.processes[id.0]
+    }
+
+    /// Iterates over all protocol states.
+    pub fn processes(&self) -> impl Iterator<Item = &P> {
+        self.processes.iter()
+    }
+
+    /// The network traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        self.network.stats()
+    }
+
+    /// Returns `true` if the given process has crashed.
+    pub fn is_crashed(&self, id: ProcessId) -> bool {
+        self.network.is_crashed(id)
+    }
+
+    /// Crashes a process immediately.
+    pub fn crash(&mut self, id: ProcessId) {
+        self.network.crash(id);
+    }
+
+    /// Number of crashed processes.
+    pub fn crashed_count(&self) -> usize {
+        self.network.crashed_count()
+    }
+
+    /// Executes one synchronous round: deliver last round's messages, then
+    /// let every live process act.
+    pub fn step(&mut self) {
+        // Apply scheduled crashes for this round.
+        while let Some(&(when, index)) = self.scheduled_crashes.first() {
+            if when > self.round {
+                break;
+            }
+            self.network.crash(ProcessId(index));
+            self.scheduled_crashes.remove(0);
+        }
+
+        let delivered: Vec<Envelope<P::Message>> = self.network.deliver_round();
+        let mut outbox: Vec<(ProcessId, P::Message, usize)> = Vec::new();
+
+        for envelope in delivered {
+            if self.network.is_crashed(envelope.to) {
+                continue;
+            }
+            let mut ctx = RoundContext {
+                process: envelope.to,
+                round: self.round,
+                outbox: &mut outbox,
+                rng: &mut self.protocol_rng,
+            };
+            let process = &mut self.processes[envelope.to.0];
+            let from = envelope.from;
+            process.on_message(from, envelope.message, &mut ctx);
+            // Messages emitted while handling are sent from the receiver.
+            for (to, message, size) in outbox.drain(..) {
+                self.network.send(envelope.to, to, message, size);
+            }
+        }
+
+        for index in 0..self.processes.len() {
+            let id = ProcessId(index);
+            if self.network.is_crashed(id) {
+                continue;
+            }
+            let mut ctx = RoundContext {
+                process: id,
+                round: self.round,
+                outbox: &mut outbox,
+                rng: &mut self.protocol_rng,
+            };
+            self.processes[index].on_round(&mut ctx);
+            for (to, message, size) in outbox.drain(..) {
+                self.network.send(id, to, message, size);
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Runs the given number of rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until every process is quiescent and no messages are in flight,
+    /// or until `max_rounds` have elapsed.  Returns the number of rounds
+    /// executed.
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> u64 {
+        let mut executed = 0;
+        while executed < max_rounds {
+            self.step();
+            executed += 1;
+            let all_quiet = self
+                .processes
+                .iter()
+                .enumerate()
+                .all(|(index, p)| self.network.is_crashed(ProcessId(index)) || p.is_quiescent());
+            if all_quiet && self.network.is_idle() {
+                break;
+            }
+        }
+        executed
+    }
+
+    /// Consumes the simulation and returns the protocol states (useful for
+    /// post-run inspection of deliveries).
+    pub fn into_processes(self) -> Vec<P> {
+        self.processes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that floods a token to everybody once it has seen it.
+    struct Flood {
+        everyone: Vec<ProcessId>,
+        has_token: bool,
+        announced: bool,
+        deliveries: u32,
+    }
+
+    impl Flood {
+        fn new(everyone: Vec<ProcessId>, seeded: bool) -> Self {
+            Self {
+                everyone,
+                has_token: seeded,
+                announced: false,
+                deliveries: 0,
+            }
+        }
+    }
+
+    impl RoundProcess for Flood {
+        type Message = u64;
+
+        fn on_round(&mut self, ctx: &mut RoundContext<'_, u64>) {
+            if self.has_token && !self.announced {
+                for &peer in &self.everyone {
+                    if peer != ctx.process() {
+                        ctx.send_sized(peer, 99, 8);
+                    }
+                }
+                self.announced = true;
+            }
+        }
+
+        fn on_message(&mut self, _from: ProcessId, message: u64, _ctx: &mut RoundContext<'_, u64>) {
+            assert_eq!(message, 99);
+            self.deliveries += 1;
+            self.has_token = true;
+        }
+
+        fn is_quiescent(&self) -> bool {
+            !self.has_token || self.announced
+        }
+    }
+
+    fn flood_simulation(count: usize, config: NetworkConfig) -> Simulation<Flood> {
+        let everyone: Vec<ProcessId> = (0..count).map(ProcessId).collect();
+        let processes: Vec<Flood> = (0..count)
+            .map(|i| Flood::new(everyone.clone(), i == 0))
+            .collect();
+        Simulation::new(processes, config)
+    }
+
+    #[test]
+    fn reliable_flood_reaches_everyone() {
+        let mut sim = flood_simulation(10, NetworkConfig::reliable(3));
+        let rounds = sim.run_until_quiescent(50);
+        assert!(rounds < 50);
+        let reached = sim.processes().filter(|p| p.has_token).count();
+        assert_eq!(reached, 10);
+        // 9 messages from the seed + 9·8 from the others echoing once.
+        assert_eq!(sim.stats().messages_sent, 9 + 9 * 9);
+        assert_eq!(sim.stats().messages_lost, 0);
+        assert!(sim.stats().payload_bytes > 0);
+    }
+
+    #[test]
+    fn lossy_flood_misses_some_processes() {
+        let mut sim = flood_simulation(30, NetworkConfig::default().with_loss(0.9).with_seed(5));
+        sim.run_rounds(3);
+        let reached = sim.processes().filter(|p| p.has_token).count();
+        assert!(reached < 30, "with 90% loss not everybody is reached in 3 rounds");
+        assert!(sim.stats().messages_lost > 0);
+    }
+
+    #[test]
+    fn initial_crash_fraction_disables_processes() {
+        let config = NetworkConfig::faulty(0.0, 0.5, 11);
+        let mut sim = flood_simulation(100, config);
+        let crashed = sim.crashed_count();
+        assert!(crashed > 20 && crashed < 80, "crashed {crashed}");
+        sim.run_until_quiescent(10);
+        let reached = sim
+            .processes()
+            .enumerate()
+            .filter(|(i, p)| p.has_token && !sim.is_crashed(ProcessId(*i)))
+            .count();
+        // All live processes are reached directly by the seed (unless the
+        // seed itself crashed, in which case nobody new is reached).
+        if !sim.is_crashed(ProcessId(0)) {
+            assert_eq!(reached, 100 - crashed);
+        }
+    }
+
+    #[test]
+    fn scheduled_crashes_happen_at_the_right_round() {
+        let schedule = CrashPlan::Scheduled(vec![(2, 1)]);
+        let config = NetworkConfig::reliable(1).with_crash_plan(schedule);
+        let mut sim = flood_simulation(3, config);
+        assert!(!sim.is_crashed(ProcessId(1)));
+        sim.step(); // round 0
+        sim.step(); // round 1
+        assert!(!sim.is_crashed(ProcessId(1)));
+        sim.step(); // round 2 → crash applies
+        assert!(sim.is_crashed(ProcessId(1)));
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_equal_seeds() {
+        let run = |seed| {
+            let mut sim = flood_simulation(40, NetworkConfig::default().with_loss(0.4).with_seed(seed));
+            sim.run_rounds(4);
+            let reached = sim.processes().filter(|p| p.has_token).count();
+            (reached, sim.stats().messages_lost)
+        };
+        assert_eq!(run(21), run(21));
+    }
+
+    #[test]
+    fn accessors_work() {
+        let mut sim = flood_simulation(4, NetworkConfig::reliable(0));
+        assert_eq!(sim.process_count(), 4);
+        assert_eq!(sim.round(), 0);
+        assert!(sim.process(ProcessId(0)).has_token);
+        sim.process_mut(ProcessId(2)).has_token = true;
+        sim.run_rounds(2);
+        assert_eq!(sim.round(), 2);
+        let states = sim.into_processes();
+        assert_eq!(states.len(), 4);
+        assert!(states[3].has_token);
+    }
+
+    #[test]
+    fn manual_crash_mid_run() {
+        let mut sim = flood_simulation(5, NetworkConfig::reliable(9));
+        sim.crash(ProcessId(4));
+        sim.run_until_quiescent(10);
+        assert!(!sim.process(ProcessId(4)).has_token);
+        assert!(sim.stats().messages_to_crashed > 0);
+    }
+
+    #[test]
+    fn choose_targets_respects_bounds() {
+        let mut outbox: Vec<(ProcessId, u64, usize)> = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut ctx = RoundContext {
+            process: ProcessId(0),
+            round: 0,
+            outbox: &mut outbox,
+            rng: &mut rng,
+        };
+        let candidates = vec![1, 2, 3, 4, 5];
+        assert_eq!(ctx.choose_targets(&candidates, 3).len(), 3);
+        assert_eq!(ctx.choose_targets(&candidates, 10).len(), 5);
+        assert!(ctx.choose_targets::<i32>(&[], 3).is_empty());
+        assert!(!format!("{ctx:?}").is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+use std::fmt;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::TrafficStats;
+
+/// Dense identifier of a simulated process (an index into the simulation's
+/// process table).  The mapping to a pmcast [`pmcast_addr::Address`] is kept
+/// by the layer above.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub usize);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(value: usize) -> Self {
+        ProcessId(value)
+    }
+}
+
+/// A message in flight: sender, destination and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Protocol payload.
+    pub message: M,
+}
+
+/// The round-based message switch.
+///
+/// Messages sent during round `t` are delivered at the beginning of round
+/// `t + 1` (the paper assumes the network latency is bounded by the gossip
+/// period).  Each message is lost independently with probability `ε`;
+/// messages to or from crashed processes are dropped and accounted
+/// separately.
+pub struct RoundNetwork<M> {
+    loss_probability: f64,
+    crashed: Vec<bool>,
+    in_flight: Vec<Envelope<M>>,
+    stats: TrafficStats,
+    round: u64,
+    rng: ChaCha8Rng,
+}
+
+impl<M> fmt::Debug for RoundNetwork<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoundNetwork")
+            .field("processes", &self.crashed.len())
+            .field("round", &self.round)
+            .field("in_flight", &self.in_flight.len())
+            .field("loss_probability", &self.loss_probability)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> RoundNetwork<M> {
+    /// Creates a network connecting `process_count` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loss probability is not within `[0, 1]`.
+    pub fn new(process_count: usize, loss_probability: f64, rng: ChaCha8Rng) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability {loss_probability} must lie in [0, 1]"
+        );
+        Self {
+            loss_probability,
+            crashed: vec![false; process_count],
+            in_flight: Vec::new(),
+            stats: TrafficStats::new(),
+            round: 0,
+            rng,
+        }
+    }
+
+    /// Number of attached processes.
+    pub fn process_count(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// The current round number (0 before the first delivery).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The traffic statistics accumulated so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Marks a process as crashed; it no longer sends or receives anything.
+    pub fn crash(&mut self, process: ProcessId) {
+        if let Some(flag) = self.crashed.get_mut(process.0) {
+            *flag = true;
+        }
+    }
+
+    /// Returns `true` if the process has crashed.
+    pub fn is_crashed(&self, process: ProcessId) -> bool {
+        self.crashed.get(process.0).copied().unwrap_or(true)
+    }
+
+    /// Number of crashed processes.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.iter().filter(|&&c| c).count()
+    }
+
+    /// Sends a message, to be delivered at the next round boundary.
+    /// `payload_size` feeds the byte accounting (pass 0 when irrelevant).
+    pub fn send(&mut self, from: ProcessId, to: ProcessId, message: M, payload_size: usize) {
+        self.stats.messages_sent += 1;
+        self.stats.payload_bytes += payload_size as u64;
+        if self.is_crashed(from) {
+            self.stats.messages_from_crashed += 1;
+            return;
+        }
+        if self.is_crashed(to) {
+            self.stats.messages_to_crashed += 1;
+            return;
+        }
+        if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+            self.stats.messages_lost += 1;
+            return;
+        }
+        self.in_flight.push(Envelope { from, to, message });
+    }
+
+    /// Closes the current round: returns every message sent during it and
+    /// advances the round counter.  Messages to processes that crashed
+    /// *after* the send are still filtered out here.
+    pub fn deliver_round(&mut self) -> Vec<Envelope<M>> {
+        self.round += 1;
+        let mut delivered = Vec::with_capacity(self.in_flight.len());
+        for envelope in self.in_flight.drain(..) {
+            if self.crashed.get(envelope.to.0).copied().unwrap_or(true) {
+                self.stats.messages_to_crashed += 1;
+                continue;
+            }
+            self.stats.messages_delivered += 1;
+            delivered.push(envelope);
+        }
+        delivered
+    }
+
+    /// Returns `true` if no messages are currently in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Mutable access to the deterministic PRNG, so protocols can share the
+    /// same randomness stream as the network (keeping whole runs replayable
+    /// from one seed).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn network(count: usize, loss: f64) -> RoundNetwork<u32> {
+        RoundNetwork::new(count, loss, ChaCha8Rng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn messages_are_delivered_next_round() {
+        let mut net = network(3, 0.0);
+        net.send(ProcessId(0), ProcessId(1), 42, 8);
+        assert!(!net.is_idle());
+        assert_eq!(net.round(), 0);
+        let delivered = net.deliver_round();
+        assert_eq!(net.round(), 1);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].from, ProcessId(0));
+        assert_eq!(delivered[0].to, ProcessId(1));
+        assert_eq!(delivered[0].message, 42);
+        assert!(net.is_idle());
+        assert_eq!(net.stats().messages_sent, 1);
+        assert_eq!(net.stats().messages_delivered, 1);
+        assert_eq!(net.stats().payload_bytes, 8);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut net = network(2, 1.0);
+        for _ in 0..20 {
+            net.send(ProcessId(0), ProcessId(1), 1, 0);
+        }
+        let delivered = net.deliver_round();
+        assert!(delivered.is_empty());
+        assert_eq!(net.stats().messages_lost, 20);
+        assert_eq!(net.stats().delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn partial_loss_is_roughly_proportional() {
+        let mut net = network(2, 0.3);
+        for _ in 0..2_000 {
+            net.send(ProcessId(0), ProcessId(1), 1, 0);
+        }
+        let delivered = net.deliver_round().len() as f64;
+        // 70% expected, allow generous tolerance.
+        assert!(delivered > 1_200.0 && delivered < 1_600.0, "delivered {delivered}");
+    }
+
+    #[test]
+    fn crashed_processes_neither_send_nor_receive() {
+        let mut net = network(3, 0.0);
+        net.crash(ProcessId(2));
+        assert!(net.is_crashed(ProcessId(2)));
+        assert!(!net.is_crashed(ProcessId(0)));
+        assert_eq!(net.crashed_count(), 1);
+
+        net.send(ProcessId(2), ProcessId(0), 1, 0); // from crashed
+        net.send(ProcessId(0), ProcessId(2), 2, 0); // to crashed
+        net.send(ProcessId(0), ProcessId(1), 3, 0); // fine
+        let delivered = net.deliver_round();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].message, 3);
+        assert_eq!(net.stats().messages_from_crashed, 1);
+        assert_eq!(net.stats().messages_to_crashed, 1);
+    }
+
+    #[test]
+    fn crash_after_send_still_prevents_delivery() {
+        let mut net = network(2, 0.0);
+        net.send(ProcessId(0), ProcessId(1), 9, 0);
+        net.crash(ProcessId(1));
+        let delivered = net.deliver_round();
+        assert!(delivered.is_empty());
+        assert_eq!(net.stats().messages_to_crashed, 1);
+    }
+
+    #[test]
+    fn out_of_range_processes_count_as_crashed() {
+        let mut net = network(1, 0.0);
+        assert!(net.is_crashed(ProcessId(5)));
+        net.send(ProcessId(0), ProcessId(5), 1, 0);
+        assert_eq!(net.deliver_round().len(), 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = RoundNetwork::new(2, 0.5, ChaCha8Rng::seed_from_u64(seed));
+            for _ in 0..100 {
+                net.send(ProcessId(0), ProcessId(1), 1u32, 0);
+            }
+            net.deliver_round().len()
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds are very likely to differ for 100 coin flips.
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn invalid_loss_probability_panics() {
+        let _ = network(2, 1.5);
+    }
+
+    #[test]
+    fn process_id_display_and_from() {
+        let p: ProcessId = 3usize.into();
+        assert_eq!(p.to_string(), "p3");
+        assert_eq!(ProcessId::default(), ProcessId(0));
+    }
+}

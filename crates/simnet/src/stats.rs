@@ -1,0 +1,104 @@
+use serde::{Deserialize, Serialize};
+
+/// Traffic accounting of a simulated run.
+///
+/// The evaluation uses these counters to compare the network cost of pmcast
+/// against flooding-style broadcast baselines (every gossip message is one
+/// unit; payload bytes are tracked separately so that digest-only
+/// optimisations can be quantified).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Messages handed to the network by senders.
+    pub messages_sent: u64,
+    /// Messages actually delivered to a live destination.
+    pub messages_delivered: u64,
+    /// Messages dropped by the network (loss probability `ε`).
+    pub messages_lost: u64,
+    /// Messages addressed to a crashed process.
+    pub messages_to_crashed: u64,
+    /// Messages suppressed because the *sender* had crashed.
+    pub messages_from_crashed: u64,
+    /// Cumulative payload bytes of sent messages (when reported by the
+    /// protocol).
+    pub payload_bytes: u64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of sent messages that reached a live destination.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            return 1.0;
+        }
+        self.messages_delivered as f64 / self.messages_sent as f64
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_lost += other.messages_lost;
+        self.messages_to_crashed += other.messages_to_crashed;
+        self.messages_from_crashed += other.messages_from_crashed;
+        self.payload_bytes += other.payload_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero_sends() {
+        assert_eq!(TrafficStats::new().delivery_ratio(), 1.0);
+        let stats = TrafficStats {
+            messages_sent: 10,
+            messages_delivered: 7,
+            messages_lost: 3,
+            ..TrafficStats::default()
+        };
+        assert!((stats.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TrafficStats {
+            messages_sent: 5,
+            messages_delivered: 4,
+            messages_lost: 1,
+            messages_to_crashed: 0,
+            messages_from_crashed: 0,
+            payload_bytes: 100,
+        };
+        let b = TrafficStats {
+            messages_sent: 3,
+            messages_delivered: 1,
+            messages_lost: 1,
+            messages_to_crashed: 1,
+            messages_from_crashed: 2,
+            payload_bytes: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 8);
+        assert_eq!(a.messages_delivered, 5);
+        assert_eq!(a.messages_lost, 2);
+        assert_eq!(a.messages_to_crashed, 1);
+        assert_eq!(a.messages_from_crashed, 2);
+        assert_eq!(a.payload_bytes, 150);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let stats = TrafficStats {
+            messages_sent: 2,
+            ..TrafficStats::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: TrafficStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

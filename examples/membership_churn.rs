@@ -1,0 +1,111 @@
+//! Membership maintenance under churn: joins, graceful leaves, crash
+//! suspicion and gossip-pull anti-entropy (Section 2.3 of the paper).
+//!
+//! The example keeps a small group of processes, each holding its own view
+//! table, and shows how local membership events propagate to every replica
+//! through pairwise view exchanges.
+//!
+//! ```text
+//! cargo run --example membership_churn
+//! ```
+
+use std::error::Error;
+
+use pmcast::membership::{MembershipManager, ViewExchange};
+use pmcast::{Address, AddressSpace, Filter, GroupTree, Predicate, TreeTopology};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let space = AddressSpace::regular(2, 4)?;
+
+    // 1. Bootstrap: 12 of the 16 possible addresses are initially populated.
+    let mut bootstrap = GroupTree::new(space.clone());
+    for address in space.iter().take(12) {
+        bootstrap.join(address, Filter::new().with("b", Predicate::gt(0.0)))?;
+    }
+    println!("bootstrap group has {} members", bootstrap.member_count());
+
+    // 2. Every member builds its local view table and wraps it in a
+    //    membership manager (R = 2, failure timeout of 3 gossip periods).
+    let redundancy = 2;
+    let mut managers: Vec<MembershipManager> = bootstrap
+        .members()
+        .iter()
+        .map(|address| {
+            let table = bootstrap.view_table_for(address, redundancy).expect("member");
+            MembershipManager::new(table, redundancy, 3)
+        })
+        .collect();
+    println!(
+        "each member knows {} processes (flat membership would need {})\n",
+        managers[0].table().knowledge_size(),
+        bootstrap.member_count()
+    );
+
+    // 3. A new process joins through a contact: the contact applies the join
+    //    locally, then anti-entropy spreads it.
+    let joiner: Address = "3.2".parse()?;
+    println!("process {joiner} joins via contact {}", managers[0].table().owner());
+    managers[0].apply_join(joiner.clone(), Filter::new().with("b", Predicate::lt(0.0)));
+
+    // 4. A member leaves gracefully, informing one close neighbour.
+    let leaver: Address = "0.1".parse()?;
+    println!("process {leaver} leaves, informing {}", managers[1].table().owner());
+    managers[1].apply_leave(&leaver);
+
+    // 5. Gossip-pull anti-entropy: random pairwise exchanges until no view
+    //    changes any more.
+    let exchange = ViewExchange::new();
+    let mut sweep = 0;
+    loop {
+        sweep += 1;
+        let mut changed = 0;
+        let mut order: Vec<usize> = (0..managers.len()).collect();
+        order.shuffle(&mut rng);
+        for pair in order.chunks(2) {
+            if let [a, b] = *pair {
+                let (low, high) = if a < b { (a, b) } else { (b, a) };
+                let (left, right) = managers.split_at_mut(high);
+                let (da, db) = exchange.reconcile(left[low].table_mut(), right[0].table_mut());
+                changed += da + db;
+            }
+        }
+        println!("anti-entropy sweep {sweep}: {changed} view lines updated");
+        if changed == 0 || sweep > 20 {
+            break;
+        }
+    }
+
+    // 6. Check convergence: every replica that tracks the root view agrees
+    //    on the join being visible and shows updated process counts.
+    let knows_joiner = managers
+        .iter()
+        .filter(|m| {
+            m.table()
+                .view(1)
+                .entry(joiner.components()[0])
+                .map(|entry| entry.delegates().contains(&joiner) || entry.process_count() > 0)
+                .unwrap_or(false)
+        })
+        .count();
+    println!("\n{knows_joiner}/{} replicas see the new subgroup of {joiner}", managers.len());
+
+    // 7. Failure detection: silence a neighbour and watch it get suspected.
+    println!("\nsimulating silence of 0.2 towards 0.0 …");
+    let observer = &mut managers[0];
+    let mut suspected = Vec::new();
+    for _ in 0..6 {
+        // Everybody except 0.2 keeps talking to the observer.
+        for neighbour in ["0.1", "0.3"] {
+            observer.record_contact(&neighbour.parse()?);
+        }
+        suspected.extend(observer.tick());
+    }
+    for event in &suspected {
+        println!("membership event at {}: {:?}", observer.table().owner(), event);
+    }
+    Ok(())
+}

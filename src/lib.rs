@@ -1,0 +1,105 @@
+//! # pmcast — Probabilistic Multicast
+//!
+//! A Rust implementation of *Probabilistic Multicast* (Eugster & Guerraoui,
+//! DSN 2002): a gossip-based algorithm that multicasts events to the subset
+//! of a large process group that is actually interested in them, combining
+//! the scalability of epidemic dissemination with content-based
+//! publish/subscribe selectivity and a hierarchical membership whose
+//! per-process views grow with `n^(1/d)` rather than `n`.
+//!
+//! This umbrella crate re-exports the public API of the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`addr`] | `pmcast-addr` | hierarchical addresses, prefixes, distances |
+//! | [`interest`] | `pmcast-interest` | events, predicates, filters, interest regrouping |
+//! | [`membership`] | `pmcast-membership` | group tree, delegates, views, anti-entropy, churn |
+//! | [`simnet`] | `pmcast-simnet` | deterministic round-based network simulation |
+//! | [`core`] | `pmcast-core` | the pmcast protocol and the baseline protocols |
+//! | [`analysis`] | `pmcast-analysis` | Pittel asymptote, infection Markov chains, reliability model |
+//! | [`sim`] | `pmcast-sim` | experiment harness and figure regenerators |
+//!
+//! The most commonly used items are also re-exported at the crate root.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use std::sync::Arc;
+//! use pmcast::{
+//!     build_group, AddressSpace, AssignmentOracle, Event, ImplicitRegularTree,
+//!     MulticastReport, NetworkConfig, PmcastConfig, ProcessId, Simulation,
+//! };
+//! use rand::SeedableRng;
+//!
+//! // 64 processes in a regular tree of depth 3.
+//! let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 4)?);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
+//!
+//! let group = build_group(&topology, oracle.clone(), &PmcastConfig::default());
+//! let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(1));
+//! let event = Event::builder(1).int("b", 7).build();
+//! sim.process_mut(ProcessId(0)).pmcast(event.clone());
+//! sim.run_until_quiescent(200);
+//!
+//! let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
+//! assert!(report.delivery_ratio() > 0.8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Hierarchical addresses, prefixes and distances (`pmcast-addr`).
+pub mod addr {
+    pub use pmcast_addr::*;
+}
+
+/// Content-based subscription model (`pmcast-interest`).
+pub mod interest {
+    pub use pmcast_interest::*;
+}
+
+/// Tree-structured membership (`pmcast-membership`).
+pub mod membership {
+    pub use pmcast_membership::*;
+}
+
+/// Deterministic round-based network simulation (`pmcast-simnet`).
+pub mod simnet {
+    pub use pmcast_simnet::*;
+}
+
+/// The pmcast protocol and baselines (`pmcast-core`).
+pub mod core {
+    pub use pmcast_core::*;
+}
+
+/// Stochastic analysis (`pmcast-analysis`).
+pub mod analysis {
+    pub use pmcast_analysis::*;
+}
+
+/// Experiment harness and figure regenerators (`pmcast-sim`).
+pub mod sim {
+    pub use pmcast_sim::*;
+}
+
+pub use pmcast_addr::{AddrError, Address, AddressSpace, Prefix};
+pub use pmcast_analysis::{EnvParams, GroupParams};
+pub use pmcast_core::{
+    build_flood_group, build_genuine_group, build_group, FloodBroadcastProcess,
+    GenuineMulticastProcess, Gossip, MulticastReport, PmcastConfig, PmcastGroup, PmcastProcess,
+    TuningConfig,
+};
+pub use pmcast_interest::{
+    AttributeValue, Event, EventId, Filter, Interest, InterestSummary, Predicate,
+};
+pub use pmcast_membership::{
+    AssignmentOracle, GroupTree, ImplicitRegularTree, InterestOracle, MembershipManager,
+    SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
+};
+pub use pmcast_simnet::{NetworkConfig, ProcessId, Simulation, TrafficStats};

@@ -1,0 +1,146 @@
+//! Cross-validation of the two halves of the reproduction: the analytical
+//! model of Section 4 (pmcast-analysis) against the Monte-Carlo protocol
+//! simulation (pmcast-core + pmcast-simnet), on small groups where both are
+//! cheap to evaluate.
+
+use pmcast::analysis::markov::InfectionChain;
+use pmcast::analysis::pittel;
+use pmcast::analysis::tree::TreeModel;
+use pmcast::analysis::views::view_size_report;
+use pmcast::sim::runner::{run_experiment, ExperimentConfig};
+use pmcast::{EnvParams, GroupParams};
+
+#[test]
+fn simulation_and_model_agree_at_comfortable_matching_rates() {
+    let config = ExperimentConfig::quick().with_trials(4).with_seed(2024);
+    let model = TreeModel::new(
+        GroupParams {
+            arity: config.arity,
+            depth: config.depth,
+            redundancy: config.protocol.redundancy,
+            fanout: config.protocol.fanout,
+        },
+        config.protocol.env,
+    );
+    for matching_rate in [0.4, 0.6, 0.9] {
+        let simulated = run_experiment(&config.clone().with_matching_rate(matching_rate));
+        let predicted = model.reliability(matching_rate);
+        // The model is deliberately pessimistic (Section 4.3 neglects that a
+        // depth usually starts with all R delegates already infected), so it
+        // may under-predict the simulation by a noticeable margin but must
+        // stay in the same regime and never over-promise by much.
+        assert!(
+            simulated.delivery_mean - predicted.reliability_degree > -0.1,
+            "p_d = {matching_rate}: model over-promises ({} vs simulated {})",
+            predicted.reliability_degree,
+            simulated.delivery_mean
+        );
+        assert!(
+            (simulated.delivery_mean - predicted.reliability_degree).abs() < 0.25,
+            "p_d = {matching_rate}: simulated {} vs predicted {}",
+            simulated.delivery_mean,
+            predicted.reliability_degree
+        );
+        // Both halves agree delivery is likely (the pessimistic model with a
+        // slightly lower bar).
+        assert!(simulated.delivery_mean > 0.85);
+        assert!(predicted.reliability_degree > 0.75);
+    }
+}
+
+#[test]
+fn both_halves_show_the_small_rate_degradation() {
+    // The loss of reliability for very small matching rates (Section 5.1 /
+    // 5.3) must be visible in the analysis and in the simulation alike.
+    let config = ExperimentConfig::quick().with_trials(4).with_seed(7);
+    let model = TreeModel::new(
+        GroupParams {
+            arity: config.arity,
+            depth: config.depth,
+            redundancy: config.protocol.redundancy,
+            fanout: config.protocol.fanout,
+        },
+        config.protocol.env,
+    );
+    let tiny_sim = run_experiment(&config.clone().with_matching_rate(0.03));
+    let comfy_sim = run_experiment(&config.clone().with_matching_rate(0.6));
+    assert!(tiny_sim.delivery_mean < comfy_sim.delivery_mean);
+    let tiny_model = model.reliability(0.03).reliability_degree;
+    let comfy_model = model.reliability(0.6).reliability_degree;
+    assert!(tiny_model < comfy_model);
+}
+
+#[test]
+fn pittel_budget_matches_the_exact_markov_chain() {
+    // Pittel's asymptote (used by the protocol) and the exact chain (used by
+    // the analysis) must agree that the budgeted number of rounds infects
+    // nearly the whole group, across a range of sizes and fanouts.
+    let env = EnvParams::lossless();
+    for &(n, fanout) in &[(30usize, 2.0f64), (100, 2.0), (100, 4.0), (400, 3.0)] {
+        let budget = pittel::round_budget(n as f64, fanout, &env);
+        let mut chain = InfectionChain::new(n, fanout, &env);
+        chain.run(budget);
+        let infected = chain.expected_infected();
+        assert!(
+            infected > 0.93 * n as f64,
+            "n = {n}, F = {fanout}: {infected:.1} infected after {budget} rounds"
+        );
+    }
+}
+
+#[test]
+fn losses_shift_both_the_budget_and_the_chain_consistently() {
+    let clean = EnvParams::lossless();
+    let lossy = EnvParams {
+        loss_probability: 0.3,
+        crash_probability: 0.02,
+        pittel_constant: 1.0,
+    };
+    let budget_clean = pittel::round_budget(200.0, 3.0, &clean);
+    let budget_lossy = pittel::round_budget(200.0, 3.0, &lossy);
+    assert!(budget_lossy > budget_clean);
+
+    // Running the lossy chain for the lossy budget still succeeds.
+    let mut chain = InfectionChain::new(200, 3.0, &lossy);
+    chain.run(budget_lossy);
+    assert!(chain.expected_infected() > 0.9 * 200.0);
+}
+
+#[test]
+fn view_size_model_matches_group_parameters() {
+    // Eq. 2/12 against the GroupParams helper: the analytical view size for
+    // the paper's configuration and the group size must be consistent.
+    let group = GroupParams {
+        arity: 22,
+        depth: 3,
+        redundancy: 3,
+        fanout: 2,
+    };
+    let report = view_size_report(group.arity, group.depth, group.redundancy);
+    assert_eq!(report.group_size, group.group_size());
+    assert_eq!(report.tree_view_size, 154);
+    assert!(report.reduction_factor > 60.0);
+}
+
+#[test]
+fn simulated_rounds_never_exceed_the_total_budget_by_much() {
+    let config = ExperimentConfig::quick().with_trials(3).with_matching_rate(0.5);
+    let model = TreeModel::new(
+        GroupParams {
+            arity: config.arity,
+            depth: config.depth,
+            redundancy: config.protocol.redundancy,
+            fanout: config.protocol.fanout,
+        },
+        config.protocol.env,
+    );
+    let outcome = run_experiment(&config);
+    let budget = model.total_rounds(0.5) as f64;
+    // One extra round per depth for promotion plus one trailing round.
+    let slack = config.depth as f64 + 2.0;
+    assert!(
+        outcome.rounds_mean <= budget + slack,
+        "simulation took {} rounds, budget {budget}",
+        outcome.rounds_mean
+    );
+}

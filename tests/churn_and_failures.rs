@@ -1,0 +1,200 @@
+//! Integration tests for membership maintenance under churn and for the
+//! protocol's behaviour under failure injection (crashed delegates, heavy
+//! message loss, crashed publishers).
+
+use std::sync::Arc;
+
+use pmcast::membership::{MembershipEvent, MembershipManager, ViewExchange};
+use pmcast::{
+    build_group, Address, AddressSpace, AssignmentOracle, Event, Filter, GroupTree,
+    ImplicitRegularTree, InterestOracle, MulticastReport, NetworkConfig, PmcastConfig, Predicate,
+    ProcessId, Simulation, TreeTopology, UniformOracle,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn joins_and_leaves_propagate_through_anti_entropy() {
+    let space = AddressSpace::regular(2, 5).expect("valid shape");
+    let mut bootstrap = GroupTree::new(space.clone());
+    for address in space.iter().take(15) {
+        bootstrap
+            .join(address, Filter::new().with("b", Predicate::gt(0.0)))
+            .expect("fresh address");
+    }
+    let redundancy = 2;
+    let mut managers: Vec<MembershipManager> = bootstrap
+        .members()
+        .iter()
+        .map(|address| {
+            MembershipManager::new(
+                bootstrap.view_table_for(address, redundancy).expect("member"),
+                redundancy,
+                4,
+            )
+        })
+        .collect();
+
+    // One contact learns about a join, another about a leave.
+    let joiner: Address = "4.4".parse().unwrap();
+    managers[0].apply_join(joiner.clone(), Filter::match_all());
+    let leaver: Address = "1.2".parse().unwrap();
+    managers[3].apply_leave(&leaver);
+
+    // Deterministic ring of pairwise exchanges until convergence.
+    let exchange = ViewExchange::new();
+    for _ in 0..6 {
+        let mut changed = 0;
+        for i in 0..managers.len() {
+            let j = (i + 1) % managers.len();
+            let (low, high) = if i < j { (i, j) } else { (j, i) };
+            let (left, right) = managers.split_at_mut(high);
+            let (a, b) = exchange.reconcile(left[low].table_mut(), right[0].table_mut());
+            changed += a + b;
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+
+    // Every replica now sees the new depth-1 subgroup of the joiner and the
+    // reduced process count of the leaver's subgroup.
+    for manager in &managers {
+        let root_view = manager.table().view(1);
+        let joined_line = root_view.entry(4).expect("subgroup 4 is known everywhere");
+        assert!(joined_line.process_count() >= 1);
+        let left_line = root_view.entry(1).expect("subgroup 1 still exists");
+        assert_eq!(left_line.process_count(), 4, "owner {}", manager.table().owner());
+        assert!(!left_line.delegates().contains(&leaver));
+    }
+}
+
+#[test]
+fn silent_neighbours_get_suspected_and_excluded() {
+    let space = AddressSpace::regular(2, 4).expect("valid shape");
+    let tree = GroupTree::fully_populated(space, Filter::match_all());
+    let owner: Address = "2.0".parse().unwrap();
+    let mut manager = MembershipManager::new(tree.view_table_for(&owner, 2).expect("member"), 2, 3);
+
+    // Neighbours 2.1 and 2.3 keep talking; 2.2 goes silent.
+    let mut suspected = Vec::new();
+    for _ in 0..8 {
+        manager.record_contact(&"2.1".parse().unwrap());
+        manager.record_contact(&"2.3".parse().unwrap());
+        suspected.extend(manager.tick());
+    }
+    let silent: Address = "2.2".parse().unwrap();
+    assert!(suspected.contains(&MembershipEvent::Suspected(silent.clone())));
+
+    // Excluding the suspect removes it from the leaf view.
+    manager.apply_leave(&silent);
+    assert!(manager
+        .table()
+        .view(2)
+        .entries()
+        .iter()
+        .all(|entry| !entry.delegates().contains(&silent)));
+}
+
+#[test]
+fn crashed_root_delegates_do_not_prevent_delivery() {
+    // Crash two of the three delegates of every depth-1 subgroup: the
+    // redundancy R = 3 plus the publisher's participation at every depth
+    // keeps delivery going.
+    let topology = ImplicitRegularTree::new(AddressSpace::regular(2, 6).expect("valid shape"));
+    let oracle: Arc<dyn InterestOracle + Send + Sync> =
+        Arc::new(UniformOracle::new(topology.member_count()));
+    let config = PmcastConfig::default().with_fanout(3);
+    let group = build_group(&topology, oracle, &config);
+    let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(77));
+
+    // Delegates of subgroup k are k.0, k.1, k.2; crash k.0 and k.1 for k ≥ 1
+    // (keeping subgroup 0 intact so the publisher's own subtree is healthy).
+    for k in 1..6u32 {
+        for low in 0..2u32 {
+            let address = Address::new(vec![k, low]);
+            let id = topology.index_of(&address).expect("member");
+            sim.crash(ProcessId(id));
+        }
+    }
+    let event = Event::builder(1).build();
+    sim.process_mut(ProcessId(0)).pmcast(event.clone());
+    sim.run_until_quiescent(300);
+
+    let live_missed: Vec<String> = (0..sim.process_count())
+        .filter(|&i| !sim.is_crashed(ProcessId(i)))
+        .filter(|&i| !sim.process(ProcessId(i)).has_delivered(event.id()))
+        .map(|i| sim.process(ProcessId(i)).address().to_string())
+        .collect();
+    let live_total = sim.process_count() - sim.crashed_count();
+    assert!(
+        live_missed.len() <= live_total / 10,
+        "{} of {} live processes missed the event: {:?}",
+        live_missed.len(),
+        live_total,
+        live_missed
+    );
+}
+
+#[test]
+fn publisher_crash_after_injection_still_spreads_the_event() {
+    let topology = ImplicitRegularTree::new(AddressSpace::regular(2, 5).expect("valid shape"));
+    let oracle: Arc<dyn InterestOracle + Send + Sync> =
+        Arc::new(UniformOracle::new(topology.member_count()));
+    let group = build_group(&topology, oracle, &PmcastConfig::default().with_fanout(3));
+    let schedule = pmcast::simnet::CrashPlan::Scheduled(vec![(3, 0)]);
+    let mut sim = Simulation::new(
+        group.processes,
+        NetworkConfig::reliable(5).with_crash_plan(schedule),
+    );
+    let event = Event::builder(9).build();
+    sim.process_mut(ProcessId(0)).pmcast(event.clone());
+    sim.run_until_quiescent(300);
+
+    // The publisher got three rounds before crashing: enough for the event
+    // to escape its subtree and reach most of the group.
+    let delivered = (0..sim.process_count())
+        .filter(|&i| !sim.is_crashed(ProcessId(i)))
+        .filter(|&i| sim.process(ProcessId(i)).has_delivered(event.id()))
+        .count();
+    assert!(
+        delivered >= (sim.process_count() - 1) * 7 / 10,
+        "only {delivered} live processes delivered after the publisher crashed"
+    );
+}
+
+#[test]
+fn heavy_loss_with_higher_fanout_still_delivers_to_interested_processes() {
+    let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 4).expect("valid shape"));
+    let mut rng = ChaCha8Rng::seed_from_u64(19);
+    let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
+    // Tell the protocol about the harsher environment so its round budgets
+    // stretch accordingly (Section 3.3, conservative estimates).
+    let env = pmcast::EnvParams {
+        loss_probability: 0.25,
+        crash_probability: 0.01,
+        pittel_constant: 2.0,
+    };
+    let config = PmcastConfig::default().with_fanout(4).with_env(env);
+    let group = build_group(&topology, oracle.clone(), &config);
+    let mut sim = Simulation::new(
+        group.processes,
+        NetworkConfig::faulty(0.25, 0.01, 21),
+    );
+    let sender = oracle
+        .iter()
+        .next()
+        .and_then(|a| topology.index_of(a))
+        .unwrap_or(0);
+    sim.process_mut(ProcessId(sender)).pmcast(Event::builder(2).build());
+    sim.run_until_quiescent(400);
+
+    let event = Event::builder(2).build();
+    let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
+    assert!(
+        report.delivery_ratio() > 0.75,
+        "delivery ratio {} under 25% loss",
+        report.delivery_ratio()
+    );
+    assert!(sim.stats().messages_lost > 0);
+}
