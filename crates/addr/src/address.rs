@@ -284,7 +284,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![addr("2.0.0"), addr("1.9.9"), addr("1.10.0"), addr("1.9.10")];
+        let mut v = [addr("2.0.0"), addr("1.9.9"), addr("1.10.0"), addr("1.9.10")];
         v.sort();
         let rendered: Vec<String> = v.iter().map(|a| a.to_string()).collect();
         assert_eq!(rendered, vec!["1.9.9", "1.9.10", "1.10.0", "2.0.0"]);

@@ -107,10 +107,10 @@ impl InfectionChain {
             if mass <= 0.0 {
                 continue;
             }
-            for k in j..=n {
+            for (k, slot) in next.iter_mut().enumerate().skip(j) {
                 let t = self.transition(j, k);
                 if t > 0.0 {
-                    next[k] += mass * t;
+                    *slot += mass * t;
                 }
             }
         }

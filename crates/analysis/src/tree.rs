@@ -368,7 +368,7 @@ mod tests {
         let model = figure4_model();
         for &pd in &[0.1, 0.5, 1.0] {
             let total = model.total_rounds(pd);
-            assert!(total >= 1 && total < 100, "pd={pd} total {total}");
+            assert!((1..100).contains(&total), "pd={pd} total {total}");
             for depth in 1..=3 {
                 assert!(model.rounds_at_depth(pd, depth) < 50);
             }

@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn optimal_depth_is_interior_for_large_groups() {
         let depth = optimal_depth(10_000, 3, 10);
-        assert!(depth >= 3 && depth <= 10, "depth {depth}");
+        assert!((3..=10).contains(&depth), "depth {depth}");
         // Small groups prefer flat membership.
         assert_eq!(optimal_depth(4, 3, 6), 1);
         assert!(optimal_depth(0, 3, 6) >= 1);

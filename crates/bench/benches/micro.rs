@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmcast_addr::AddressSpace;
-use pmcast_core::{build_group, PmcastConfig, SharedViews};
+use pmcast_core::{build_group, Gossip, PmcastConfig, SharedViews};
 use pmcast_interest::{Event, Filter, Interest, InterestSummary, Predicate};
 use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, InterestOracle};
 use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
@@ -52,6 +52,20 @@ fn bench(c: &mut Criterion) {
     c.bench_function("oracle_subtree_count_n512", |b| {
         b.iter(|| oracle.interested_count_under(&pmcast_addr::Prefix::from_components(vec![3]), &probe))
     });
+
+    // The zero-copy gossip hot path: forwarding a buffered event to one
+    // fanout target means cloning the `Gossip` — an Arc refcount bump, not a
+    // deep copy of the attribute map.  This is the per-message unit cost of
+    // the dissemination loop; track it across PRs to keep the hot path flat.
+    let heavy_event = Event::builder(77)
+        .int("b", 4)
+        .float("c", 25.0)
+        .str("e", "a reasonably long string attribute payload")
+        .str("symbol", "NESN")
+        .int("volume", 10_000)
+        .build();
+    let template = Gossip::new(heavy_event, 2, 0.5, 1);
+    c.bench_function("gossip_clone_zero_copy", |b| b.iter(|| template.clone()));
 
     // One full gossip round of a 512-process group with a hot event.
     let mut group = c.benchmark_group("protocol");

@@ -17,7 +17,6 @@
 //! interest oracles as pmcast, so the comparison isolates the dissemination
 //! strategy itself.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use pmcast_addr::Address;
@@ -25,14 +24,16 @@ use pmcast_analysis::pittel;
 use pmcast_interest::{Event, EventId};
 use pmcast_membership::{InterestOracle, TreeTopology};
 use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
-use rand::seq::SliceRandom;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::{DeliveryOutcome, Gossip, PmcastConfig};
 
-/// Shared state of a buffered event in a flat gossip protocol.
+/// Shared state of a buffered event in a flat gossip protocol.  As in the
+/// pmcast hot path, the event is held through an [`Arc`] so forwarding never
+/// copies the payload.
 #[derive(Debug, Clone)]
 struct FlatEntry {
-    event: Event,
+    event: Arc<Event>,
     round: u32,
     budget: u32,
 }
@@ -48,9 +49,11 @@ pub struct FloodBroadcastProcess {
     budget: u32,
     group_size: usize,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
-    buffered: HashMap<EventId, FlatEntry>,
-    delivered: HashSet<EventId>,
-    received: HashSet<EventId>,
+    buffered: FxHashMap<EventId, FlatEntry>,
+    delivered: FxHashSet<EventId>,
+    received: FxHashSet<EventId>,
+    /// Reusable buffer for the fanout draw (indices into the target pool).
+    picks: Vec<usize>,
 }
 
 impl std::fmt::Debug for FloodBroadcastProcess {
@@ -80,18 +83,19 @@ impl FloodBroadcastProcess {
             budget,
             group_size,
             oracle,
-            buffered: HashMap::new(),
-            delivered: HashSet::new(),
-            received: HashSet::new(),
+            buffered: FxHashMap::default(),
+            delivered: FxHashSet::default(),
+            received: FxHashSet::default(),
+            picks: Vec::new(),
         }
     }
 
     /// Publishes an event into the broadcast.
     pub fn broadcast(&mut self, event: Event) {
-        self.accept(event);
+        self.accept(Arc::new(event));
     }
 
-    fn accept(&mut self, event: Event) {
+    fn accept(&mut self, event: Arc<Event>) {
         let id = event.id();
         // `received` doubles as the seen-set: once an event has been
         // buffered (and possibly garbage collected), later copies are
@@ -132,28 +136,28 @@ impl RoundProcess for FloodBroadcastProcess {
     type Message = Gossip;
 
     fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
-        let everyone: Vec<usize> = (0..self.group_size).filter(|&i| i != self.id.0).collect();
-        let mut finished = Vec::new();
+        // The target pool is everyone but us; rather than materializing an
+        // O(n) candidate list per round, draw F distinct indices from
+        // `0..n-1` and shift those at or above our own index by one.
+        let pool = self.group_size.saturating_sub(1);
         let fanout = self.fanout;
-        for (id, entry) in self.buffered.iter_mut() {
+        let own = self.id.0;
+        let mut picks = std::mem::take(&mut self.picks);
+        self.buffered.retain(|_, entry| {
             if entry.round >= entry.budget {
-                finished.push(*id);
-                continue;
+                return false;
             }
             entry.round += 1;
-            let targets: Vec<usize> = everyone
-                .choose_multiple(ctx.rng(), fanout.min(everyone.len()))
-                .copied()
-                .collect();
-            for target in targets {
-                let gossip = Gossip::new(entry.event.clone(), 1, 1.0, entry.round);
+            ctx.choose_indices_into(pool, fanout, &mut picks);
+            for &pick in &picks {
+                let target = if pick >= own { pick + 1 } else { pick };
+                let gossip = Gossip::new(Arc::clone(&entry.event), 1, 1.0, entry.round);
                 let size = gossip.wire_size();
                 ctx.send_sized(ProcessId(target), gossip, size);
             }
-        }
-        for id in finished {
-            self.buffered.remove(&id);
-        }
+            true
+        });
+        self.picks = picks;
     }
 
     fn on_message(&mut self, _from: ProcessId, gossip: Gossip, _ctx: &mut RoundContext<'_, Gossip>) {
@@ -212,10 +216,13 @@ pub struct GenuineMulticastProcess {
     env: pmcast_analysis::EnvParams,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
     /// Interested peers per event, resolved lazily from the shared directory.
-    directory: Arc<HashMap<EventId, Vec<ProcessId>>>,
-    buffered: HashMap<EventId, FlatEntry>,
-    delivered: HashSet<EventId>,
-    received: HashSet<EventId>,
+    directory: Arc<FxHashMap<EventId, Vec<ProcessId>>>,
+    buffered: FxHashMap<EventId, FlatEntry>,
+    delivered: FxHashSet<EventId>,
+    received: FxHashSet<EventId>,
+    /// Reusable buffers for candidate targets and the fanout draw.
+    candidates: Vec<ProcessId>,
+    picks: Vec<usize>,
 }
 
 impl std::fmt::Debug for GenuineMulticastProcess {
@@ -232,7 +239,7 @@ impl GenuineMulticastProcess {
         pittel::round_budget(audience as f64, self.fanout as f64, &self.env).min(self.max_rounds)
     }
 
-    fn accept(&mut self, event: Event) {
+    fn accept(&mut self, event: Arc<Event>) {
         let id = event.id();
         // As for the flooding baseline, the received set doubles as the
         // seen-set so garbage-collected events are not resurrected.
@@ -255,7 +262,7 @@ impl GenuineMulticastProcess {
 
     /// Publishes an event into the genuine multicast.
     pub fn multicast(&mut self, event: Event) {
-        self.accept(event);
+        self.accept(Arc::new(event));
     }
 
     /// Returns `true` if the event was delivered locally.
@@ -278,34 +285,31 @@ impl RoundProcess for GenuineMulticastProcess {
     type Message = Gossip;
 
     fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
-        let mut finished = Vec::new();
         let fanout = self.fanout;
         let own_id = self.id;
-        for (id, entry) in self.buffered.iter_mut() {
+        let directory = Arc::clone(&self.directory);
+        let mut candidates = std::mem::take(&mut self.candidates);
+        let mut picks = std::mem::take(&mut self.picks);
+        self.buffered.retain(|id, entry| {
             if entry.round >= entry.budget {
-                finished.push(*id);
-                continue;
+                return false;
             }
             entry.round += 1;
-            let Some(audience) = self.directory.get(id) else {
-                finished.push(*id);
-                continue;
+            let Some(audience) = directory.get(id) else {
+                return false;
             };
-            let candidates: Vec<ProcessId> =
-                audience.iter().copied().filter(|&p| p != own_id).collect();
-            let targets: Vec<ProcessId> = candidates
-                .choose_multiple(ctx.rng(), fanout.min(candidates.len()))
-                .copied()
-                .collect();
-            for target in targets {
-                let gossip = Gossip::new(entry.event.clone(), 1, 1.0, entry.round);
+            candidates.clear();
+            candidates.extend(audience.iter().copied().filter(|&p| p != own_id));
+            ctx.choose_indices_into(candidates.len(), fanout, &mut picks);
+            for &pick in &picks {
+                let gossip = Gossip::new(Arc::clone(&entry.event), 1, 1.0, entry.round);
                 let size = gossip.wire_size();
-                ctx.send_sized(target, gossip, size);
+                ctx.send_sized(candidates[pick], gossip, size);
             }
-        }
-        for id in finished {
-            self.buffered.remove(&id);
-        }
+            true
+        });
+        self.candidates = candidates;
+        self.picks = picks;
     }
 
     fn on_message(&mut self, _from: ProcessId, gossip: Gossip, _ctx: &mut RoundContext<'_, Gossip>) {
@@ -341,7 +345,7 @@ pub fn build_genuine_group<T: TreeTopology>(
 ) -> Vec<GenuineMulticastProcess> {
     config.validate();
     let members = topology.members();
-    let mut directory: HashMap<EventId, Vec<ProcessId>> = HashMap::new();
+    let mut directory: FxHashMap<EventId, Vec<ProcessId>> = FxHashMap::default();
     for event in events {
         let interested = members
             .iter()
@@ -363,9 +367,11 @@ pub fn build_genuine_group<T: TreeTopology>(
             env: config.env,
             oracle: Arc::clone(&oracle),
             directory: Arc::clone(&directory),
-            buffered: HashMap::new(),
-            delivered: HashSet::new(),
-            received: HashSet::new(),
+            buffered: FxHashMap::default(),
+            delivered: FxHashSet::default(),
+            received: FxHashSet::default(),
+            candidates: Vec::new(),
+            picks: Vec::new(),
         })
         .collect()
 }

@@ -1,16 +1,20 @@
-use std::collections::HashSet;
+use std::sync::Arc;
 
 use pmcast_addr::Depth;
 use pmcast_interest::{Event, EventId};
+use rustc_hash::FxHashSet;
 
 /// One buffered event at one depth: the `(event, rate, round)` tuples of the
 /// `gossips[depth]` sets in Figure 3, extended with the precomputed round
 /// budget so the Pittel estimate is evaluated once per depth rather than
 /// once per round.
+///
+/// The event is held through an [`Arc`]: buffering, promoting and forwarding
+/// an event never copies its payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BufferedGossip {
-    /// The buffered event.
-    pub event: Event,
+    /// The buffered event (shared with every other holder).
+    pub event: Arc<Event>,
     /// Matching rate at this depth.
     pub rate: f64,
     /// Rounds this event has already been gossiped at this depth.
@@ -26,11 +30,13 @@ pub struct BufferedGossip {
 /// an event lives in a depth's buffer for at most its round budget, after
 /// which it is either promoted to the next depth or dropped for good.  The
 /// `seen` set prevents a late gossip from resurrecting an already
-/// garbage-collected event.
+/// garbage-collected event; it is an [`FxHashSet`] because the 64-bit event
+/// identifiers need no SipHash DoS protection and the membership test sits
+/// on the per-message hot path.
 #[derive(Debug, Clone)]
 pub struct GossipBuffers {
     by_depth: Vec<Vec<BufferedGossip>>,
-    seen: HashSet<EventId>,
+    seen: FxHashSet<EventId>,
 }
 
 impl GossipBuffers {
@@ -43,7 +49,7 @@ impl GossipBuffers {
         assert!(depth >= 1, "a tree has at least one depth");
         Self {
             by_depth: vec![Vec::new(); depth],
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         }
     }
 
@@ -91,10 +97,9 @@ impl GossipBuffers {
     /// `∄ depth ∃ (event, …) ∈ gossips[depth]` guard of Figure 3, line 20,
     /// hardened into "never seen before").  Returns `true` if inserted.
     pub fn insert(&mut self, depth: Depth, gossip: BufferedGossip) -> bool {
-        if self.seen.contains(&gossip.event.id()) {
+        if !self.seen.insert(gossip.event.id()) {
             return false;
         }
-        self.seen.insert(gossip.event.id());
         self.at_depth_mut(depth).push(gossip);
         true
     }
@@ -118,7 +123,7 @@ mod tests {
 
     fn gossip(id: u64) -> BufferedGossip {
         BufferedGossip {
-            event: Event::builder(id).int("b", 1).build(),
+            event: Arc::new(Event::builder(id).int("b", 1).build()),
             rate: 0.5,
             round: 0,
             budget: 5,
@@ -139,16 +144,19 @@ mod tests {
     }
 
     #[test]
-    fn promote_moves_between_depths() {
+    fn promote_moves_between_depths_without_copying() {
         let mut buffers = GossipBuffers::new(2);
         buffers.insert(1, gossip(1));
         let entry = buffers.at_depth_mut(1).pop().unwrap();
+        let payload = Arc::clone(&entry.event);
         buffers.promote(2, entry);
         assert!(buffers.at_depth(1).is_empty());
         assert_eq!(buffers.at_depth(2).len(), 1);
         assert!(!buffers.is_empty());
-        // Promotion does not change the seen set.
+        // Promotion does not change the seen set …
         assert_eq!(buffers.seen_count(), 1);
+        // … and moves the same shared payload, never a copy.
+        assert!(Arc::ptr_eq(&payload, &buffers.at_depth(2)[0].event));
     }
 
     #[test]

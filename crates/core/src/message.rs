@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use pmcast_addr::Depth;
@@ -10,10 +12,16 @@ use pmcast_interest::Event;
 /// and the round counter within that depth — everything a receiver needs to
 /// file the event into the right gossip buffer and keep forwarding it with
 /// a consistent round budget.
+///
+/// The event rides in an [`Arc`], so the hot path of the simulation —
+/// cloning one gossip per target per round — bumps a reference count
+/// instead of deep-copying the attribute map: a multicast allocates its
+/// payload exactly once, no matter how many processes, rounds and fanout
+/// targets it traverses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Gossip {
-    /// The multicast event being disseminated.
-    pub event: Event,
+    /// The multicast event being disseminated (shared, never copied).
+    pub event: Arc<Event>,
     /// The tree depth the event is currently gossiped at.
     pub depth: Depth,
     /// The matching rate (fraction of interested entries) computed for this
@@ -24,10 +32,11 @@ pub struct Gossip {
 }
 
 impl Gossip {
-    /// Creates a gossip message.
-    pub fn new(event: Event, depth: Depth, rate: f64, round: u32) -> Self {
+    /// Creates a gossip message; accepts an owned [`Event`] or an existing
+    /// shared handle.
+    pub fn new(event: impl Into<Arc<Event>>, depth: Depth, rate: f64, round: u32) -> Self {
         Self {
-            event,
+            event: event.into(),
             depth,
             rate,
             round,
@@ -54,8 +63,16 @@ mod tests {
         assert_eq!(gossip.depth, 2);
         assert_eq!(gossip.round, 3);
         assert!((gossip.rate - 0.5).abs() < f64::EPSILON);
-        assert_eq!(gossip.event, event);
+        assert_eq!(*gossip.event, event);
         assert!(gossip.wire_size() > event.payload_size());
+    }
+
+    #[test]
+    fn cloning_shares_the_payload() {
+        let gossip = Gossip::new(Event::builder(1).int("b", 1).build(), 1, 1.0, 0);
+        let copy = gossip.clone();
+        assert!(Arc::ptr_eq(&gossip.event, &copy.event));
+        assert_eq!(Arc::strong_count(&gossip.event), 2);
     }
 
     #[test]

@@ -1,4 +1,3 @@
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use pmcast_addr::{Address, Depth};
@@ -6,7 +5,8 @@ use pmcast_analysis::pittel;
 use pmcast_interest::{Event, EventId};
 use pmcast_membership::{InterestOracle, TreeTopology};
 use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
-use rand::seq::SliceRandom;
+use rand::Rng;
+use rustc_hash::FxHashSet;
 
 use crate::{BufferedGossip, Gossip, GossipBuffers, GossipTarget, PmcastConfig, SharedViews};
 
@@ -67,6 +67,15 @@ pub fn build_group<T: TreeTopology>(
     }
 }
 
+/// Reusable per-process work buffers for the gossip round loop, so the hot
+/// path allocates nothing after warm-up: candidate target positions for the
+/// fanout draw and the events promoted to the next depth this round.
+#[derive(Debug, Default)]
+struct GossipScratch {
+    candidates: Vec<usize>,
+    promoted: Vec<Arc<Event>>,
+}
+
 /// One process running the pmcast algorithm of Figure 3.
 pub struct PmcastProcess {
     address: Address,
@@ -75,10 +84,11 @@ pub struct PmcastProcess {
     views: Arc<SharedViews>,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
     buffers: GossipBuffers,
-    delivered: Vec<Event>,
-    delivered_ids: HashSet<EventId>,
-    received_ids: HashSet<EventId>,
+    delivered: Vec<Arc<Event>>,
+    delivered_ids: FxHashSet<EventId>,
+    received_ids: FxHashSet<EventId>,
     rounds_active: u64,
+    scratch: GossipScratch,
 }
 
 impl std::fmt::Debug for PmcastProcess {
@@ -110,9 +120,10 @@ impl PmcastProcess {
             oracle,
             buffers: GossipBuffers::new(depth),
             delivered: Vec::new(),
-            delivered_ids: HashSet::new(),
-            received_ids: HashSet::new(),
+            delivered_ids: FxHashSet::default(),
+            received_ids: FxHashSet::default(),
             rounds_active: 0,
+            scratch: GossipScratch::default(),
         }
     }
 
@@ -127,8 +138,9 @@ impl PmcastProcess {
     }
 
     /// Events delivered to the application (`HPDELIVER` in Figure 3), in
-    /// delivery order.
-    pub fn delivered(&self) -> &[Event] {
+    /// delivery order.  The handles share the payload with the gossip layer;
+    /// delivery never copies an event.
+    pub fn delivered(&self) -> &[Arc<Event>] {
         &self.delivered
     }
 
@@ -159,13 +171,18 @@ impl PmcastProcess {
     /// Following the prose of Section 3 the event is injected at the root
     /// depth; with the local-interest shortcut enabled it skips depths in
     /// which only the multicaster's own subtree is interested.
+    ///
+    /// This is the single point where a multicast's payload is allocated:
+    /// from here on every buffer entry, gossip message and delivery holds an
+    /// [`Arc`] to this one allocation.
     pub fn pmcast(&mut self, event: Event) {
+        let event = Arc::new(event);
         let depth = self.initial_depth(&event);
         let rate = self.effective_rate(depth, &event);
         let budget = self.round_budget(depth, rate);
         self.received_ids.insert(event.id());
         if self.oracle.is_interested(&self.address, &event) {
-            self.deliver(event.clone());
+            self.deliver(&event);
         }
         self.buffers.insert(
             depth,
@@ -254,65 +271,89 @@ impl PmcastProcess {
         }
     }
 
-    fn deliver(&mut self, event: Event) {
+    fn deliver(&mut self, event: &Arc<Event>) {
         if self.delivered_ids.insert(event.id()) {
-            self.delivered.push(event);
+            self.delivered.push(Arc::clone(event));
         }
     }
 
     /// One iteration of the `GOSSIP` task of Figure 3 for a single depth.
+    ///
+    /// Allocation-free after warm-up: the per-depth entry vector is filtered
+    /// in place, fanout targets are drawn by a partial Fisher–Yates over a
+    /// reusable index buffer, and each sent gossip shares the event payload
+    /// through its [`Arc`].
     fn gossip_depth(&mut self, depth: Depth, ctx: &mut RoundContext<'_, Gossip>) {
+        // Check emptiness before taking the buffer: a `mem::take` on the
+        // empty-but-warm vec would discard its capacity.
+        if self.buffers.at_depth(depth).is_empty() {
+            return;
+        }
+        // Move the entries and the scratch space out of `self` so the loop
+        // below can mutate them while borrowing `self` shared for the
+        // interest tests.
+        let mut entries = std::mem::take(self.buffers.at_depth_mut(depth));
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         let view = self.views.view_for(&self.address, depth);
         let d = self.views.depth();
         let fanout = self.config.fanout;
         let own_id = self.id;
 
-        // Take the entries out to avoid aliasing `self` while we both send
-        // messages and compute promotion rates.
-        let mut entries = std::mem::take(self.buffers.at_depth_mut(depth));
-        let mut kept = Vec::with_capacity(entries.len());
-        let mut promoted = Vec::new();
+        // Candidate destinations (everyone in the view but ourselves),
+        // computed once per depth and re-shuffled per entry.
+        scratch.candidates.clear();
+        scratch
+            .candidates
+            .extend((0..view.len()).filter(|&i| view[i].id != own_id));
 
-        for mut entry in entries.drain(..) {
+        entries.retain_mut(|entry| {
             if entry.round < entry.budget {
                 entry.round += 1;
                 // Choose F distinct destinations uniformly from the view,
                 // then send only to those that pass the interest test
                 // (Figure 3, lines 10–14).
-                let candidates: Vec<usize> = (0..view.len())
-                    .filter(|&i| view[i].id != own_id)
-                    .collect();
-                let chosen: Vec<usize> = candidates
-                    .choose_multiple(ctx.rng(), fanout.min(candidates.len()))
-                    .copied()
-                    .collect();
-                for position in chosen {
+                let picks = fanout.min(scratch.candidates.len());
+                for slot in 0..picks {
+                    let swap = ctx.rng().gen_range(slot..scratch.candidates.len());
+                    scratch.candidates.swap(slot, swap);
+                    let position = scratch.candidates[slot];
                     let target = &view[position];
                     if self.target_selected(target, position, &entry.event) {
-                        let gossip = Gossip::new(entry.event.clone(), depth, entry.rate, entry.round);
+                        let gossip =
+                            Gossip::new(Arc::clone(&entry.event), depth, entry.rate, entry.round);
                         let size = gossip.wire_size();
                         ctx.send_sized(target.id, gossip, size);
                     }
                 }
-                kept.push(entry);
-            } else if depth < d {
-                // Budget exhausted: promote to the next depth (lines 16–18).
-                let next_rate = self.effective_rate(depth + 1, &entry.event);
-                let budget = self.round_budget(depth + 1, next_rate);
-                promoted.push(BufferedGossip {
-                    event: entry.event,
+                true
+            } else {
+                if depth < d {
+                    // Budget exhausted: promote to the next depth
+                    // (lines 16–18).
+                    scratch.promoted.push(Arc::clone(&entry.event));
+                }
+                // At the leaf depth an exhausted entry is simply garbage
+                // collected.
+                false
+            }
+        });
+
+        *self.buffers.at_depth_mut(depth) = entries;
+        for event in scratch.promoted.drain(..) {
+            let next_rate = self.effective_rate(depth + 1, &event);
+            let budget = self.round_budget(depth + 1, next_rate);
+            self.buffers.promote(
+                depth + 1,
+                BufferedGossip {
+                    event,
                     rate: next_rate,
                     round: 0,
                     budget,
-                });
-            }
-            // At the leaf depth an exhausted entry is simply garbage collected.
+                },
+            );
         }
-
-        *self.buffers.at_depth_mut(depth) = kept;
-        for entry in promoted {
-            self.buffers.promote(depth + 1, entry);
-        }
+        self.scratch = scratch;
     }
 }
 
@@ -335,10 +376,11 @@ impl RoundProcess for PmcastProcess {
             return;
         }
         // File the event into the buffer of the depth it is travelling at
-        // (Figure 3, lines 19–23).
+        // (Figure 3, lines 19–23); buffering and delivery share the payload.
         let budget = self.round_budget(gossip.depth, gossip.rate);
-        let interested = self.oracle.is_interested(&self.address, &gossip.event);
-        let event = gossip.event.clone();
+        if self.oracle.is_interested(&self.address, &gossip.event) {
+            self.deliver(&gossip.event);
+        }
         self.buffers.insert(
             gossip.depth,
             BufferedGossip {
@@ -348,9 +390,6 @@ impl RoundProcess for PmcastProcess {
                 budget,
             },
         );
-        if interested {
-            self.deliver(event);
-        }
     }
 
     fn is_quiescent(&self) -> bool {
@@ -650,5 +689,46 @@ mod tests {
             (delivered, stats.messages_sent)
         };
         assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn shared_payload_gossip_preserves_delivery_and_spurious_counts() {
+        // The zero-copy hot path must be behaviour-preserving: on a small
+        // group with a known interest assignment, delivery and spurious
+        // reception come out exactly as the protocol semantics dictate.
+        let interested: Vec<Address> = ["0.0", "0.1", "1.0", "1.1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let oracle = Arc::new(AssignmentOracle::new(interested.clone()));
+        let event = Event::builder(55).int("b", 9).str("e", "Bob").build();
+        let (processes, _) = run_multicast(
+            oracle.clone(),
+            PmcastConfig::default(),
+            NetworkConfig::reliable(13),
+            event.clone(),
+            0,
+        );
+        let report =
+            crate::MulticastReport::collect(&event, &processes, oracle.as_ref());
+        // Every interested process delivers on a reliable network …
+        assert_eq!(report.interested, 4);
+        assert_eq!(report.delivered_interested, 4);
+        // … nobody delivers without interest …
+        for p in &processes {
+            assert_eq!(
+                p.has_delivered(event.id()),
+                oracle.is_interested(p.address(), &event)
+            );
+        }
+        // … and the delivered handles all point at shared payloads equal to
+        // the original event (the Arc plumbing never mutated or re-built it).
+        for p in processes.iter().filter(|p| p.has_delivered(event.id())) {
+            assert_eq!(p.delivered().len(), 1);
+            assert_eq!(*p.delivered()[0], event);
+        }
+        // Spurious reception stays bounded to delegates of interested
+        // subtrees, exactly as the pre-Arc protocol behaved.
+        assert!(report.received_uninterested <= 4);
     }
 }

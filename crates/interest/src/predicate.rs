@@ -186,8 +186,10 @@ impl fmt::Display for NumericRange {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum Predicate {
     /// Matches any value (wildcard).
+    #[default]
     Any,
     /// Matches values equal to the given one (numeric coercion applies).
     Eq(AttributeValue),
@@ -335,11 +337,6 @@ impl Predicate {
     }
 }
 
-impl Default for Predicate {
-    fn default() -> Self {
-        Predicate::Any
-    }
-}
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

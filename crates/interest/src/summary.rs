@@ -127,7 +127,7 @@ impl InterestSummary {
     /// would be exceeded.
     pub fn absorb_filter(&mut self, filter: Filter) {
         // An existing disjunct identical to the new filter makes it redundant.
-        if self.disjuncts.iter().any(|existing| *existing == filter) {
+        if self.disjuncts.contains(&filter) {
             return;
         }
         // A match-all disjunct absorbs everything.

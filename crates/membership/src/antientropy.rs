@@ -70,7 +70,7 @@ impl ViewDigest {
     /// Rough wire size of the digest in bytes.
     pub fn wire_size(&self) -> usize {
         self.lines.len() * (std::mem::size_of::<LineKey>() + std::mem::size_of::<u64>())
-            + self.owner.components().len() * std::mem::size_of::<Component>()
+            + std::mem::size_of_val(self.owner.components())
     }
 }
 

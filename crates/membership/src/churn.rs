@@ -414,6 +414,6 @@ mod tests {
         assert!(m.now() >= t0 + 3);
         // table_mut exposes the table for anti-entropy.
         let depth = m.depth();
-        assert_eq!(m.table_mut().view_mut(depth).entries_mut().is_empty(), false);
+        assert!(!m.table_mut().view_mut(depth).entries_mut().is_empty());
     }
 }

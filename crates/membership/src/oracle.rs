@@ -365,7 +365,7 @@ mod tests {
         let oracle = UniformOracle::new(10);
         let by_ref: &dyn InterestOracle = &oracle;
         assert!(by_ref.is_interested(&"0.0".parse().unwrap(), &event()));
-        assert_eq!((&oracle).interested_total(&event()), 10);
+        assert_eq!(oracle.interested_total(&event()), 10);
     }
 
     #[test]

@@ -259,7 +259,7 @@ impl ViewTable {
             if view_depth == depth {
                 for neighbour in tree.members_under(&parent) {
                     let summary = InterestSummary::from_filters(
-                        tree.subscription(&neighbour).cloned().into_iter(),
+                        tree.subscription(&neighbour).cloned(),
                     );
                     entries.push(ViewEntry::new(
                         neighbour.as_prefix(),
@@ -356,7 +356,7 @@ impl ViewTable {
             .map(|e| {
                 e.delegates()
                     .iter()
-                    .map(|d| d.components().len() * std::mem::size_of::<Component>())
+                    .map(|d| std::mem::size_of_val(d.components()))
                     .sum::<usize>()
                     + e.summary().footprint()
                     + std::mem::size_of::<u64>()

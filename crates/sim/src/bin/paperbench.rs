@@ -1,0 +1,55 @@
+//! Times the paper-scale reliability experiment point (`a = 22`, `d = 3`,
+//! `n = 10 648`, matching rate 0.5) — the unit of work behind Figures 4/5/7
+//! — and prints wall-clock plus outcome, so hot-path PRs can report
+//! before/after numbers from one command.
+//!
+//! ```text
+//! cargo run --release -p pmcast-sim --bin paperbench -- [TRIALS] [--sequential]
+//! ```
+
+use std::time::Instant;
+
+use pmcast_sim::runner::{
+    run_experiment, run_experiment_parallel, ExperimentConfig, Protocol,
+};
+
+fn main() {
+    let mut trials = 3usize;
+    let mut sequential = false;
+    let mut protocol = Protocol::Pmcast;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--sequential" => sequential = true,
+            "--flood" => protocol = Protocol::FloodBroadcast,
+            other => {
+                trials = other.parse().unwrap_or_else(|_| {
+                    panic!("expected a trial count, --sequential or --flood, got {other:?}")
+                });
+            }
+        }
+    }
+    let config = ExperimentConfig::paper_reliability()
+        .with_trials(trials)
+        .with_matching_rate(0.5)
+        .with_protocol_kind(protocol);
+    let started = Instant::now();
+    let outcome = if sequential {
+        run_experiment(&config)
+    } else {
+        run_experiment_parallel(&config)
+    };
+    let elapsed = started.elapsed();
+    println!(
+        "n={} trials={} mode={} threads={} delivery={:.4} spurious={:.4} messages={:.0} rounds={:.1} elapsed={:.3}s ({:.3}s/trial)",
+        config.group_size(),
+        trials,
+        if sequential { "sequential" } else { "parallel" },
+        if sequential { 1 } else { rayon::current_num_threads() },
+        outcome.delivery_mean,
+        outcome.spurious_mean,
+        outcome.messages_mean,
+        outcome.rounds_mean,
+        elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() / trials as f64,
+    );
+}

@@ -5,7 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::report::FigureRow;
-use crate::runner::{run_experiment, Protocol};
+use crate::runner::{run_experiment_parallel, Protocol};
 
 use super::Profile;
 
@@ -68,7 +68,7 @@ pub fn run(profile: Profile) -> Vec<BaselineRow> {
             (PROTOCOL_FLOODING, Protocol::FloodBroadcast),
             (PROTOCOL_GENUINE, Protocol::GenuineMulticast),
         ] {
-            let outcome = run_experiment(
+            let outcome = run_experiment_parallel(
                 &base
                     .clone()
                     .with_matching_rate(matching_rate)

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use pmcast_analysis::{tree::TreeModel, GroupParams};
 
 use crate::report::FigureRow;
-use crate::runner::{run_experiment, ExperimentConfig};
+use crate::runner::{run_experiment_parallel, ExperimentConfig};
 
 use super::Profile;
 
@@ -72,7 +72,7 @@ pub fn run(profile: Profile) -> Vec<ReliabilityRow> {
         .into_iter()
         .map(|matching_rate| {
             let config = base.clone().with_matching_rate(matching_rate);
-            let outcome = run_experiment(&config);
+            let outcome = run_experiment_parallel(&config);
             let analytical = model.reliability(matching_rate);
             ReliabilityRow {
                 matching_rate,

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use pmcast_analysis::{pittel, tree::TreeModel, GroupParams};
 
 use crate::report::FigureRow;
-use crate::runner::run_experiment;
+use crate::runner::run_experiment_parallel;
 
 use super::Profile;
 
@@ -64,7 +64,7 @@ pub fn run(profile: Profile) -> Vec<RoundsRow> {
         .matching_rates()
         .into_iter()
         .map(|matching_rate| {
-            let outcome = run_experiment(&base.clone().with_matching_rate(matching_rate));
+            let outcome = run_experiment_parallel(&base.clone().with_matching_rate(matching_rate));
             let n = base.group_size() as f64;
             let flat = pittel::rounds_estimate_faulty(
                 n * matching_rate,

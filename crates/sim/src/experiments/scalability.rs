@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::report::FigureRow;
-use crate::runner::run_experiment;
+use crate::runner::run_experiment_parallel;
 
 use super::Profile;
 
@@ -46,8 +46,8 @@ pub fn run(profile: Profile) -> Vec<ScalabilityRow> {
         .into_iter()
         .map(|arity| {
             let base = profile.scalability_base(arity);
-            let at_half = run_experiment(&base.clone().with_matching_rate(0.5));
-            let at_fifth = run_experiment(&base.clone().with_matching_rate(0.2));
+            let at_half = run_experiment_parallel(&base.clone().with_matching_rate(0.5));
+            let at_fifth = run_experiment_parallel(&base.clone().with_matching_rate(0.2));
             ScalabilityRow {
                 arity: arity as f64,
                 group_size: base.group_size() as f64,

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::report::FigureRow;
-use crate::runner::run_experiment;
+use crate::runner::run_experiment_parallel;
 
 use super::Profile;
 
@@ -60,12 +60,12 @@ pub fn run_with_threshold(profile: Profile, threshold: usize) -> Vec<TuningRow> 
         .matching_rates()
         .into_iter()
         .map(|matching_rate| {
-            let original = run_experiment(&base.clone().with_matching_rate(matching_rate));
+            let original = run_experiment_parallel(&base.clone().with_matching_rate(matching_rate));
             let tuned_config = base
                 .clone()
                 .with_matching_rate(matching_rate)
                 .with_protocol(base.protocol.clone().with_tuning(threshold));
-            let tuned = run_experiment(&tuned_config);
+            let tuned = run_experiment_parallel(&tuned_config);
             TuningRow {
                 matching_rate,
                 delivery_original: original.delivery_mean,

@@ -21,6 +21,17 @@
 //! group, few trials — used in tests and CI) to the full paper-scale profile
 //! (`a = 22`, `d = 3`, `n = 10 648`).
 //!
+//! ## Performance architecture
+//!
+//! All experiment sweeps run their Monte-Carlo trials through
+//! [`runner::run_trials_parallel`], which fans independent trials out over
+//! every available core. Trial `t` derives its entire randomness stream from
+//! `seed + t`, so the parallel runner is **bit-identical** to the sequential
+//! [`runner::run_trials`] — same `AggregateOutcome`, any thread count, any
+//! scheduling — which the test suite asserts. When adding experiments, keep
+//! all randomness derived from the per-trial seed (never from state shared
+//! between trials) and parallelism remains free and deterministic.
+//!
 //! ## Example
 //!
 //! ```rust

@@ -3,8 +3,10 @@ use serde::{Deserialize, Serialize};
 /// Failure injection plan: which processes crash, and when.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum CrashPlan {
     /// Nobody crashes.
+    #[default]
     None,
     /// Crash a uniformly random fraction `τ` of the processes before the
     /// run starts (the paper's model: `τ = f / n` crash "during the run";
@@ -14,11 +16,6 @@ pub enum CrashPlan {
     Scheduled(Vec<(u64, usize)>),
 }
 
-impl Default for CrashPlan {
-    fn default() -> Self {
-        CrashPlan::None
-    }
-}
 
 /// Configuration of the simulated network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -1,3 +1,5 @@
+use std::collections::VecDeque;
+
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -84,18 +86,46 @@ impl<M> RoundContext<'_, M> {
 
     /// Picks up to `count` distinct random elements of `candidates`
     /// (convenience for fanout-style gossip target selection).
+    ///
+    /// Allocates the returned vector; hot paths should prefer
+    /// [`choose_indices_into`](Self::choose_indices_into) with a reused
+    /// buffer.
     pub fn choose_targets<'c, T>(&mut self, candidates: &'c [T], count: usize) -> Vec<&'c T> {
         candidates.choose_multiple(self.rng, count.min(candidates.len())).collect()
+    }
+
+    /// Allocation-free target selection: clears `out` and fills it with up
+    /// to `count` distinct indices into `0..pool`, drawn uniformly.  With a
+    /// caller-reused buffer the steady-state cost is O(count) time and zero
+    /// allocation.
+    pub fn choose_indices_into(&mut self, pool: usize, count: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let count = count.min(pool);
+        while out.len() < count {
+            let candidate = self.rng.gen_range(0..pool);
+            if !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
     }
 }
 
 /// Drives a set of [`RoundProcess`] state machines over a [`RoundNetwork`].
+///
+/// The round loop is allocation-free after warm-up: the inbox and outbox
+/// buffers are owned by the simulation and reused every round, and the crash
+/// schedule drains through a [`VecDeque`] cursor instead of repeatedly
+/// shifting a vector.
 pub struct Simulation<P: RoundProcess> {
     processes: Vec<P>,
     network: RoundNetwork<P::Message>,
     protocol_rng: ChaCha8Rng,
-    scheduled_crashes: Vec<(u64, usize)>,
+    scheduled_crashes: VecDeque<(u64, usize)>,
     round: u64,
+    /// Reused across rounds: messages delivered at the current boundary.
+    inbox: Vec<Envelope<P::Message>>,
+    /// Reused across rounds: messages emitted by the process being driven.
+    outbox: Vec<(ProcessId, P::Message, usize)>,
 }
 
 impl<P: RoundProcess> std::fmt::Debug for Simulation<P> {
@@ -115,7 +145,7 @@ impl<P: RoundProcess> Simulation<P> {
         let network_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
         let protocol_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
         let mut network = RoundNetwork::new(processes.len(), config.loss_probability, network_rng);
-        let mut scheduled_crashes = Vec::new();
+        let mut scheduled_crashes = VecDeque::new();
         match &config.crash_plan {
             CrashPlan::None => {}
             CrashPlan::InitialFraction(fraction) => {
@@ -127,8 +157,9 @@ impl<P: RoundProcess> Simulation<P> {
                 }
             }
             CrashPlan::Scheduled(schedule) => {
-                scheduled_crashes = schedule.clone();
-                scheduled_crashes.sort();
+                let mut sorted = schedule.clone();
+                sorted.sort();
+                scheduled_crashes = sorted.into();
             }
         }
         Self {
@@ -137,6 +168,8 @@ impl<P: RoundProcess> Simulation<P> {
             protocol_rng,
             scheduled_crashes,
             round: 0,
+            inbox: Vec::new(),
+            outbox: Vec::new(),
         }
     }
 
@@ -187,21 +220,24 @@ impl<P: RoundProcess> Simulation<P> {
     }
 
     /// Executes one synchronous round: deliver last round's messages, then
-    /// let every live process act.
+    /// let every live process act.  Reuses the simulation-owned inbox and
+    /// outbox buffers, so steady-state rounds allocate nothing.
     pub fn step(&mut self) {
-        // Apply scheduled crashes for this round.
-        while let Some(&(when, index)) = self.scheduled_crashes.first() {
+        // Apply scheduled crashes for this round (O(1) per crash thanks to
+        // the deque cursor).
+        while let Some(&(when, index)) = self.scheduled_crashes.front() {
             if when > self.round {
                 break;
             }
             self.network.crash(ProcessId(index));
-            self.scheduled_crashes.remove(0);
+            self.scheduled_crashes.pop_front();
         }
 
-        let delivered: Vec<Envelope<P::Message>> = self.network.deliver_round();
-        let mut outbox: Vec<(ProcessId, P::Message, usize)> = Vec::new();
+        let mut inbox = std::mem::take(&mut self.inbox);
+        let mut outbox = std::mem::take(&mut self.outbox);
+        self.network.deliver_round_into(&mut inbox);
 
-        for envelope in delivered {
+        for envelope in inbox.drain(..) {
             if self.network.is_crashed(envelope.to) {
                 continue;
             }
@@ -236,6 +272,8 @@ impl<P: RoundProcess> Simulation<P> {
                 self.network.send(id, to, message, size);
             }
         }
+        self.inbox = inbox;
+        self.outbox = outbox;
         self.round += 1;
     }
 

@@ -19,6 +19,15 @@
 //! Determinism: all randomness flows from a single [`rand_chacha`] PRNG
 //! seeded by the caller, so any run can be replayed bit-for-bit.
 //!
+//! Performance: the round loop is allocation-free at steady state.
+//! [`Simulation::step`] reuses simulation-owned inbox/outbox buffers,
+//! [`RoundNetwork::deliver_round_into`] recycles the in-flight queue's
+//! capacity, scheduled crashes drain through a `VecDeque` cursor, and
+//! [`RoundContext::choose_indices_into`] offers allocation-free fanout
+//! target selection for protocols (messages themselves should carry their
+//! payloads in `Arc`s, as `pmcast-core` does, so per-target clones are
+//! refcount bumps).
+//!
 //! ## Example
 //!
 //! ```rust

@@ -141,8 +141,18 @@ impl<M> RoundNetwork<M> {
     /// advances the round counter.  Messages to processes that crashed
     /// *after* the send are still filtered out here.
     pub fn deliver_round(&mut self) -> Vec<Envelope<M>> {
-        self.round += 1;
         let mut delivered = Vec::with_capacity(self.in_flight.len());
+        self.deliver_round_into(&mut delivered);
+        delivered
+    }
+
+    /// Allocation-free variant of [`deliver_round`](Self::deliver_round):
+    /// clears `delivered` and moves this round's messages into it, so a
+    /// caller-held buffer (and the internal in-flight buffer) keep their
+    /// capacity across rounds.
+    pub fn deliver_round_into(&mut self, delivered: &mut Vec<Envelope<M>>) {
+        self.round += 1;
+        delivered.clear();
         for envelope in self.in_flight.drain(..) {
             if self.crashed.get(envelope.to.0).copied().unwrap_or(true) {
                 self.stats.messages_to_crashed += 1;
@@ -151,7 +161,6 @@ impl<M> RoundNetwork<M> {
             self.stats.messages_delivered += 1;
             delivered.push(envelope);
         }
-        delivered
     }
 
     /// Returns `true` if no messages are currently in flight.

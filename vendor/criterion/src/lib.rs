@@ -1,0 +1,250 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, `Criterion`,
+//! benchmark groups and `Bencher::iter` with a simple adaptive wall-clock
+//! measurement: warm up briefly, then time batches until enough samples are
+//! collected, and print mean / median per iteration. Results are also
+//! appended as JSON lines to the file named by `CRITERION_JSON` (if set), so
+//! benchmark trajectories can be recorded across runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            name: name.to_string(),
+            measurement: self.measurement,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive harness ignores it.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            name: format!("{}/{}", self.name, id.name),
+            measurement: self.criterion.measurement,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Measures one closure.
+#[derive(Debug)]
+pub struct Bencher {
+    name: String,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, printing mean and median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call (also primes caches and catches panics early).
+        black_box(f());
+
+        let mut samples: Vec<f64> = Vec::new();
+        let started = Instant::now();
+        // Calibrate the batch so each sample costs roughly 1/50 of the
+        // measurement budget.
+        let probe = Instant::now();
+        black_box(f());
+        let single = probe.elapsed().as_nanos().max(1) as f64;
+        let batch = ((self.measurement.as_nanos() as f64 / 50.0 / single).round() as u64)
+            .clamp(1, 1_000_000);
+
+        while started.elapsed() < self.measurement && samples.len() < 200 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{:<50} time: [median {} mean {}] ({} samples × {batch} iters)",
+            self.name,
+            format_ns(median),
+            format_ns(mean),
+            samples.len(),
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"bench\":\"{}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1}}}",
+                    self.name
+                );
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut criterion = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut runs = 0u64;
+        criterion.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_work() {
+        let mut criterion = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &v| {
+            b.iter(|| v * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5_000.0).ends_with("µs"));
+        assert!(format_ns(5_000_000.0).ends_with("ms"));
+        assert!(format_ns(5_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one pattern this workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — on top of
+//! `std::thread::scope` with an atomic work-stealing index, so independent
+//! items are processed by as many worker threads as the host has cores.
+//! Results are returned in input order regardless of which thread computed
+//! them, and worker panics propagate to the caller like rayon's do.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! The common imports: `use rayon::prelude::*;`.
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads used for parallel iteration: the
+/// `RAYON_NUM_THREADS` environment variable if set (like the real rayon),
+/// otherwise the host's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// Starts a parallel iteration over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over slice elements.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (runs when `collect` is called).
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map on worker threads and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(run_ordered(self.items, &self.f))
+    }
+}
+
+fn run_ordered<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(
+    items: &'a [T],
+    f: &F,
+) -> Vec<R> {
+    run_ordered_on(items, f, current_num_threads())
+}
+
+fn run_ordered_on<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(
+    items: &'a [T],
+    f: &F,
+    threads: usize,
+) -> Vec<R> {
+    let count = items.len();
+    let threads = threads.min(count);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        produced.push((index, f(&items[index])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A worker panic re-panics here, inside the scope.
+            for (index, result) in handle.join().expect("worker thread panicked") {
+                results[index] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every index processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&v| v * 2).collect();
+        assert_eq!(doubled, (0..1_000).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&v| v).collect();
+        assert!(out.is_empty());
+        let one = vec![7u32];
+        let out: Vec<u32> = one.par_iter().map(|&v| v + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn threaded_path_uses_multiple_threads_and_keeps_order() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..256).collect();
+        // Force the threaded path even on single-core hosts.
+        let doubled = super::run_ordered_on(
+            &input,
+            &|&v: &u32| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                v * 2
+            },
+            4,
+        );
+        assert_eq!(doubled, (0..256).map(|v| v * 2).collect::<Vec<_>>());
+        assert!(seen.lock().unwrap().len() > 1, "expected parallel execution");
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panics_propagate_from_threads() {
+        let input: Vec<u32> = (0..64).collect();
+        let _ = super::run_ordered_on(
+            &input,
+            &|&v: &u32| {
+                if v == 33 {
+                    panic!("boom");
+                }
+                v
+            },
+            4,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate_from_the_sequential_fallback() {
+        let input: Vec<u32> = (0..4).collect();
+        let _ = super::run_ordered_on(
+            &input,
+            &|&v: &u32| {
+                if v == 2 {
+                    panic!("boom");
+                }
+                v
+            },
+            1,
+        );
+    }
+}

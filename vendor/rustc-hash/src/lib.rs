@@ -1,0 +1,116 @@
+//! Offline stand-in for `rustc-hash`: the Fx hash function (a fast,
+//! non-cryptographic multiply-rotate hasher) plus the usual `FxHashMap` /
+//! `FxHashSet` aliases. Ideal for small keys like the simulation's event
+//! identifiers, where SipHash's DoS resistance is pure overhead.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, value: u16) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_behave_like_std() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for v in 0..1_000u64 {
+            assert!(set.insert(v));
+        }
+        assert_eq!(set.len(), 1_000);
+        assert!(set.contains(&500));
+        assert!(!set.contains(&1_000));
+
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        map.insert("a".to_string(), 1);
+        map.insert("b".to_string(), 2);
+        assert_eq!(map.get("a"), Some(&1));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn with_capacity_and_hasher_presizes() {
+        let set: FxHashSet<u64> = FxHashSet::with_capacity_and_hasher(64, Default::default());
+        assert!(set.capacity() >= 64);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let hash = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        let distinct: std::collections::HashSet<u64> = (0..1_000).map(hash).collect();
+        assert_eq!(distinct.len(), 1_000);
+    }
+}

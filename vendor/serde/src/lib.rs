@@ -1,0 +1,344 @@
+//! Offline stand-in for `serde`.
+//!
+//! Serialization goes through an owned JSON-like [`Value`] tree instead of
+//! serde's visitor machinery: [`Serialize`] renders a value tree,
+//! [`Deserialize`] rebuilds a value from one. The companion `serde_derive`
+//! proc-macro derives both traits for plain (non-generic) structs and enums
+//! using serde's conventions: structs become objects, newtype structs are
+//! transparent, and enums are externally tagged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used for negative numbers).
+    Int(i64),
+    /// Unsigned integer (used for non-negative numbers).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object fields, if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a required struct field; used by the derive expansion.
+pub fn struct_field<'a>(
+    fields: &'a [(String, Value)],
+    name: &str,
+    type_name: &str,
+) -> Result<&'a Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` of `{type_name}`")))
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("unsigned integer out of range")),
+                    Value::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("unsigned integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 { Value::Int(*self as i64) } else { Value::UInt(*self as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("signed integer out of range")),
+                    Value::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom("signed integer out of range")),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(v) => Ok(*v as $t),
+                    Value::Int(v) => Ok(*v as $t),
+                    Value::UInt(v) => Ok(*v as $t),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(value)?))
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(std::sync::Arc::new(T::from_value(value)?))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected object")),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$($idx,)+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom("tuple arity mismatch"));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom("expected array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&1.25f64.to_value()).unwrap(), 1.25);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let pair = (7u64, 9usize);
+        assert_eq!(<(u64, usize)>::from_value(&pair.to_value()).unwrap(), pair);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), none);
+        assert_eq!(
+            Option::<u32>::from_value(&Some(3u32).to_value()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn object_lookup_reports_missing_fields() {
+        let object = Value::Object(vec![("a".to_string(), Value::UInt(1))]);
+        assert!(object.get("a").is_some());
+        assert!(object.get("b").is_none());
+        let fields = object.as_object().unwrap();
+        assert!(struct_field(fields, "a", "T").is_ok());
+        assert!(struct_field(fields, "b", "T").is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-tree `Serialize` / `Deserialize` traits of the vendored
+//! `serde` crate for plain (non-generic) structs and enums, following serde's
+//! JSON conventions: named structs become objects, newtype structs are
+//! transparent, tuple structs become arrays, and enums are externally tagged.
+//! The parser walks raw token trees (no `syn`/`quote` available offline), so
+//! it intentionally supports only the shapes this workspace uses and panics
+//! with a clear message on anything else (generics, discriminants, …).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct` or `enum` definition.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the
+/// cursor position.
+fn skip_decoration(tokens: &[TokenTree], mut index: usize) -> usize {
+    loop {
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`: the bracket group follows immediately.
+                index += 2;
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                index += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(index) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        index += 1;
+                    }
+                }
+            }
+            _ => return index,
+        }
+    }
+}
+
+/// Splits a token sequence on top-level commas, tracking `<...>` nesting
+/// manually (parens/brackets/braces arrive pre-grouped).
+fn split_on_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(token);
+    }
+    if chunks.last().map(Vec::is_empty).unwrap_or(false) {
+        chunks.pop(); // trailing comma
+    }
+    chunks
+}
+
+/// Extracts the field names of a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_on_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let index = skip_decoration(&chunk, 0);
+            match chunk.get(index) {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!("serde derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a tuple body (`(T, U)`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_on_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        index = skip_decoration(&tokens, index);
+        let Some(TokenTree::Ident(ident)) = tokens.get(index) else {
+            break;
+        };
+        let name = ident.to_string();
+        index += 1;
+        let kind = match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                index += 1;
+                VariantKind::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                index += 1;
+                VariantKind::Struct(parse_named_fields(group.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => index += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde derive: explicit discriminants are not supported")
+            }
+            other => panic!("serde derive: unexpected token after variant: {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = skip_decoration(&tokens, 0);
+    let keyword = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    index += 1;
+    let name = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    index += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(index) {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported by the offline shim");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            },
+            other => panic!("serde derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn bindings(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("__f{i}")).collect()
+}
+
+/// `#[derive(Serialize)]`
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Item::TupleStruct { arity: 1, .. } => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Item::TupleStruct { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds = bindings(*arity);
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::struct_field(__fields, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __fields = value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                entries.join("\n")
+            )
+        }
+        Item::TupleStruct { arity: 1, .. } => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+        ),
+        Item::TupleStruct { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {arity} =>\n\
+                         ::std::result::Result::Ok({name}({})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected {arity}-element array for `{name}`\")),\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::UnitStruct { .. } => format!("::std::result::Result::Ok({name})"),
+        Item::Enum { variants, .. } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|variant| {
+                    let v = &variant.name;
+                    match &variant.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let entries: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => match __inner {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {arity} =>\n\
+                                         ::std::result::Result::Ok({name}::{v}({})),\n\
+                                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected {arity}-element array for `{name}::{v}`\")),\n\
+                                 }},",
+                                entries.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::struct_field(__vfields, \"{f}\", \"{name}::{v}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{\n\
+                                     let __vfields = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for `{name}::{v}`\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                                 }},",
+                                entries.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected enum representation for `{name}`\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
