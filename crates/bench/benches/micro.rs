@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmcast_addr::AddressSpace;
-use pmcast_core::{build_group, Gossip, PmcastConfig, SharedViews};
+use pmcast_core::{
+    Gossip, MulticastProtocol, PmcastConfig, PmcastFactory, ProtocolFactory, SharedViews,
+};
 use pmcast_interest::{Event, Filter, Interest, InterestSummary, Predicate};
 use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, InterestOracle};
 use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
@@ -43,7 +45,7 @@ fn bench(c: &mut Criterion) {
     let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 8).expect("valid"));
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
-    let built = build_group(&topology, oracle.clone(), &PmcastConfig::default());
+    let built = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
     let process = &built.processes[0];
     let probe = Event::builder(9).build();
     c.bench_function("matching_rate_depth1_n512", |b| {
@@ -67,12 +69,37 @@ fn bench(c: &mut Criterion) {
     let template = Gossip::new(heavy_event, 2, 0.5, 1);
     c.bench_function("gossip_clone_zero_copy", |b| b.iter(|| template.clone()));
 
+    // Generic-dispatch guard for the API redesign: publishing through the
+    // `MulticastProtocol` trait bound is monomorphized, so it must cost the
+    // same as calling the concrete process directly — compare the two cases
+    // below (they run the identical dedup-hit path: the event is already
+    // seen, so per-iteration state does not grow).  Any gap between them
+    // would mean the trait boundary put dynamic dispatch or copies on the
+    // hot path, endangering the ~13.5 ns/target number tracked in
+    // BENCH_PR1.json.
+    fn publish_generic<P: MulticastProtocol>(process: &mut P, event: Arc<pmcast_interest::Event>) {
+        process.publish(event);
+    }
+    let mut dispatch_group =
+        PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+    let dup = Arc::new(Event::builder(123).int("b", 1).build());
+    let mut direct_process = dispatch_group.processes.remove(0);
+    let mut generic_process = dispatch_group.processes.remove(0);
+    direct_process.publish(Arc::clone(&dup));
+    publish_generic(&mut generic_process, Arc::clone(&dup));
+    c.bench_function("direct_dispatch_publish", |b| {
+        b.iter(|| direct_process.publish(Arc::clone(&dup)))
+    });
+    c.bench_function("generic_dispatch_publish", |b| {
+        b.iter(|| publish_generic(&mut generic_process, Arc::clone(&dup)))
+    });
+
     // One full gossip round of a 512-process group with a hot event.
     let mut group = c.benchmark_group("protocol");
     group.sample_size(10);
     group.bench_function("gossip_rounds_n512", |b| {
         b.iter(|| {
-            let built = build_group(&topology, oracle.clone(), &PmcastConfig::default());
+            let built = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
             let mut sim = Simulation::new(built.processes, NetworkConfig::reliable(1));
             sim.process_mut(ProcessId(0)).pmcast(Event::builder(4).build());
             sim.run_rounds(5);

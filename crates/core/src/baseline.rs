@@ -14,10 +14,13 @@
 //!   membership view.
 //!
 //! Both baselines run over the same [`pmcast_simnet`] substrate and the same
-//! interest oracles as pmcast, so the comparison isolates the dissemination
-//! strategy itself.
+//! interest oracles as pmcast, and both implement
+//! [`MulticastProtocol`](crate::MulticastProtocol) /
+//! [`crate::ProtocolFactory`], so the comparison isolates the dissemination
+//! strategy itself: the simulation harness drives all protocols through one
+//! generic code path.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use pmcast_addr::Address;
 use pmcast_analysis::pittel;
@@ -26,9 +29,9 @@ use pmcast_membership::{InterestOracle, TreeTopology};
 use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use crate::{DeliveryOutcome, Gossip, PmcastConfig};
+use crate::{DeliveryOutcome, Gossip, PmcastConfig, ProtocolGroup};
 
-/// Shared state of a buffered event in a flat gossip protocol.  As in the
+/// Shared state of a buffered event in the flooding protocol.  As in the
 /// pmcast hot path, the event is held through an [`Arc`] so forwarding never
 /// copies the payload.
 #[derive(Debug, Clone)]
@@ -90,9 +93,16 @@ impl FloodBroadcastProcess {
         }
     }
 
-    /// Publishes an event into the broadcast.
+    /// Publishes an event into the broadcast (convenience wrapper around
+    /// [`publish`](Self::publish)).
     pub fn broadcast(&mut self, event: Event) {
-        self.accept(Arc::new(event));
+        self.publish(Arc::new(event));
+    }
+
+    /// Publishes an already-shared event (the [`crate::MulticastProtocol`]
+    /// entry point).  Duplicates are ignored.
+    pub fn publish(&mut self, event: Arc<Event>) {
+        self.accept(event);
     }
 
     fn accept(&mut self, event: Arc<Event>) {
@@ -181,28 +191,116 @@ impl DeliveryOutcome for FloodBroadcastProcess {
     }
 }
 
-/// Builds a flood-broadcast process for every member of a topology.
-pub fn build_flood_group<T: TreeTopology>(
+impl crate::MulticastProtocol for FloodBroadcastProcess {
+    fn publish(&mut self, event: Arc<Event>) {
+        FloodBroadcastProcess::publish(self, event);
+    }
+    fn has_delivered(&self, event: EventId) -> bool {
+        FloodBroadcastProcess::has_delivered(self, event)
+    }
+    fn has_received(&self, event: EventId) -> bool {
+        FloodBroadcastProcess::has_received(self, event)
+    }
+    fn address(&self) -> &Address {
+        FloodBroadcastProcess::address(self)
+    }
+}
+
+/// Crate-internal construction backing [`build_flood_group`] and
+/// [`crate::FloodFactory`].
+pub(crate) fn build_flood_group_internal<T: TreeTopology>(
     topology: &T,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
     config: &PmcastConfig,
-) -> Vec<FloodBroadcastProcess> {
+) -> ProtocolGroup<FloodBroadcastProcess> {
     config.validate();
-    let members = topology.members();
-    let group_size = members.len();
-    members
-        .into_iter()
+    let addresses = Arc::new(topology.members());
+    let group_size = addresses.len();
+    let processes = addresses
+        .iter()
         .enumerate()
         .map(|(index, address)| {
             FloodBroadcastProcess::new(
-                address,
+                address.clone(),
                 ProcessId(index),
                 group_size,
                 config,
                 Arc::clone(&oracle),
             )
         })
-        .collect()
+        .collect();
+    ProtocolGroup {
+        processes,
+        addresses,
+    }
+}
+
+/// Builds a flood-broadcast process for every member of a topology.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FloodFactory::build` (the `ProtocolFactory` trait) instead"
+)]
+pub fn build_flood_group<T: TreeTopology>(
+    topology: &T,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    config: &PmcastConfig,
+) -> Vec<FloodBroadcastProcess> {
+    build_flood_group_internal(topology, oracle, config).processes
+}
+
+/// The shared per-event audience directory of the genuine baseline: for
+/// every *registered* event, the dense identifiers of the interested
+/// processes.
+///
+/// This models the global interest knowledge the paper deems unrealistic —
+/// which is the point of the comparison.  Events enter the directory through
+/// [`GenuineMulticastProcess::register_event`] (publishing registers
+/// automatically); audiences are resolved once at registration and then
+/// shared behind an [`Arc`], so the round loop never touches the lock.
+#[derive(Debug, Default)]
+struct EventDirectory {
+    audiences: RwLock<FxHashMap<EventId, Arc<Vec<ProcessId>>>>,
+}
+
+impl EventDirectory {
+    /// The audience of a registered event, if any.
+    fn lookup(&self, id: EventId) -> Option<Arc<Vec<ProcessId>>> {
+        self.audiences
+            .read()
+            .expect("event directory lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Registers an event's audience, computing it only on first
+    /// registration (idempotent).
+    fn register(&self, id: EventId, audience: impl FnOnce() -> Vec<ProcessId>) {
+        if self
+            .audiences
+            .read()
+            .expect("event directory lock poisoned")
+            .contains_key(&id)
+        {
+            return;
+        }
+        self.audiences
+            .write()
+            .expect("event directory lock poisoned")
+            .entry(id)
+            .or_insert_with(|| Arc::new(audience()));
+    }
+}
+
+/// Shared state of a buffered event in the genuine multicast: the payload
+/// plus the audience resolved from the directory when the event was
+/// accepted (`None` if the event was never registered — such entries cannot
+/// be forwarded and are garbage collected on their first round).
+#[derive(Debug, Clone)]
+struct GenuineEntry {
+    event: Arc<Event>,
+    round: u32,
+    budget: u32,
+    audience: Option<Arc<Vec<ProcessId>>>,
 }
 
 /// Genuine multicast: gossip only among the processes interested in the
@@ -215,9 +313,11 @@ pub struct GenuineMulticastProcess {
     max_rounds: u32,
     env: pmcast_analysis::EnvParams,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
-    /// Interested peers per event, resolved lazily from the shared directory.
-    directory: Arc<FxHashMap<EventId, Vec<ProcessId>>>,
-    buffered: FxHashMap<EventId, FlatEntry>,
+    /// Member addresses in dense-identifier order, for audience resolution.
+    addresses: Arc<Vec<Address>>,
+    /// Interested peers per event, shared by the whole group.
+    directory: Arc<EventDirectory>,
+    buffered: FxHashMap<EventId, GenuineEntry>,
     delivered: FxHashSet<EventId>,
     received: FxHashSet<EventId>,
     /// Reusable buffers for candidate targets and the fanout draw.
@@ -239,6 +339,20 @@ impl GenuineMulticastProcess {
         pittel::round_budget(audience as f64, self.fanout as f64, &self.env).min(self.max_rounds)
     }
 
+    /// Resolves the event's audience into the shared directory (idempotent;
+    /// the [`crate::MulticastProtocol`] pre-registration hook).
+    pub fn register_event(&mut self, event: &Event) {
+        let directory = Arc::clone(&self.directory);
+        directory.register(event.id(), || {
+            self.addresses
+                .iter()
+                .enumerate()
+                .filter(|(_, address)| self.oracle.is_interested(address, event))
+                .map(|(index, _)| ProcessId(index))
+                .collect()
+        });
+    }
+
     fn accept(&mut self, event: Arc<Event>) {
         let id = event.id();
         // As for the flooding baseline, the received set doubles as the
@@ -249,20 +363,31 @@ impl GenuineMulticastProcess {
         if self.oracle.is_interested(&self.address, &event) {
             self.delivered.insert(id);
         }
-        let audience = self.directory.get(&id).map(Vec::len).unwrap_or(0);
+        let audience = self.directory.lookup(id);
+        let budget = self.budget_for(audience.as_ref().map(|a| a.len()).unwrap_or(0));
         self.buffered.insert(
             id,
-            FlatEntry {
+            GenuineEntry {
                 event,
                 round: 0,
-                budget: self.budget_for(audience),
+                budget,
+                audience,
             },
         );
     }
 
-    /// Publishes an event into the genuine multicast.
+    /// Publishes an event into the genuine multicast (convenience wrapper
+    /// around [`publish`](Self::publish)).
     pub fn multicast(&mut self, event: Event) {
-        self.accept(Arc::new(event));
+        self.publish(Arc::new(event));
+    }
+
+    /// Publishes an already-shared event (the [`crate::MulticastProtocol`]
+    /// entry point): registers its audience in the shared directory, then
+    /// starts gossiping it.  Duplicates are ignored.
+    pub fn publish(&mut self, event: Arc<Event>) {
+        self.register_event(&event);
+        self.accept(event);
     }
 
     /// Returns `true` if the event was delivered locally.
@@ -287,15 +412,16 @@ impl RoundProcess for GenuineMulticastProcess {
     fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
         let fanout = self.fanout;
         let own_id = self.id;
-        let directory = Arc::clone(&self.directory);
         let mut candidates = std::mem::take(&mut self.candidates);
         let mut picks = std::mem::take(&mut self.picks);
-        self.buffered.retain(|id, entry| {
+        self.buffered.retain(|_, entry| {
             if entry.round >= entry.budget {
                 return false;
             }
             entry.round += 1;
-            let Some(audience) = directory.get(id) else {
+            // Audiences were resolved when the entry was accepted; an
+            // unregistered event has nobody to go to.
+            let Some(audience) = &entry.audience else {
                 return false;
             };
             candidates.clear();
@@ -333,39 +459,45 @@ impl DeliveryOutcome for GenuineMulticastProcess {
     }
 }
 
-/// Builds a genuine-multicast process for every member of a topology, with a
-/// shared directory listing, for each event, the identifiers of the
-/// interested processes (the global interest knowledge the paper deems
-/// unrealistic — which is the point of the comparison).
-pub fn build_genuine_group<T: TreeTopology>(
+impl crate::MulticastProtocol for GenuineMulticastProcess {
+    fn publish(&mut self, event: Arc<Event>) {
+        GenuineMulticastProcess::publish(self, event);
+    }
+    fn register_event(&mut self, event: &Event) {
+        GenuineMulticastProcess::register_event(self, event);
+    }
+    fn has_delivered(&self, event: EventId) -> bool {
+        GenuineMulticastProcess::has_delivered(self, event)
+    }
+    fn has_received(&self, event: EventId) -> bool {
+        GenuineMulticastProcess::has_received(self, event)
+    }
+    fn address(&self) -> &Address {
+        GenuineMulticastProcess::address(self)
+    }
+}
+
+/// Crate-internal construction backing [`build_genuine_group`] and
+/// [`crate::GenuineFactory`].
+pub(crate) fn build_genuine_group_internal<T: TreeTopology>(
     topology: &T,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
     config: &PmcastConfig,
-    events: &[Event],
-) -> Vec<GenuineMulticastProcess> {
+) -> ProtocolGroup<GenuineMulticastProcess> {
     config.validate();
-    let members = topology.members();
-    let mut directory: FxHashMap<EventId, Vec<ProcessId>> = FxHashMap::default();
-    for event in events {
-        let interested = members
-            .iter()
-            .enumerate()
-            .filter(|(_, address)| oracle.is_interested(address, event))
-            .map(|(index, _)| ProcessId(index))
-            .collect();
-        directory.insert(event.id(), interested);
-    }
-    let directory = Arc::new(directory);
-    members
-        .into_iter()
+    let addresses = Arc::new(topology.members());
+    let directory = Arc::new(EventDirectory::default());
+    let processes = addresses
+        .iter()
         .enumerate()
         .map(|(index, address)| GenuineMulticastProcess {
-            address,
+            address: address.clone(),
             id: ProcessId(index),
             fanout: config.fanout,
             max_rounds: config.max_rounds_per_depth,
             env: config.env,
             oracle: Arc::clone(&oracle),
+            addresses: Arc::clone(&addresses),
             directory: Arc::clone(&directory),
             buffered: FxHashMap::default(),
             delivered: FxHashSet::default(),
@@ -373,7 +505,38 @@ pub fn build_genuine_group<T: TreeTopology>(
             candidates: Vec::new(),
             picks: Vec::new(),
         })
-        .collect()
+        .collect();
+    ProtocolGroup {
+        processes,
+        addresses,
+    }
+}
+
+/// Builds a genuine-multicast process for every member of a topology, with
+/// the given events pre-registered in the shared audience directory.
+///
+/// The up-front event list is a relic of the old API: the directory is now
+/// shared and populated through
+/// [`GenuineMulticastProcess::register_event`] (publishing registers
+/// automatically), so new code needs neither this function nor the list.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GenuineFactory::build` (the `ProtocolFactory` trait); publishing registers \
+            events automatically"
+)]
+pub fn build_genuine_group<T: TreeTopology>(
+    topology: &T,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    config: &PmcastConfig,
+    events: &[Event],
+) -> Vec<GenuineMulticastProcess> {
+    let mut group = build_genuine_group_internal(topology, oracle, config);
+    if let Some(first) = group.processes.first_mut() {
+        for event in events {
+            first.register_event(event);
+        }
+    }
+    group.processes
 }
 
 #[cfg(test)]
@@ -400,8 +563,8 @@ mod tests {
         let topology = topology();
         let oracle = half_interested_oracle();
         let event = Event::builder(1).build();
-        let processes = build_flood_group(&topology, oracle.clone(), &PmcastConfig::default());
-        let mut sim = Simulation::new(processes, NetworkConfig::reliable(4));
+        let group = build_flood_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(4));
         sim.process_mut(ProcessId(0)).broadcast(event.clone());
         sim.run_until_quiescent(200);
 
@@ -424,14 +587,11 @@ mod tests {
         let topology = topology();
         let oracle = half_interested_oracle();
         let event = Event::builder(2).build();
-        let processes = build_genuine_group(
-            &topology,
-            oracle.clone(),
-            &PmcastConfig::default(),
-            std::slice::from_ref(&event),
-        );
-        let mut sim = Simulation::new(processes, NetworkConfig::reliable(4));
-        // The multicaster is an interested process (0.0).
+        let group =
+            build_genuine_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(4));
+        // The multicaster is an interested process (0.0); publishing
+        // registers the audience in the shared directory.
         sim.process_mut(ProcessId(0)).multicast(event.clone());
         sim.run_until_quiescent(200);
 
@@ -455,18 +615,13 @@ mod tests {
         let oracle = half_interested_oracle();
         let event = Event::builder(3).build();
 
-        let flood = build_flood_group(&topology, oracle.clone(), &PmcastConfig::default());
-        let mut flood_sim = Simulation::new(flood, NetworkConfig::reliable(9));
+        let flood = build_flood_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+        let mut flood_sim = Simulation::new(flood.processes, NetworkConfig::reliable(9));
         flood_sim.process_mut(ProcessId(0)).broadcast(event.clone());
         flood_sim.run_until_quiescent(200);
 
-        let genuine = build_genuine_group(
-            &topology,
-            oracle,
-            &PmcastConfig::default(),
-            std::slice::from_ref(&event),
-        );
-        let mut genuine_sim = Simulation::new(genuine, NetworkConfig::reliable(9));
+        let genuine = build_genuine_group_internal(&topology, oracle, &PmcastConfig::default());
+        let mut genuine_sim = Simulation::new(genuine.processes, NetworkConfig::reliable(9));
         genuine_sim.process_mut(ProcessId(0)).multicast(event.clone());
         genuine_sim.run_until_quiescent(200);
 
@@ -482,50 +637,97 @@ mod tests {
     fn broadcast_case_delivers_to_everyone() {
         let topology = topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let event = Event::builder(4).build();
-        let processes = build_flood_group(&topology, oracle, &PmcastConfig::default().with_fanout(3));
-        let mut sim = Simulation::new(processes, NetworkConfig::reliable(12));
-        sim.process_mut(ProcessId(5)).broadcast(event.clone());
+        let group =
+            build_flood_group_internal(&topology, oracle, &PmcastConfig::default().with_fanout(3));
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(12));
+        sim.process_mut(ProcessId(5)).broadcast(event_with_id(4));
         sim.run_until_quiescent(200);
         let delivered = sim
             .processes()
-            .filter(|p| p.has_delivered(event.id()))
+            .filter(|p| p.has_delivered(event_with_id(4).id()))
             .count();
         assert_eq!(delivered, 16);
+    }
+
+    fn event_with_id(id: u64) -> Event {
+        Event::builder(id).build()
     }
 
     #[test]
     fn duplicate_events_are_accepted_once() {
         let topology = topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let mut processes = build_flood_group(&topology, oracle, &PmcastConfig::default());
+        let mut group = build_flood_group_internal(&topology, oracle, &PmcastConfig::default());
         let event = Event::builder(5).build();
-        processes[0].broadcast(event.clone());
-        processes[0].broadcast(event.clone());
-        assert!(processes[0].has_delivered(event.id()));
-        assert_eq!(processes[0].buffered.len(), 1);
-        assert!(!format!("{:?}", processes[0]).is_empty());
+        group.processes[0].broadcast(event.clone());
+        group.processes[0].broadcast(event.clone());
+        assert!(group.processes[0].has_delivered(event.id()));
+        assert_eq!(group.processes[0].buffered.len(), 1);
+        assert!(!format!("{:?}", group.processes[0]).is_empty());
     }
 
     #[test]
-    fn genuine_multicast_with_unknown_event_stays_quiet() {
+    fn unregistered_events_cannot_spread_in_the_genuine_multicast() {
+        // Restricting the directory models the paper's partial-knowledge
+        // argument: without audience knowledge an event cannot be forwarded.
         let topology = topology();
         let oracle = half_interested_oracle();
-        // Build the directory for a different event than the one multicast.
         let known = Event::builder(10).build();
         let unknown = Event::builder(11).build();
-        let processes =
-            build_genuine_group(&topology, oracle, &PmcastConfig::default(), &[known]);
-        let mut sim = Simulation::new(processes, NetworkConfig::reliable(2));
-        sim.process_mut(ProcessId(0)).multicast(unknown.clone());
+        let mut group = build_genuine_group_internal(&topology, oracle, &PmcastConfig::default());
+        group.processes[0].register_event(&known);
+        // Bypass `publish` (which would register) to model a process that
+        // holds an event the directory knows nothing about.
+        group.processes[0].accept(Arc::new(unknown.clone()));
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(2));
         sim.run_until_quiescent(50);
-        // Without directory information the event cannot spread beyond the
-        // publisher.
         let received = sim
             .processes()
             .filter(|p| p.has_received(unknown.id()))
             .count();
         assert_eq!(received, 1);
         assert!(!format!("{:?}", sim.process(ProcessId(0))).is_empty());
+    }
+
+    #[test]
+    fn publishing_registers_the_audience_automatically() {
+        let topology = topology();
+        let oracle = half_interested_oracle();
+        let event = Event::builder(12).build();
+        let group = build_genuine_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(6));
+        // No up-front event list anywhere: publish alone suffices.
+        sim.process_mut(ProcessId(0)).publish(Arc::new(event.clone()));
+        sim.run_until_quiescent(200);
+        for p in sim.processes() {
+            assert_eq!(
+                p.has_delivered(event.id()),
+                oracle.is_interested(p.address(), &event),
+                "{}",
+                p.address()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_genuine_shim_preregisters_events() {
+        let topology = topology();
+        let oracle = half_interested_oracle();
+        let event = Event::builder(13).build();
+        let processes = build_genuine_group(
+            &topology,
+            oracle,
+            &PmcastConfig::default(),
+            std::slice::from_ref(&event),
+        );
+        let mut sim = Simulation::new(processes, NetworkConfig::reliable(3));
+        sim.process_mut(ProcessId(0)).multicast(event.clone());
+        sim.run_until_quiescent(200);
+        let delivered = sim
+            .processes()
+            .filter(|p| p.has_delivered(event.id()))
+            .count();
+        assert_eq!(delivered, 8);
     }
 }

@@ -1,0 +1,239 @@
+//! The protocol-agnostic multicast interface: every dissemination protocol
+//! of this crate — pmcast and both baselines — implements
+//! [`MulticastProtocol`], and a matching [`ProtocolFactory`] builds a whole
+//! group of instances from the same three ingredients: a topology, an
+//! interest oracle and a [`PmcastConfig`].
+//!
+//! This is the API-stability contract of the workspace: simulation harnesses
+//! (`pmcast-sim`), benches and examples are written once against these two
+//! traits and work for any protocol.  Dispatch is fully monomorphized —
+//! there is no trait object on the publish or gossip hot path, so the
+//! generic code costs exactly the same as calling the concrete types
+//! directly (the `generic_dispatch_publish` micro-bench tracks this).
+//!
+//! ## Publishing
+//!
+//! [`MulticastProtocol::publish`] takes an [`Arc<Event>`]: the event payload
+//! is allocated once by the caller and then shared — zero-copy — through
+//! buffering, gossiping and delivery, preserving the shared-payload
+//! invariant of the gossip hot path.  The concrete types keep their
+//! paper-verb conveniences (`pmcast`, `broadcast`, `multicast`) which wrap a
+//! plain [`Event`] and delegate here.
+//!
+//! ## Event pre-registration
+//!
+//! The genuine-multicast baseline needs global interest knowledge (who is
+//! interested in which event) before it can forward anything.  Instead of a
+//! special constructor taking the event list up front, that knowledge now
+//! flows through [`MulticastProtocol::register_event`]: a no-op hook for
+//! protocols that resolve interest on the fly (pmcast, flooding), and a
+//! shared-directory registration for the genuine baseline.  Publishing
+//! always registers the published event first, so generic code never has to
+//! special-case a protocol.
+
+use std::sync::Arc;
+
+use pmcast_addr::Address;
+use pmcast_interest::{Event, EventId};
+use pmcast_membership::{InterestOracle, TreeTopology};
+use pmcast_simnet::RoundProcess;
+
+use crate::{DeliveryOutcome, Gossip, PmcastConfig};
+
+/// The common interface of all dissemination protocols in this crate.
+///
+/// A `MulticastProtocol` is a [`RoundProcess`] gossiping [`Gossip`]
+/// messages, plus the application-facing operations every protocol offers:
+/// publishing an event and querying delivery/reception state.  It also
+/// extends [`DeliveryOutcome`], so [`crate::MulticastReport`] can classify
+/// any protocol's processes.
+pub trait MulticastProtocol: RoundProcess<Message = Gossip> + DeliveryOutcome {
+    /// Publishes an event into the dissemination from this process.
+    ///
+    /// The event is shared, never copied: every buffer entry, forwarded
+    /// gossip and delivery handle holds a clone of this [`Arc`].  Publishing
+    /// the same event id twice is idempotent (the duplicate is ignored).
+    ///
+    /// Implementations pre-register the event (see
+    /// [`register_event`](Self::register_event)) before accepting it, so a
+    /// bare `publish` is always sufficient to start dissemination.
+    fn publish(&mut self, event: Arc<Event>);
+
+    /// Makes the event known to the protocol ahead of publication.
+    ///
+    /// Most protocols resolve interest on the fly and do nothing here (the
+    /// default).  The genuine-multicast baseline resolves the event's
+    /// audience into its shared directory — the "global interest knowledge"
+    /// the paper deems unrealistic, which is exactly what the baseline
+    /// models.  Registration is idempotent.
+    fn register_event(&mut self, _event: &Event) {}
+
+    /// Returns `true` if the event was delivered to the application here.
+    fn has_delivered(&self, event: EventId) -> bool;
+
+    /// Returns `true` if the event was received at all (delivered or merely
+    /// buffered / forwarded); Figure 5 measures exactly this for
+    /// uninterested processes.
+    fn has_received(&self, event: EventId) -> bool;
+
+    /// The process's address in the membership tree.
+    fn address(&self) -> &Address;
+}
+
+/// A whole group of protocol instances, one per member of a topology,
+/// ordered by dense identifier (matching [`TreeTopology::members`]); hand
+/// `processes` directly to [`pmcast_simnet::Simulation::new`].
+pub struct ProtocolGroup<P> {
+    /// One protocol instance per process, indexed by
+    /// [`pmcast_simnet::ProcessId`].
+    pub processes: Vec<P>,
+    /// Member addresses in dense-identifier order.
+    pub addresses: Arc<Vec<Address>>,
+}
+
+impl<P> std::fmt::Debug for ProtocolGroup<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtocolGroup")
+            .field("processes", &self.processes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds a whole [`ProtocolGroup`] for one protocol from the three shared
+/// ingredients: topology, interest oracle and configuration.
+///
+/// Factories are zero-sized types used purely for static dispatch:
+/// `PmcastFactory::build(…)` monomorphizes the simulation harness per
+/// protocol, keeping the hot path free of virtual calls.
+pub trait ProtocolFactory {
+    /// The protocol type this factory instantiates.
+    type Process: MulticastProtocol;
+
+    /// Builds one protocol instance per member of the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`PmcastConfig::validate`]).
+    fn build<T: TreeTopology>(
+        topology: &T,
+        oracle: Arc<dyn InterestOracle + Send + Sync>,
+        config: &PmcastConfig,
+    ) -> ProtocolGroup<Self::Process>;
+}
+
+/// Factory for the pmcast protocol of Figure 3 ([`crate::PmcastProcess`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PmcastFactory;
+
+impl ProtocolFactory for PmcastFactory {
+    type Process = crate::PmcastProcess;
+
+    fn build<T: TreeTopology>(
+        topology: &T,
+        oracle: Arc<dyn InterestOracle + Send + Sync>,
+        config: &PmcastConfig,
+    ) -> ProtocolGroup<Self::Process> {
+        let group = crate::protocol::build_pmcast_group(topology, oracle, config);
+        ProtocolGroup {
+            processes: group.processes,
+            addresses: group.addresses,
+        }
+    }
+}
+
+/// Factory for the flooding gossip-broadcast baseline
+/// ([`crate::FloodBroadcastProcess`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloodFactory;
+
+impl ProtocolFactory for FloodFactory {
+    type Process = crate::FloodBroadcastProcess;
+
+    fn build<T: TreeTopology>(
+        topology: &T,
+        oracle: Arc<dyn InterestOracle + Send + Sync>,
+        config: &PmcastConfig,
+    ) -> ProtocolGroup<Self::Process> {
+        crate::baseline::build_flood_group_internal(topology, oracle, config)
+    }
+}
+
+/// Factory for the genuine-multicast baseline
+/// ([`crate::GenuineMulticastProcess`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenuineFactory;
+
+impl ProtocolFactory for GenuineFactory {
+    type Process = crate::GenuineMulticastProcess;
+
+    fn build<T: TreeTopology>(
+        topology: &T,
+        oracle: Arc<dyn InterestOracle + Send + Sync>,
+        config: &PmcastConfig,
+    ) -> ProtocolGroup<Self::Process> {
+        crate::baseline::build_genuine_group_internal(topology, oracle, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::AddressSpace;
+    use pmcast_interest::Event;
+    use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, UniformOracle};
+    use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
+
+    fn topology() -> ImplicitRegularTree {
+        ImplicitRegularTree::new(AddressSpace::regular(2, 4).unwrap())
+    }
+
+    /// Exercises the whole trait surface generically for one protocol.
+    fn publish_and_run<F: ProtocolFactory>() -> Vec<F::Process> {
+        let topology = topology();
+        let oracle = Arc::new(UniformOracle::new(16));
+        let group = F::build(&topology, oracle, &PmcastConfig::default());
+        assert_eq!(group.processes.len(), 16);
+        assert_eq!(group.addresses.len(), 16);
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(9));
+        let event = Arc::new(Event::builder(31).int("b", 5).build());
+        sim.process_mut(ProcessId(0)).publish(event);
+        sim.run_until_quiescent(300);
+        sim.into_processes()
+    }
+
+    fn delivered_count<P: MulticastProtocol>(processes: &[P], id: pmcast_interest::EventId) -> usize {
+        processes.iter().filter(|p| p.has_delivered(id)).count()
+    }
+
+    #[test]
+    fn all_factories_build_and_deliver_generically() {
+        let event_id = Event::builder(31).build().id();
+        assert_eq!(delivered_count(&publish_and_run::<PmcastFactory>(), event_id), 16);
+        assert_eq!(delivered_count(&publish_and_run::<FloodFactory>(), event_id), 16);
+        assert_eq!(delivered_count(&publish_and_run::<GenuineFactory>(), event_id), 16);
+    }
+
+    #[test]
+    fn trait_addresses_match_group_order() {
+        let topology = topology();
+        let oracle = Arc::new(AssignmentOracle::new(
+            vec!["0.0".parse().unwrap(), "1.2".parse().unwrap()],
+        ));
+        let group = GenuineFactory::build(&topology, oracle, &PmcastConfig::default());
+        for (process, address) in group.processes.iter().zip(group.addresses.iter()) {
+            assert_eq!(MulticastProtocol::address(process), address);
+        }
+        assert!(format!("{group:?}").contains("ProtocolGroup"));
+    }
+
+    #[test]
+    fn register_event_is_a_no_op_for_interest_oblivious_protocols() {
+        let topology = topology();
+        let oracle = Arc::new(UniformOracle::new(16));
+        let mut group = FloodFactory::build(&topology, oracle, &PmcastConfig::default());
+        let event = Event::builder(77).build();
+        group.processes[0].register_event(&event);
+        assert!(!MulticastProtocol::has_received(&group.processes[0], event.id()));
+    }
+}

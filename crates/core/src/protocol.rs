@@ -39,7 +39,21 @@ impl std::fmt::Debug for PmcastGroup {
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see [`PmcastConfig::validate`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PmcastFactory::build` (the `ProtocolFactory` trait) instead"
+)]
 pub fn build_group<T: TreeTopology>(
+    topology: &T,
+    oracle: Arc<dyn InterestOracle + Send + Sync>,
+    config: &PmcastConfig,
+) -> PmcastGroup {
+    build_pmcast_group(topology, oracle, config)
+}
+
+/// Crate-internal group construction backing both [`build_group`] and
+/// [`crate::PmcastFactory`].
+pub(crate) fn build_pmcast_group<T: TreeTopology>(
     topology: &T,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
     config: &PmcastConfig,
@@ -168,19 +182,29 @@ impl PmcastProcess {
 
     /// Multicasts an event (`PMCAST` in Figure 3).
     ///
+    /// Convenience wrapper allocating the shared payload and delegating to
+    /// [`publish`](Self::publish), which is the single point where a
+    /// multicast's payload enters the process: from there on every buffer
+    /// entry, gossip message and delivery holds an [`Arc`] to one
+    /// allocation.
+    pub fn pmcast(&mut self, event: Event) {
+        self.publish(Arc::new(event));
+    }
+
+    /// Publishes an already-shared event (the [`crate::MulticastProtocol`]
+    /// entry point).
+    ///
     /// Following the prose of Section 3 the event is injected at the root
     /// depth; with the local-interest shortcut enabled it skips depths in
-    /// which only the multicaster's own subtree is interested.
-    ///
-    /// This is the single point where a multicast's payload is allocated:
-    /// from here on every buffer entry, gossip message and delivery holds an
-    /// [`Arc`] to this one allocation.
-    pub fn pmcast(&mut self, event: Event) {
-        let event = Arc::new(event);
+    /// which only the multicaster's own subtree is interested.  Publishing
+    /// an event this process has already seen is ignored.
+    pub fn publish(&mut self, event: Arc<Event>) {
+        if !self.received_ids.insert(event.id()) {
+            return;
+        }
         let depth = self.initial_depth(&event);
         let rate = self.effective_rate(depth, &event);
         let budget = self.round_budget(depth, rate);
-        self.received_ids.insert(event.id());
         if self.oracle.is_interested(&self.address, &event) {
             self.deliver(&event);
         }
@@ -397,6 +421,21 @@ impl RoundProcess for PmcastProcess {
     }
 }
 
+impl crate::MulticastProtocol for PmcastProcess {
+    fn publish(&mut self, event: Arc<Event>) {
+        PmcastProcess::publish(self, event);
+    }
+    fn has_delivered(&self, event: EventId) -> bool {
+        PmcastProcess::has_delivered(self, event)
+    }
+    fn has_received(&self, event: EventId) -> bool {
+        PmcastProcess::has_received(self, event)
+    }
+    fn address(&self) -> &Address {
+        PmcastProcess::address(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,7 +460,7 @@ mod tests {
         sender: usize,
     ) -> (Vec<PmcastProcess>, pmcast_simnet::TrafficStats) {
         let topology = small_topology();
-        let group = build_group(&topology, oracle, &config);
+        let group = build_pmcast_group(&topology, oracle, &config);
         let mut sim = Simulation::new(group.processes, network);
         sim.process_mut(ProcessId(sender)).pmcast(event);
         sim.run_until_quiescent(300);
@@ -509,7 +548,7 @@ mod tests {
             .collect();
         let oracle: Arc<dyn InterestOracle + Send + Sync> =
             Arc::new(AssignmentOracle::new(interested));
-        let group = build_group(&topology, oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
         let process = &group.processes[0];
         let event = Event::builder(1).build();
         // Depth 1: all four subtrees contain interested processes.
@@ -524,7 +563,7 @@ mod tests {
         let oracle: Arc<dyn InterestOracle + Send + Sync> =
             Arc::new(AssignmentOracle::new(vec!["0.0".parse::<Address>().unwrap()]));
         let tuned_config = PmcastConfig::default().with_tuning(6);
-        let group = build_group(&topology, oracle.clone(), &tuned_config);
+        let group = build_pmcast_group(&topology, oracle.clone(), &tuned_config);
         let process = &group.processes[0];
         let event = Event::builder(1).build();
         let raw = process.matching_rate(1, &event);
@@ -533,7 +572,7 @@ mod tests {
         assert!(effective <= 1.0);
 
         // Without tuning the effective rate equals the raw rate.
-        let plain_group = build_group(&topology, oracle, &PmcastConfig::default());
+        let plain_group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
         let plain = &plain_group.processes[0];
         assert!((plain.effective_rate(1, &event) - plain.matching_rate(1, &event)).abs() < 1e-12);
     }
@@ -549,7 +588,7 @@ mod tests {
         let oracle: Arc<dyn InterestOracle + Send + Sync> =
             Arc::new(AssignmentOracle::new(interested));
         let config = PmcastConfig::default().with_local_interest_shortcut(true);
-        let group = build_group(&topology, oracle.clone(), &config);
+        let group = build_pmcast_group(&topology, oracle.clone(), &config);
         let sender_index = group
             .addresses
             .iter()
@@ -568,7 +607,7 @@ mod tests {
         assert_eq!(sender.buffers.at_depth(2).len(), 1);
 
         // Without the shortcut the event starts at the root.
-        let group2 = build_group(&topology, oracle, &PmcastConfig::default());
+        let group2 = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
         assert_eq!(group2.processes[sender_index].initial_depth(&event), 1);
     }
 
@@ -603,7 +642,7 @@ mod tests {
         }
         let tree = Arc::new(tree);
         let oracle: Arc<dyn InterestOracle + Send + Sync> = tree.clone();
-        let group = build_group(tree.as_ref(), oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(tree.as_ref(), oracle, &PmcastConfig::default());
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(2));
         let event = Event::builder(11).str("kind", "alert").build();
         sim.process_mut(ProcessId(0)).pmcast(event.clone());
@@ -624,7 +663,7 @@ mod tests {
     fn multiple_concurrent_events_are_kept_apart() {
         let topology = small_topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let group = build_group(&topology, oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(23));
         let event_a = Event::builder(100).int("b", 1).build();
         let event_b = Event::builder(200).int("b", 2).build();
@@ -661,12 +700,38 @@ mod tests {
     fn debug_output_is_informative() {
         let topology = small_topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let group = build_group(&topology, oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
         let text = format!("{:?}", group);
         assert!(text.contains("PmcastGroup"));
         let process_text = format!("{:?}", group.processes[0]);
         assert!(process_text.contains("PmcastProcess"));
         assert!(process_text.contains("address"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_group_shim_still_works() {
+        // One release of backwards compatibility: the free function builds
+        // the same group as the factory.
+        let topology = small_topology();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
+        let group = super::build_group(&topology, oracle, &PmcastConfig::default());
+        assert_eq!(group.processes.len(), 16);
+        assert_eq!(group.addresses.len(), 16);
+    }
+
+    #[test]
+    fn duplicate_publish_is_ignored() {
+        let topology = small_topology();
+        let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
+        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
+        let mut process = group.processes.into_iter().next().unwrap();
+        let event = Arc::new(Event::builder(12).int("b", 3).build());
+        process.publish(Arc::clone(&event));
+        let buffered = process.buffered();
+        process.publish(event);
+        assert_eq!(process.buffered(), buffered);
+        assert_eq!(process.delivered().len(), 1);
     }
 
     #[test]

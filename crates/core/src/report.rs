@@ -77,6 +77,30 @@ impl MulticastReport {
         report
     }
 
+    /// Collects one report per event over the same processes — the
+    /// multi-event counterpart of [`collect`](Self::collect) used by
+    /// scenario runs with several publications.
+    ///
+    /// Returns the reports in the order of `events`.  The process states
+    /// are walked once per event; merge the results with
+    /// [`merge`](Self::merge) for whole-scenario totals.
+    pub fn collect_per_event<'a, 'e, P, I, E>(
+        events: E,
+        processes: I,
+        oracle: &dyn InterestOracle,
+    ) -> Vec<MulticastReport>
+    where
+        P: DeliveryOutcome + 'a,
+        I: IntoIterator<Item = &'a P>,
+        E: IntoIterator<Item = &'e Event>,
+    {
+        let processes: Vec<&P> = processes.into_iter().collect();
+        events
+            .into_iter()
+            .map(|event| Self::collect(event, processes.iter().copied(), oracle))
+            .collect()
+    }
+
     /// Probability of delivery for interested processes (the y-axis of
     /// Figure 4).  Returns 1 when nobody was interested.
     pub fn delivery_ratio(&self) -> f64 {

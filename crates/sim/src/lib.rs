@@ -5,8 +5,15 @@
 //! workloads, runs Monte-Carlo multicast trials over the simulated network,
 //! aggregates the outcomes and regenerates the data behind every figure.
 //!
-//! * [`runner`] — run one or many multicast trials for a given group shape,
-//!   protocol configuration and matching rate, optionally in parallel.
+//! * [`scenario`] — the fluent [`scenario::Scenario`] /
+//!   [`scenario::ScenarioBuilder`] API describing a trial's workload:
+//!   multiple publishers, multiple events, per-round publish schedules,
+//!   crash/churn schedules and loss.
+//! * [`runner`] — run one or many multicast trials for a given scenario or
+//!   experiment point, optionally in parallel.  One generic simulation
+//!   loop serves every protocol through
+//!   [`pmcast_core::MulticastProtocol`] / [`pmcast_core::ProtocolFactory`];
+//!   the [`runner::Protocol`] enum is a thin factory dispatch.
 //! * [`workload`] — interest-assignment generators: i.i.d. Bernoulli
 //!   (the paper's analysis model), exact-count, subtree-clustered, and a
 //!   content-based stock-ticker workload exercising real filters.
@@ -52,4 +59,5 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod workload;

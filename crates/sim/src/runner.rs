@@ -1,30 +1,86 @@
 //! Monte-Carlo multicast trials and their aggregation.
+//!
+//! Every trial — whatever the protocol, whatever the workload — runs
+//! through **one generic simulation loop**,
+//! [`run_scenario_trial`]`::<F>`, monomorphized per
+//! [`ProtocolFactory`].  The [`Protocol`] enum is nothing but a thin
+//! dispatch onto the three factories; adding a protocol means implementing
+//! [`pmcast_core::MulticastProtocol`] + [`ProtocolFactory`] in core and one
+//! new match arm here, and adding a workload means building a
+//! [`Scenario`] — neither ever copies the trial loop.
+//!
+//! ## Seed derivation (reproducibility contract)
+//!
+//! External reproducers can regenerate any trial exactly.  Trial `t` of a
+//! scenario (or [`ExperimentConfig`]) with base seed `s` derives **all** of
+//! its randomness from the trial seed `seed_t = s.wrapping_add(t)`, split
+//! over exactly two ChaCha8 streams:
+//!
+//! 1. **Workload stream** —
+//!    `ChaCha8Rng::seed_from_u64(seed_t.wrapping_mul(0x9E37_79B9).wrapping_add(7))`,
+//!    consumed in this order:
+//!    * the interest assignment: one `gen_bool(matching_rate)` per process
+//!      in address order ([`AssignmentOracle::sample`]);
+//!    * then, for each publication in **schedule order** (the order the
+//!      publications were added, not round order), the publisher draw:
+//!      [`Publisher::Uniform`] consumes one `gen_range(0..n)`;
+//!      [`Publisher::Interested`] consumes one
+//!      `gen_range(0..interested_count)` and resolves the k-th interested
+//!      address in address order — unless nobody is interested, in which
+//!      case it consumes one `gen_range(0..n)` instead;
+//!      [`Publisher::Process`] consumes nothing.
+//! 2. **Network stream** — the [`pmcast_simnet::Simulation`] is created
+//!    with `NetworkConfig { seed: seed_t, … }` and internally splits that
+//!    seed into its message-loss, protocol and crash streams.
+//!
+//!    The default workload (empty publish schedule) is one event with id
+//!    `1000 + t` and a single `int("b", 1)` attribute, published at round 0
+//!    by an [`Publisher::Interested`] draw — reproducing the historical
+//!    one-event-one-sender trial stream bit for bit.
+//!
+//! Because nothing is drawn from state shared between trials, the parallel
+//! runner [`run_trials_parallel`] is bit-identical to the sequential
+//! [`run_trials`] (asserted by the test suite).
 
 use std::sync::Arc;
 
 use pmcast_addr::AddressSpace;
-use pmcast_core::{build_group, MulticastReport, PmcastConfig};
-use pmcast_interest::Event;
+use pmcast_core::{
+    FloodFactory, GenuineFactory, MulticastProtocol, MulticastReport, PmcastConfig, PmcastFactory,
+    ProtocolFactory,
+};
+use pmcast_interest::{Event, EventId};
 use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, TreeTopology};
-use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
+use pmcast_simnet::{CrashPlan, NetworkConfig, ProcessId, Simulation};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::scenario::{Publication, Publisher, Scenario};
+
 /// Which dissemination protocol a trial runs.
+///
+/// This is a thin factory dispatch: each variant maps onto one
+/// [`ProtocolFactory`] implementation in `pmcast-core`, and every variant
+/// runs the identical generic trial loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Protocol {
-    /// The pmcast algorithm of Figure 3.
+    /// The pmcast algorithm of Figure 3 ([`PmcastFactory`]).
     Pmcast,
-    /// Gossip broadcast with filtering on delivery (flooding baseline).
+    /// Gossip broadcast with filtering on delivery ([`FloodFactory`]).
     FloodBroadcast,
-    /// Genuine multicast with global interest knowledge (frugal baseline).
+    /// Genuine multicast with global interest knowledge
+    /// ([`GenuineFactory`]).
     GenuineMulticast,
 }
 
 /// Everything needed to run one experiment point: the group shape, the
 /// protocol parameters, the workload and the fault model.
+///
+/// This is the serializable sweep-friendly profile used by the experiments
+/// and figures; richer workloads (multiple publishers, multiple events,
+/// publish/churn schedules) are expressed as a [`Scenario`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Subgroups per level (`a`).
@@ -148,10 +204,16 @@ impl ExperimentConfig {
 }
 
 /// Outcome of one multicast trial.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialOutcome {
-    /// Delivery/reception classification of every process.
+    /// Delivery/reception classification over all published events (the
+    /// per-event reports merged; identical to the single report for the
+    /// default one-event workload).
     pub report: MulticastReport,
+    /// One report per *distinct* published event id, in first-publication
+    /// schedule order (publishing the same event from several processes is
+    /// one dissemination and yields one report).
+    pub per_event: Vec<MulticastReport>,
     /// Gossip messages handed to the network.
     pub messages_sent: u64,
     /// Rounds executed before quiescence (or the cap).
@@ -219,99 +281,230 @@ fn std_dev(values: &[f64], mean: f64) -> f64 {
     variance.sqrt()
 }
 
-/// Runs a single trial with the given trial index (offsetting the seed).
-pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialOutcome {
-    let seed = config.seed.wrapping_add(trial as u64);
-    let topology = ImplicitRegularTree::new(
-        AddressSpace::regular(config.depth, config.arity).expect("valid shape"),
-    );
-    let mut workload_rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
-    let oracle = Arc::new(AssignmentOracle::sample(
-        &topology,
-        config.matching_rate,
-        &mut workload_rng,
-    ));
-    let event = Event::builder(1_000 + trial as u64).int("b", 1).build();
-    let network = NetworkConfig::faulty(config.loss_probability, config.crash_fraction, seed);
-
-    // The multicaster is a uniformly random process; if the assignment is
-    // non-empty prefer an interested one (a publisher usually cares about
-    // its own events), matching the analysis where the publisher counts as
-    // the initially infected process.
-    let sender_index = if oracle.is_empty() {
-        workload_rng.gen_range(0..topology.member_count())
-    } else {
-        let interested: Vec<_> = oracle.iter().collect();
-        let pick = workload_rng.gen_range(0..interested.len());
-        topology
-            .space()
-            .index_of_address(interested[pick])
-            .expect("interested address is valid") as usize
-    };
-
-    match config.protocol_kind {
-        Protocol::Pmcast => {
-            let group = build_group(&topology, oracle.clone(), &config.protocol);
-            let mut sim = Simulation::new(group.processes, network);
-            sim.process_mut(ProcessId(sender_index)).pmcast(event.clone());
-            let rounds = sim.run_until_quiescent(config.max_rounds);
-            let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
-            TrialOutcome {
-                report,
-                messages_sent: sim.stats().messages_sent,
-                rounds,
-            }
-        }
-        Protocol::FloodBroadcast => {
-            let processes = pmcast_core::build_flood_group(&topology, oracle.clone(), &config.protocol);
-            let mut sim = Simulation::new(processes, network);
-            sim.process_mut(ProcessId(sender_index)).broadcast(event.clone());
-            let rounds = sim.run_until_quiescent(config.max_rounds);
-            let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
-            TrialOutcome {
-                report,
-                messages_sent: sim.stats().messages_sent,
-                rounds,
-            }
-        }
-        Protocol::GenuineMulticast => {
-            let processes = pmcast_core::build_genuine_group(
-                &topology,
-                oracle.clone(),
-                &config.protocol,
-                std::slice::from_ref(&event),
+/// Resolves a [`Publisher`] spec to a process index, consuming the
+/// workload stream exactly as documented in the module-level seed contract.
+///
+/// The interested pick walks the oracle's iterator to the k-th interested
+/// address instead of materializing the whole assignment — the draw is
+/// allocation-free.
+fn resolve_publisher(
+    publisher: &Publisher,
+    topology: &ImplicitRegularTree,
+    oracle: &AssignmentOracle,
+    workload_rng: &mut ChaCha8Rng,
+) -> usize {
+    match publisher {
+        Publisher::Process(index) => {
+            // Re-checked here (not only in `ScenarioBuilder::build`) so
+            // hand-constructed scenarios fail with a diagnostic instead of
+            // a raw index-out-of-bounds inside the simulation.
+            assert!(
+                *index < topology.member_count(),
+                "publisher index {index} out of range for a group of {}",
+                topology.member_count()
             );
-            let mut sim = Simulation::new(processes, network);
-            sim.process_mut(ProcessId(sender_index)).multicast(event.clone());
-            let rounds = sim.run_until_quiescent(config.max_rounds);
-            let report = MulticastReport::collect(&event, sim.processes(), oracle.as_ref());
-            TrialOutcome {
-                report,
-                messages_sent: sim.stats().messages_sent,
-                rounds,
+            *index
+        }
+        Publisher::Uniform => workload_rng.gen_range(0..topology.member_count()),
+        Publisher::Interested => {
+            if oracle.is_empty() {
+                workload_rng.gen_range(0..topology.member_count())
+            } else {
+                let pick = workload_rng.gen_range(0..oracle.len());
+                let address = oracle
+                    .iter()
+                    .nth(pick)
+                    .expect("pick is within the assignment");
+                topology
+                    .space()
+                    .index_of_address(address)
+                    .expect("interested address is valid") as usize
             }
         }
     }
 }
 
+/// The crash plan combining a scenario's initial fraction and schedule.
+fn crash_plan(scenario: &Scenario) -> CrashPlan {
+    match (
+        scenario.crash_fraction > 0.0,
+        scenario.crash_schedule.is_empty(),
+    ) {
+        (false, true) => CrashPlan::None,
+        (true, true) => CrashPlan::InitialFraction(scenario.crash_fraction),
+        (false, false) => CrashPlan::Scheduled(scenario.crash_schedule.clone()),
+        (true, false) => CrashPlan::Mixed {
+            fraction: scenario.crash_fraction,
+            schedule: scenario.crash_schedule.clone(),
+        },
+    }
+}
+
+/// Runs one trial of a scenario with the given protocol factory — **the**
+/// simulation loop: every protocol and every workload goes through this one
+/// function, monomorphized per factory (no trait objects anywhere near the
+/// hot path).
+pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize) -> TrialOutcome {
+    let seed = scenario.seed.wrapping_add(trial as u64);
+    let topology = ImplicitRegularTree::new(
+        AddressSpace::regular(scenario.depth, scenario.arity).expect("valid shape"),
+    );
+    let mut workload_rng =
+        ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+    let oracle = Arc::new(AssignmentOracle::sample(
+        &topology,
+        scenario.matching_rate,
+        &mut workload_rng,
+    ));
+    for &(_, process) in &scenario.crash_schedule {
+        assert!(
+            process < topology.member_count(),
+            "crash-schedule index {process} out of range for a group of {}",
+            topology.member_count()
+        );
+    }
+    let network = NetworkConfig {
+        loss_probability: scenario.loss_probability,
+        crash_plan: crash_plan(scenario),
+        seed,
+    };
+
+    // The default workload: one event, one interested sender, round 0.
+    let default_publication;
+    let publications: &[Publication] = if scenario.publications.is_empty() {
+        default_publication = [Publication {
+            round: 0,
+            publisher: Publisher::Interested,
+            event: Event::builder(1_000 + trial as u64).int("b", 1).build(),
+        }];
+        &default_publication
+    } else {
+        &scenario.publications
+    };
+
+    // Resolve publishers in schedule order (the seed contract), then walk
+    // the schedule in round order during the run.
+    let schedule: Vec<(u64, usize, Arc<Event>)> = publications
+        .iter()
+        .map(|publication| {
+            let sender =
+                resolve_publisher(&publication.publisher, &topology, &oracle, &mut workload_rng);
+            (
+                publication.round,
+                sender,
+                Arc::new(publication.event.clone()),
+            )
+        })
+        .collect();
+    let mut injection_order: Vec<usize> = (0..schedule.len()).collect();
+    injection_order.sort_by_key(|&index| schedule[index].0);
+
+    let group = F::build(&topology, oracle.clone(), &scenario.protocol);
+    let mut sim = Simulation::new(group.processes, network);
+    let mut injected = 0;
+    let mut rounds = 0;
+    while rounds < scenario.max_rounds {
+        while injected < injection_order.len() {
+            let (round, sender, event) = &schedule[injection_order[injected]];
+            if *round > sim.round() {
+                break;
+            }
+            sim.process_mut(ProcessId(*sender)).publish(Arc::clone(event));
+            injected += 1;
+        }
+        sim.step();
+        rounds += 1;
+        if injected == injection_order.len() && sim.is_quiescent() {
+            break;
+        }
+    }
+    // `ScenarioBuilder::build` rejects rounds beyond the cap; this guards
+    // hand-constructed scenarios, where a silently dropped publication
+    // would masquerade as a protocol failure in the reports.
+    assert!(
+        injected == injection_order.len(),
+        "{} publication(s) scheduled at or beyond max_rounds = {} were never injected",
+        injection_order.len() - injected,
+        scenario.max_rounds
+    );
+
+    // Report per *distinct* event: the same event id published from
+    // several processes (a redundant-publisher workload) is one
+    // dissemination, not several — counting it once keeps the merged
+    // totals honest.
+    let mut seen_ids: Vec<EventId> = Vec::with_capacity(schedule.len());
+    let mut unique_events: Vec<&Event> = Vec::with_capacity(schedule.len());
+    for (_, _, event) in &schedule {
+        if !seen_ids.contains(&event.id()) {
+            seen_ids.push(event.id());
+            unique_events.push(event.as_ref());
+        }
+    }
+    let per_event =
+        MulticastReport::collect_per_event(unique_events, sim.processes(), oracle.as_ref());
+    let mut report = MulticastReport::default();
+    for event_report in &per_event {
+        report.merge(event_report);
+    }
+    TrialOutcome {
+        report,
+        per_event,
+        messages_sent: sim.stats().messages_sent,
+        rounds,
+    }
+}
+
+/// Runs one trial of a scenario with the protocol chosen at runtime: the
+/// thin dispatch from the [`Protocol`] enum onto the factories.
+pub fn run_scenario_trial_with(
+    scenario: &Scenario,
+    protocol: Protocol,
+    trial: usize,
+) -> TrialOutcome {
+    match protocol {
+        Protocol::Pmcast => run_scenario_trial::<PmcastFactory>(scenario, trial),
+        Protocol::FloodBroadcast => run_scenario_trial::<FloodFactory>(scenario, trial),
+        Protocol::GenuineMulticast => run_scenario_trial::<GenuineFactory>(scenario, trial),
+    }
+}
+
+/// Runs all trials of a scenario sequentially.
+pub fn run_scenario(scenario: &Scenario, protocol: Protocol) -> Vec<TrialOutcome> {
+    (0..scenario.trials.max(1))
+        .map(|trial| run_scenario_trial_with(scenario, protocol, trial))
+        .collect()
+}
+
+/// Runs all trials of a scenario on all available cores; bit-identical to
+/// [`run_scenario`] (see [`run_trials_parallel`]).
+pub fn run_scenario_parallel(scenario: &Scenario, protocol: Protocol) -> Vec<TrialOutcome> {
+    use rayon::prelude::*;
+    let trials: Vec<usize> = (0..scenario.trials.max(1)).collect();
+    trials
+        .par_iter()
+        .map(|&trial| run_scenario_trial_with(scenario, protocol, trial))
+        .collect()
+}
+
+/// Runs a single trial with the given trial index (offsetting the seed).
+pub fn run_trial(config: &ExperimentConfig, trial: usize) -> TrialOutcome {
+    run_scenario_trial_with(&Scenario::from_experiment(config), config.protocol_kind, trial)
+}
+
 /// Runs all trials of an experiment point sequentially.
 pub fn run_trials(config: &ExperimentConfig) -> Vec<TrialOutcome> {
-    (0..config.trials.max(1))
-        .map(|trial| run_trial(config, trial))
-        .collect()
+    run_scenario(&Scenario::from_experiment(config), config.protocol_kind)
 }
 
 /// Runs all trials of an experiment point on all available cores.
 ///
-/// Trial `t` derives every random choice from `config.seed + t`, so trials
-/// are independent of scheduling: this returns outcomes in trial order and
-/// is **bit-identical** to [`run_trials`] for the same configuration, no
-/// matter how many worker threads execute it (a property the test suite
-/// asserts).
+/// Trial `t` derives every random choice from `config.seed + t` (see the
+/// module-level seed contract), so trials are independent of scheduling:
+/// this returns outcomes in trial order and is **bit-identical** to
+/// [`run_trials`] for the same configuration, no matter how many worker
+/// threads execute it (a property the test suite asserts).
 pub fn run_trials_parallel(config: &ExperimentConfig) -> Vec<TrialOutcome> {
-    use rayon::prelude::*;
-    let trials: Vec<usize> = (0..config.trials.max(1)).collect();
-    trials.par_iter().map(|&trial| run_trial(config, trial)).collect()
+    run_scenario_parallel(&Scenario::from_experiment(config), config.protocol_kind)
 }
 
 /// Runs all trials of an experiment point sequentially and aggregates them.
@@ -370,30 +563,38 @@ mod tests {
         assert!(outcome.report.delivery_ratio() > 0.7, "{outcome:?}");
         assert!(outcome.messages_sent > 0);
         assert!(outcome.rounds > 0);
+        // The default workload is a single event, so the merged report is
+        // exactly the per-event report.
+        assert_eq!(outcome.per_event.len(), 1);
+        assert_eq!(outcome.per_event[0], outcome.report);
     }
 
     #[test]
     fn aggregation_computes_mean_and_std() {
+        let report_a = MulticastReport {
+            interested: 10,
+            delivered_interested: 10,
+            uninterested: 10,
+            received_uninterested: 0,
+            received_total: 10,
+        };
+        let report_b = MulticastReport {
+            interested: 10,
+            delivered_interested: 5,
+            uninterested: 10,
+            received_uninterested: 2,
+            received_total: 7,
+        };
         let outcomes = vec![
             TrialOutcome {
-                report: MulticastReport {
-                    interested: 10,
-                    delivered_interested: 10,
-                    uninterested: 10,
-                    received_uninterested: 0,
-                    received_total: 10,
-                },
+                report: report_a,
+                per_event: vec![report_a],
                 messages_sent: 100,
                 rounds: 10,
             },
             TrialOutcome {
-                report: MulticastReport {
-                    interested: 10,
-                    delivered_interested: 5,
-                    uninterested: 10,
-                    received_uninterested: 2,
-                    received_total: 7,
-                },
+                report: report_b,
+                per_event: vec![report_b],
                 messages_sent: 200,
                 rounds: 20,
             },
@@ -473,5 +674,139 @@ mod tests {
         let outcome = run_experiment(&config);
         assert_eq!(outcome.spurious_mean, 0.0);
         assert!(outcome.delivery_mean > 0.7);
+    }
+
+    #[test]
+    fn multi_publisher_multi_event_scenario_runs_on_every_protocol() {
+        // The API-redesign acceptance bar: one scenario with several
+        // publishers and several events, staggered over rounds, runs
+        // unchanged on all three protocols through the single generic trial
+        // loop — and stays bit-identical under the parallel runner.
+        let scenario = Scenario::builder()
+            .group(4, 3) // 64 processes
+            .matching_rate(0.6)
+            .loss(0.01)
+            .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+            .publish_at(2, Publisher::Uniform, Event::builder(2).int("b", 2).build())
+            .publish_at(5, Publisher::Process(7), Event::builder(3).int("b", 3).build())
+            .trials(2)
+            .seed(11)
+            .build();
+        for protocol in [
+            Protocol::Pmcast,
+            Protocol::FloodBroadcast,
+            Protocol::GenuineMulticast,
+        ] {
+            let outcomes = scenario.run(protocol);
+            assert_eq!(outcomes.len(), 2, "{protocol:?}");
+            for outcome in &outcomes {
+                assert_eq!(outcome.per_event.len(), 3, "{protocol:?}");
+                // The merged report is the per-event sum.
+                let mut merged = MulticastReport::default();
+                for event_report in &outcome.per_event {
+                    merged.merge(event_report);
+                }
+                assert_eq!(merged, outcome.report, "{protocol:?}");
+                // Each event found its audience.
+                for event_report in &outcome.per_event {
+                    assert!(
+                        event_report.delivery_ratio() > 0.5,
+                        "{protocol:?}: {event_report:?}"
+                    );
+                }
+                assert!(outcome.messages_sent > 0);
+            }
+            assert_eq!(outcomes, scenario.run_parallel(protocol), "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn scheduled_crashes_flow_into_the_simulation() {
+        // Crash the only publisher at round 1; the event must not reach the
+        // whole audience, proving the schedule reaches the network layer.
+        let healthy = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .publish(Publisher::Process(0), Event::builder(4).build())
+            .seed(3)
+            .build();
+        let crashed = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .publish(Publisher::Process(0), Event::builder(4).build())
+            .crash_at(1, 0)
+            .seed(3)
+            .build();
+        let healthy_outcome = &healthy.run(Protocol::FloodBroadcast)[0];
+        let crashed_outcome = &crashed.run(Protocol::FloodBroadcast)[0];
+        assert!(healthy_outcome.report.delivered_interested == 16);
+        assert!(
+            crashed_outcome.report.delivered_interested
+                <= healthy_outcome.report.delivered_interested
+        );
+        assert!(crashed_outcome.messages_sent < healthy_outcome.messages_sent);
+    }
+
+    #[test]
+    fn redundant_publishers_of_one_event_are_reported_once() {
+        // The same event published from two processes is one dissemination:
+        // one per-event report, no double-counted totals.
+        let event = Event::builder(21).int("b", 4).build();
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(0.5)
+            .publish(Publisher::Process(0), event.clone())
+            .publish_at(2, Publisher::Process(9), event)
+            .seed(13)
+            .build();
+        let outcome = &scenario.run(Protocol::FloodBroadcast)[0];
+        assert_eq!(outcome.per_event.len(), 1);
+        assert_eq!(outcome.per_event[0], outcome.report);
+        assert_eq!(
+            outcome.report.interested + outcome.report.uninterested,
+            16,
+            "every process classified exactly once: {:?}",
+            outcome.report
+        );
+        assert!(outcome.report.delivery_ratio() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never run")]
+    fn publications_beyond_the_round_cap_are_rejected() {
+        let _ = Scenario::builder()
+            .max_rounds(10)
+            .publish_at(10, Publisher::Uniform, Event::builder(1).build())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "never injected")]
+    fn hand_built_scenarios_cannot_silently_drop_publications() {
+        let mut scenario = Scenario::builder().group(4, 2).build();
+        scenario.max_rounds = 3;
+        scenario.publications.push(Publication {
+            round: 5,
+            publisher: Publisher::Uniform,
+            event: Event::builder(2).build(),
+        });
+        let _ = run_scenario_trial_with(&scenario, Protocol::Pmcast, 0);
+    }
+
+    #[test]
+    fn default_workload_matches_explicit_equivalent() {
+        // A scenario spelling out the default workload explicitly (same
+        // event id, same publisher rule, round 0) reproduces the implicit
+        // default bit for bit — the seed contract in action.
+        let config = ExperimentConfig::quick().with_trials(1).with_seed(123);
+        let implicit = run_trial(&config, 0);
+        let mut scenario = Scenario::from_experiment(&config);
+        scenario.publications.push(Publication {
+            round: 0,
+            publisher: Publisher::Interested,
+            event: Event::builder(1_000).int("b", 1).build(),
+        });
+        let explicit = run_scenario_trial_with(&scenario, Protocol::Pmcast, 0);
+        assert_eq!(implicit, explicit);
     }
 }

@@ -1,0 +1,365 @@
+//! Declarative multicast scenarios: *what happens* in a trial, separated
+//! from *which protocol* runs it.
+//!
+//! A [`Scenario`] describes a whole experiment point — the group shape, the
+//! interest workload, the fault model and a **publish schedule** of any
+//! number of events from any number of publishers at any rounds.  The
+//! [`ScenarioBuilder`] makes composing one a few fluent lines; the runner
+//! ([`crate::runner::run_scenario`] and friends) executes it with one
+//! generic simulation loop for every protocol implementing
+//! [`pmcast_core::MulticastProtocol`], so a new workload is a new builder
+//! chain — never a fork of the trial loop.
+//!
+//! ```rust
+//! use pmcast_interest::Event;
+//! use pmcast_sim::runner::Protocol;
+//! use pmcast_sim::scenario::{Publisher, Scenario};
+//!
+//! let scenario = Scenario::builder()
+//!     .group(4, 3) // 4^3 = 64 processes
+//!     .matching_rate(0.6)
+//!     .loss(0.01)
+//!     .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+//!     .publish_at(3, Publisher::Uniform, Event::builder(2).int("b", 2).build())
+//!     .trials(2)
+//!     .seed(7)
+//!     .build();
+//! let outcomes = scenario.run(Protocol::Pmcast);
+//! assert_eq!(outcomes.len(), 2);
+//! assert_eq!(outcomes[0].per_event.len(), 2);
+//! ```
+
+use pmcast_core::PmcastConfig;
+use pmcast_interest::Event;
+use serde::{Deserialize, Serialize};
+
+use crate::runner::{
+    run_scenario, run_scenario_parallel, ExperimentConfig, Protocol, TrialOutcome,
+};
+
+/// How the publisher of a scheduled publication is chosen.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Publisher {
+    /// A uniformly random process.
+    Uniform,
+    /// A uniformly random *interested* process (the paper's model: the
+    /// publisher counts as the initially infected process).  Falls back to
+    /// a uniform draw when nobody is interested.
+    Interested,
+    /// The process with this dense identifier.
+    Process(usize),
+}
+
+/// One scheduled publication: an event injected at a given round by a
+/// publisher chosen per [`Publisher`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Publication {
+    /// Simulation round at which the event is published.
+    pub round: u64,
+    /// How the publishing process is chosen.
+    pub publisher: Publisher,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Everything that happens in one Monte-Carlo trial, independent of the
+/// protocol disseminating it: group shape, protocol parameters, interest
+/// workload, fault model and publish schedule.
+///
+/// Build one with [`Scenario::builder`]; run it with [`Scenario::run`] /
+/// [`Scenario::run_parallel`] (or the `run_scenario*` functions of
+/// [`crate::runner`], including the generic
+/// [`crate::runner::run_scenario_trial`] for custom protocols).
+///
+/// An empty `publications` list means the **default workload**: one event
+/// (`id = 1000 + trial`, one `b` attribute) published at round 0 by a
+/// random interested process — the paper's one-event-one-sender trial
+/// shape, kept as the default so [`ExperimentConfig`] sweeps reproduce
+/// their historical random streams exactly (see the seed-derivation
+/// contract in [`crate::runner`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Subgroups per level (`a`).
+    pub arity: u32,
+    /// Tree depth (`d`).
+    pub depth: usize,
+    /// Protocol parameters (R, F, env, tuning, …).
+    pub protocol: PmcastConfig,
+    /// Fraction of interested processes (`p_d`), sampled i.i.d. per trial.
+    pub matching_rate: f64,
+    /// Network message-loss probability (`ε`).
+    pub loss_probability: f64,
+    /// Fraction of processes crashed at the start of the run (`τ`).
+    pub crash_fraction: f64,
+    /// Processes crashed at fixed rounds (`(round, process index)`), on top
+    /// of `crash_fraction`.
+    pub crash_schedule: Vec<(u64, usize)>,
+    /// The publish schedule; empty means the default workload (see type
+    /// docs).
+    pub publications: Vec<Publication>,
+    /// Independent trials to run.
+    pub trials: usize,
+    /// Base PRNG seed; trial `t` uses `seed + t`.
+    pub seed: u64,
+    /// Safety cap on simulated rounds per trial.
+    pub max_rounds: u64,
+}
+
+impl Scenario {
+    /// Starts building a scenario from the quick-profile defaults
+    /// (`a = 6`, `d = 3`, default protocol config, matching rate 0.5,
+    /// reliable network, default workload, 1 trial, seed 42).
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                arity: 6,
+                depth: 3,
+                protocol: PmcastConfig::default(),
+                matching_rate: 0.5,
+                loss_probability: 0.0,
+                crash_fraction: 0.0,
+                crash_schedule: Vec::new(),
+                publications: Vec::new(),
+                trials: 1,
+                seed: 42,
+                max_rounds: 400,
+            },
+        }
+    }
+
+    /// The scenario equivalent of an [`ExperimentConfig`] point: same
+    /// shape, workload and fault model, with the default publish schedule.
+    /// `config.protocol_kind` is *not* part of the scenario — the protocol
+    /// is chosen when running it.
+    pub fn from_experiment(config: &ExperimentConfig) -> Self {
+        Self {
+            arity: config.arity,
+            depth: config.depth,
+            protocol: config.protocol.clone(),
+            matching_rate: config.matching_rate,
+            loss_probability: config.loss_probability,
+            crash_fraction: config.crash_fraction,
+            crash_schedule: Vec::new(),
+            publications: Vec::new(),
+            trials: config.trials,
+            seed: config.seed,
+            max_rounds: config.max_rounds,
+        }
+    }
+
+    /// Group size `n = a^d`.
+    pub fn group_size(&self) -> usize {
+        (self.arity as usize).pow(self.depth as u32)
+    }
+
+    /// Runs all trials sequentially with the given protocol.
+    pub fn run(&self, protocol: Protocol) -> Vec<TrialOutcome> {
+        run_scenario(self, protocol)
+    }
+
+    /// Runs all trials on all available cores; bit-identical to
+    /// [`run`](Self::run) (see [`crate::runner::run_trials_parallel`]).
+    pub fn run_parallel(&self, protocol: Protocol) -> Vec<TrialOutcome> {
+        run_scenario_parallel(self, protocol)
+    }
+}
+
+/// Fluent construction of a [`Scenario`]; see [`Scenario::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the group shape: `arity` subgroups per level, `depth` levels
+    /// (`n = arity^depth` processes).
+    pub fn group(mut self, arity: u32, depth: usize) -> Self {
+        self.scenario.arity = arity;
+        self.scenario.depth = depth;
+        self
+    }
+
+    /// Sets the protocol parameters.
+    pub fn protocol(mut self, protocol: PmcastConfig) -> Self {
+        self.scenario.protocol = protocol;
+        self
+    }
+
+    /// Sets the fraction of interested processes (`p_d`).
+    pub fn matching_rate(mut self, matching_rate: f64) -> Self {
+        self.scenario.matching_rate = matching_rate;
+        self
+    }
+
+    /// Sets the message-loss probability (`ε`).
+    pub fn loss(mut self, loss_probability: f64) -> Self {
+        self.scenario.loss_probability = loss_probability;
+        self
+    }
+
+    /// Sets the fraction of processes crashed before the run (`τ`).
+    pub fn crash_fraction(mut self, crash_fraction: f64) -> Self {
+        self.scenario.crash_fraction = crash_fraction;
+        self
+    }
+
+    /// Crashes one process at a fixed round (may be called repeatedly to
+    /// build a churn schedule; combines with
+    /// [`crash_fraction`](Self::crash_fraction)).
+    pub fn crash_at(mut self, round: u64, process: usize) -> Self {
+        self.scenario.crash_schedule.push((round, process));
+        self
+    }
+
+    /// Schedules a publication at round 0.
+    pub fn publish(self, publisher: Publisher, event: Event) -> Self {
+        self.publish_at(0, publisher, event)
+    }
+
+    /// Schedules a publication at the given round.
+    pub fn publish_at(mut self, round: u64, publisher: Publisher, event: Event) -> Self {
+        self.scenario.publications.push(Publication {
+            round,
+            publisher,
+            event,
+        });
+        self
+    }
+
+    /// Sets the number of independent trials.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.scenario.trials = trials;
+        self
+    }
+
+    /// Sets the base PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Sets the safety cap on simulated rounds per trial.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.scenario.max_rounds = max_rounds;
+        self
+    }
+
+    /// Finishes the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration is invalid (see
+    /// [`PmcastConfig::validate`]), the loss probability or crash fraction
+    /// lies outside `[0, 1]`, a [`Publisher::Process`] index is out of
+    /// range for the group size, or a publication is scheduled at a round
+    /// the trial can never reach (`round >= max_rounds`) — such a
+    /// publication would otherwise be silently dropped while still being
+    /// counted as undelivered in the reports.
+    pub fn build(self) -> Scenario {
+        self.scenario.protocol.validate();
+        assert!(
+            (0.0..=1.0).contains(&self.scenario.loss_probability),
+            "loss probability {} must lie in [0, 1]",
+            self.scenario.loss_probability
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.scenario.crash_fraction),
+            "crash fraction {} must lie in [0, 1]",
+            self.scenario.crash_fraction
+        );
+        let n = self.scenario.group_size();
+        for publication in &self.scenario.publications {
+            if let Publisher::Process(index) = publication.publisher {
+                assert!(
+                    index < n,
+                    "publisher index {index} out of range for a group of {n}"
+                );
+            }
+            assert!(
+                publication.round < self.scenario.max_rounds,
+                "publication scheduled at round {} can never run (max_rounds = {})",
+                publication.round,
+                self.scenario.max_rounds
+            );
+        }
+        for &(_, process) in &self.scenario.crash_schedule {
+            assert!(
+                process < n,
+                "crash-schedule index {process} out of range for a group of {n}"
+            );
+        }
+        self.scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_every_knob() {
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .protocol(PmcastConfig::default().with_fanout(3))
+            .matching_rate(0.25)
+            .loss(0.05)
+            .crash_fraction(0.01)
+            .crash_at(4, 2)
+            .publish(Publisher::Process(1), Event::builder(9).build())
+            .publish_at(2, Publisher::Uniform, Event::builder(10).build())
+            .trials(3)
+            .seed(5)
+            .max_rounds(150)
+            .build();
+        assert_eq!(scenario.arity, 4);
+        assert_eq!(scenario.depth, 2);
+        assert_eq!(scenario.group_size(), 16);
+        assert_eq!(scenario.protocol.fanout, 3);
+        assert_eq!(scenario.matching_rate, 0.25);
+        assert_eq!(scenario.loss_probability, 0.05);
+        assert_eq!(scenario.crash_fraction, 0.01);
+        assert_eq!(scenario.crash_schedule, vec![(4, 2)]);
+        assert_eq!(scenario.publications.len(), 2);
+        assert_eq!(scenario.publications[0].round, 0);
+        assert_eq!(scenario.publications[1].round, 2);
+        assert_eq!(scenario.trials, 3);
+        assert_eq!(scenario.seed, 5);
+        assert_eq!(scenario.max_rounds, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_publisher_is_rejected() {
+        let _ = Scenario::builder()
+            .group(2, 2)
+            .publish(Publisher::Process(99), Event::builder(1).build())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn out_of_range_loss_is_rejected() {
+        let _ = Scenario::builder().loss(1.5).build();
+    }
+
+    #[test]
+    fn from_experiment_mirrors_the_point() {
+        let config = ExperimentConfig::quick().with_matching_rate(0.3).with_seed(9);
+        let scenario = Scenario::from_experiment(&config);
+        assert_eq!(scenario.arity, config.arity);
+        assert_eq!(scenario.depth, config.depth);
+        assert_eq!(scenario.matching_rate, 0.3);
+        assert_eq!(scenario.seed, 9);
+        assert!(scenario.publications.is_empty(), "default workload");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let scenario = Scenario::builder()
+            .publish(Publisher::Interested, Event::builder(4).int("b", 2).build())
+            .build();
+        let json = serde_json::to_string(&scenario).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(scenario, back);
+    }
+}

@@ -14,6 +14,16 @@ pub enum CrashPlan {
     InitialFraction(f64),
     /// Crash the listed process indices at the listed rounds.
     Scheduled(Vec<(u64, usize)>),
+    /// Both failure models combined: crash a uniformly random fraction
+    /// before the run starts **and** the listed process indices at the
+    /// listed rounds (churn scenarios layering planned crashes on top of
+    /// the paper's initial-crash model).
+    Mixed {
+        /// Fraction `τ` of processes crashed before the run starts.
+        fraction: f64,
+        /// `(round, process index)` pairs crashed during the run.
+        schedule: Vec<(u64, usize)>,
+    },
 }
 
 

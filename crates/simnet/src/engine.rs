@@ -146,17 +146,28 @@ impl<P: RoundProcess> Simulation<P> {
         let protocol_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
         let mut network = RoundNetwork::new(processes.len(), config.loss_probability, network_rng);
         let mut scheduled_crashes = VecDeque::new();
+        let crash_fraction = |network: &mut RoundNetwork<P::Message>,
+                                  seed_rng: &mut ChaCha8Rng,
+                                  fraction: f64| {
+            let mut crash_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
+            for index in 0..processes.len() {
+                if crash_rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                    network.crash(ProcessId(index));
+                }
+            }
+        };
         match &config.crash_plan {
             CrashPlan::None => {}
             CrashPlan::InitialFraction(fraction) => {
-                let mut crash_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
-                for index in 0..processes.len() {
-                    if crash_rng.gen_bool(fraction.clamp(0.0, 1.0)) {
-                        network.crash(ProcessId(index));
-                    }
-                }
+                crash_fraction(&mut network, &mut seed_rng, *fraction);
             }
             CrashPlan::Scheduled(schedule) => {
+                let mut sorted = schedule.clone();
+                sorted.sort();
+                scheduled_crashes = sorted.into();
+            }
+            CrashPlan::Mixed { fraction, schedule } => {
+                crash_fraction(&mut network, &mut seed_rng, *fraction);
                 let mut sorted = schedule.clone();
                 sorted.sort();
                 scheduled_crashes = sorted.into();
@@ -284,6 +295,19 @@ impl<P: RoundProcess> Simulation<P> {
         }
     }
 
+    /// Returns `true` if every live process is quiescent and no messages
+    /// are in flight — the stopping condition of
+    /// [`run_until_quiescent`](Self::run_until_quiescent), exposed so
+    /// callers driving the simulation step by step (e.g. to inject
+    /// publications on a schedule) can stop on the same condition.
+    pub fn is_quiescent(&self) -> bool {
+        self.processes
+            .iter()
+            .enumerate()
+            .all(|(index, p)| self.network.is_crashed(ProcessId(index)) || p.is_quiescent())
+            && self.network.is_idle()
+    }
+
     /// Runs until every process is quiescent and no messages are in flight,
     /// or until `max_rounds` have elapsed.  Returns the number of rounds
     /// executed.
@@ -292,12 +316,7 @@ impl<P: RoundProcess> Simulation<P> {
         while executed < max_rounds {
             self.step();
             executed += 1;
-            let all_quiet = self
-                .processes
-                .iter()
-                .enumerate()
-                .all(|(index, p)| self.network.is_crashed(ProcessId(index)) || p.is_quiescent());
-            if all_quiet && self.network.is_idle() {
+            if self.is_quiescent() {
                 break;
             }
         }
@@ -406,6 +425,40 @@ mod tests {
         if !sim.is_crashed(ProcessId(0)) {
             assert_eq!(reached, 100 - crashed);
         }
+    }
+
+    #[test]
+    fn mixed_crash_plan_applies_both_models() {
+        let plan = CrashPlan::Mixed {
+            fraction: 0.5,
+            schedule: vec![(2, 0)],
+        };
+        let config = NetworkConfig::reliable(11).with_crash_plan(plan);
+        let mut sim = flood_simulation(100, config);
+        let initially_crashed = sim.crashed_count();
+        assert!(initially_crashed > 20 && initially_crashed < 80, "{initially_crashed}");
+        // The initial fraction draws from the same stream as
+        // `InitialFraction`, so the crash set matches it exactly.
+        let fraction_only = flood_simulation(100, NetworkConfig::faulty(0.0, 0.5, 11));
+        for index in 0..100 {
+            assert_eq!(
+                sim.is_crashed(ProcessId(index)),
+                fraction_only.is_crashed(ProcessId(index))
+            );
+        }
+        sim.step();
+        sim.step();
+        sim.step(); // round 2 → scheduled crash of process 0 applies
+        assert!(sim.is_crashed(ProcessId(0)));
+        assert!(sim.crashed_count() >= initially_crashed);
+    }
+
+    #[test]
+    fn quiescence_query_matches_run_until_quiescent() {
+        let mut sim = flood_simulation(10, NetworkConfig::reliable(3));
+        assert!(!sim.is_quiescent(), "seed process has a token to announce");
+        sim.run_until_quiescent(50);
+        assert!(sim.is_quiescent());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::TrafficStats;
 
 /// Dense identifier of a simulated process (an index into the simulation's
-/// process table).  The mapping to a pmcast [`pmcast_addr::Address`] is kept
+/// process table).  The mapping to a pmcast `Address` is kept
 /// by the layer above.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,

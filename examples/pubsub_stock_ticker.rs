@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use pmcast::sim::workload::{ticker_event, ticker_subscription};
 use pmcast::{
-    build_group, AddressSpace, Event, GroupTree, Interest, MulticastReport, NetworkConfig,
-    PmcastConfig, ProcessId, Simulation, TreeTopology,
+    AddressSpace, Event, GroupTree, Interest, MulticastReport, NetworkConfig, PmcastConfig,
+    PmcastFactory, ProcessId, ProtocolFactory, Simulation, TreeTopology,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 2. Build the pmcast group; the GroupTree doubles as the interest
     //    oracle since it holds every subscription.
     let config = PmcastConfig::default().with_fanout(3);
-    let group = build_group(tree.as_ref(), tree.clone(), &config);
+    let group = PmcastFactory::build(tree.as_ref(), tree.clone(), &config);
     let mut sim = Simulation::new(
         group.processes,
         NetworkConfig::default().with_loss(0.01).with_seed(11),

@@ -1,16 +1,36 @@
 //! Quickstart: multicast one event over a 64-process group and print who
-//! delivered it.
+//! delivered it — then run the same workload on all three protocols with
+//! the `Scenario` API.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
+//!
+//! ## The API-stability invariant
+//!
+//! Two rules keep this example (and every harness in the workspace) stable
+//! as the codebase grows:
+//!
+//! * **All protocols implement `MulticastProtocol`.**  pmcast and both
+//!   baselines are built through a `ProtocolFactory` (`PmcastFactory`,
+//!   `FloodFactory`, `GenuineFactory`) from the same
+//!   `(topology, oracle, config)` triple, publish shared `Arc<Event>`
+//!   payloads, and answer the same delivery/reception queries.  Code
+//!   written against the trait — like step 3 below — works for any
+//!   protocol, with static dispatch only.
+//! * **Scenarios are built, not forked.**  A workload (how many publishers,
+//!   which events, at which rounds, under what loss and churn) is described
+//!   declaratively with `Scenario::builder()` and executed by the one
+//!   generic trial loop in `pmcast_sim::runner`; new workloads never copy
+//!   simulation code.
 
 use std::error::Error;
 use std::sync::Arc;
 
 use pmcast::{
-    build_group, AddressSpace, AssignmentOracle, Event, ImplicitRegularTree, InterestOracle,
-    MulticastReport, NetworkConfig, PmcastConfig, ProcessId, Simulation, TreeTopology,
+    AddressSpace, AssignmentOracle, Event, ImplicitRegularTree, InterestOracle, MulticastReport,
+    NetworkConfig, PmcastConfig, PmcastFactory, ProcessId, Protocol, ProtocolFactory, Publisher,
+    Scenario, Simulation, TreeTopology,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -28,15 +48,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
     println!("{} processes are interested in the event", oracle.len());
 
-    // 3. Build one pmcast protocol instance per process and wire them to the
-    //    simulated network (1% message loss).
+    // 3. Build one pmcast protocol instance per process through the
+    //    factory and wire them to the simulated network (1% message loss).
+    //    Swapping `PmcastFactory` for `FloodFactory` or `GenuineFactory`
+    //    is the only change needed to run a baseline instead.
     let config = PmcastConfig::default(); // R = 3, F = 2
-    let group = build_group(&topology, oracle.clone(), &config);
+    let group = PmcastFactory::build(&topology, oracle.clone(), &config);
     let mut sim = Simulation::new(group.processes, NetworkConfig::default().with_loss(0.01).with_seed(7));
 
-    // 4. Publish an event from process 0.0.0 and run to quiescence.
+    // 4. Publish an event from process 0.0.0 and run to quiescence.  The
+    //    payload is allocated once and shared (`Arc`) through buffering,
+    //    gossiping and delivery.
     let event = Event::builder(1).int("b", 2).float("c", 55.5).build();
-    sim.process_mut(ProcessId(0)).pmcast(event.clone());
+    sim.process_mut(ProcessId(0)).publish(Arc::new(event.clone()));
     let rounds = sim.run_until_quiescent(300);
 
     // 5. Report.
@@ -64,6 +88,30 @@ fn main() -> Result<(), Box<dyn Error>> {
             process.address(),
             oracle.is_interested(process.address(), &event),
             process.has_delivered(event.id()),
+        );
+    }
+
+    // 6. The same comparison, declaratively: one scenario (two publishers,
+    //    two events, 1% loss) run on all three protocols by the generic
+    //    trial engine.
+    let scenario = Scenario::builder()
+        .group(4, 3)
+        .matching_rate(0.5)
+        .loss(0.01)
+        .publish(Publisher::Interested, Event::builder(10).int("b", 2).build())
+        .publish_at(3, Publisher::Uniform, Event::builder(11).int("b", 3).build())
+        .seed(7)
+        .build();
+    println!("\nscenario (2 publishers, 2 events) across protocols:");
+    for protocol in [Protocol::Pmcast, Protocol::FloodBroadcast, Protocol::GenuineMulticast] {
+        let outcome = &scenario.run(protocol)[0];
+        println!(
+            "  {:>16?}: delivery {:.3}, spurious {:.3}, {:5} messages, {:3} rounds",
+            protocol,
+            outcome.report.delivery_ratio(),
+            outcome.report.spurious_ratio(),
+            outcome.messages_sent,
+            outcome.rounds
         );
     }
     Ok(())

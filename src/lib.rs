@@ -21,6 +21,16 @@
 //!
 //! The most commonly used items are also re-exported at the crate root.
 //!
+//! ## API architecture
+//!
+//! All three dissemination protocols — pmcast and the two baselines —
+//! implement the [`MulticastProtocol`] trait and are built through a
+//! [`ProtocolFactory`] ([`PmcastFactory`], [`FloodFactory`],
+//! [`GenuineFactory`]) from the same `(topology, oracle, config)` triple.
+//! Workloads are described declaratively with the [`Scenario`] builder and
+//! executed by one generic trial loop ([`sim::runner`]), so comparing
+//! protocols or adding workloads never duplicates simulation code.
+//!
 //! ## Quick start
 //!
 //! ```rust
@@ -28,8 +38,8 @@
 //! # fn main() -> Result<(), Box<dyn Error>> {
 //! use std::sync::Arc;
 //! use pmcast::{
-//!     build_group, AddressSpace, AssignmentOracle, Event, ImplicitRegularTree,
-//!     MulticastReport, NetworkConfig, PmcastConfig, ProcessId, Simulation,
+//!     AddressSpace, AssignmentOracle, Event, ImplicitRegularTree, MulticastReport,
+//!     NetworkConfig, PmcastConfig, PmcastFactory, ProcessId, ProtocolFactory, Simulation,
 //! };
 //! use rand::SeedableRng;
 //!
@@ -38,7 +48,7 @@
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
 //!
-//! let group = build_group(&topology, oracle.clone(), &PmcastConfig::default());
+//! let group = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
 //! let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(1));
 //! let event = Event::builder(1).int("b", 7).build();
 //! sim.process_mut(ProcessId(0)).pmcast(event.clone());
@@ -48,6 +58,24 @@
 //! assert!(report.delivery_ratio() > 0.8);
 //! # Ok(())
 //! # }
+//! ```
+//!
+//! Or declaratively, running the same workload on every protocol:
+//!
+//! ```rust
+//! use pmcast::{Event, Protocol, Publisher, Scenario};
+//!
+//! let scenario = Scenario::builder()
+//!     .group(4, 3)
+//!     .matching_rate(0.5)
+//!     .publish(Publisher::Interested, Event::builder(1).int("b", 7).build())
+//!     .publish_at(2, Publisher::Uniform, Event::builder(2).int("b", 8).build())
+//!     .seed(1)
+//!     .build();
+//! for protocol in [Protocol::Pmcast, Protocol::FloodBroadcast, Protocol::GenuineMulticast] {
+//!     let outcome = &scenario.run(protocol)[0];
+//!     assert_eq!(outcome.per_event.len(), 2);
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -90,11 +118,15 @@ pub mod sim {
 
 pub use pmcast_addr::{AddrError, Address, AddressSpace, Prefix};
 pub use pmcast_analysis::{EnvParams, GroupParams};
+#[allow(deprecated)]
+pub use pmcast_core::{build_flood_group, build_genuine_group, build_group};
 pub use pmcast_core::{
-    build_flood_group, build_genuine_group, build_group, FloodBroadcastProcess,
-    GenuineMulticastProcess, Gossip, MulticastReport, PmcastConfig, PmcastGroup, PmcastProcess,
-    TuningConfig,
+    FloodBroadcastProcess, FloodFactory, GenuineFactory, GenuineMulticastProcess, Gossip,
+    MulticastProtocol, MulticastReport, PmcastConfig, PmcastFactory, PmcastGroup, PmcastProcess,
+    ProtocolFactory, ProtocolGroup, TuningConfig,
 };
+pub use pmcast_sim::runner::{ExperimentConfig, Protocol, TrialOutcome};
+pub use pmcast_sim::scenario::{Publication, Publisher, Scenario, ScenarioBuilder};
 pub use pmcast_interest::{
     AttributeValue, Event, EventId, Filter, Interest, InterestSummary, Predicate,
 };

@@ -1,0 +1,179 @@
+//! Generic conformance suite for the [`MulticastProtocol`] /
+//! [`ProtocolFactory`] contract, instantiated for all three protocols.
+//!
+//! Every protocol behind the trait must uphold the same observable
+//! contract, checked by one generic function per property:
+//!
+//! * publish-then-quiescence delivers to every interested non-crashed
+//!   process on a loss-free network;
+//! * duplicate receipt of the same event is deduplicated (publishing the
+//!   same event twice is bit-identical to publishing it once);
+//! * no process ever *delivers* an event it is not interested in, and the
+//!   interest-aware protocols (pmcast, genuine multicast) keep spurious
+//!   *reception* within their guarantees;
+//! * the group is built in dense-identifier order, with trait addresses
+//!   matching the topology's member order.
+
+use std::sync::Arc;
+
+use pmcast::{
+    Address, AddressSpace, AssignmentOracle, Event, FloodFactory, GenuineFactory,
+    ImplicitRegularTree, InterestOracle, MulticastProtocol, NetworkConfig, PmcastConfig,
+    PmcastFactory, ProcessId, ProtocolFactory, Simulation, TreeTopology,
+};
+
+fn topology() -> ImplicitRegularTree {
+    ImplicitRegularTree::new(AddressSpace::regular(2, 4).expect("valid shape"))
+}
+
+/// Subtrees 0 and 1 are interested: 8 of 16 processes, publisher 0.0 among
+/// them.
+fn half_interested_oracle() -> Arc<AssignmentOracle> {
+    let interested: Vec<Address> = (0..2u32)
+        .flat_map(|hi| (0..4u32).map(move |lo| Address::from(vec![hi, lo])))
+        .collect();
+    Arc::new(AssignmentOracle::new(interested))
+}
+
+/// Builds a group, publishes `copies` clones of one shared event from
+/// process 0, runs to quiescence and returns the final states plus the
+/// message count.
+fn publish_and_run<F: ProtocolFactory>(copies: usize) -> (Vec<F::Process>, Event, u64) {
+    let topology = topology();
+    let oracle = half_interested_oracle();
+    let group = F::build(&topology, oracle, &PmcastConfig::default());
+    assert_eq!(group.processes.len(), 16);
+    let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(71));
+    let event = Event::builder(40).int("b", 2).build();
+    let shared = Arc::new(event.clone());
+    for _ in 0..copies {
+        sim.process_mut(ProcessId(0)).publish(Arc::clone(&shared));
+    }
+    sim.run_until_quiescent(300);
+    let messages = sim.stats().messages_sent;
+    (sim.into_processes(), event, messages)
+}
+
+fn assert_delivers_to_every_interested_process<F: ProtocolFactory>(name: &str) {
+    let oracle = half_interested_oracle();
+    let (processes, event, _) = publish_and_run::<F>(1);
+    for process in &processes {
+        if oracle.is_interested(process.address(), &event) {
+            assert!(
+                process.has_delivered(event.id()),
+                "{name}: {} is interested but did not deliver",
+                process.address()
+            );
+            assert!(process.has_received(event.id()), "{name}: delivered implies received");
+        }
+    }
+}
+
+fn assert_duplicate_publish_is_deduplicated<F: ProtocolFactory>(name: &str) {
+    let (once, event, messages_once) = publish_and_run::<F>(1);
+    let (twice, _, messages_twice) = publish_and_run::<F>(2);
+    assert_eq!(
+        messages_once, messages_twice,
+        "{name}: a duplicate publish must be ignored, not re-gossiped"
+    );
+    for (a, b) in once.iter().zip(twice.iter()) {
+        assert_eq!(
+            a.has_delivered(event.id()),
+            b.has_delivered(event.id()),
+            "{name}: duplicate publish changed delivery at {}",
+            a.address()
+        );
+    }
+}
+
+fn assert_no_delivery_without_interest<F: ProtocolFactory>(
+    name: &str,
+    never_receives_uninterested: bool,
+) {
+    let oracle = half_interested_oracle();
+    let (processes, event, _) = publish_and_run::<F>(1);
+    for process in &processes {
+        if !oracle.is_interested(process.address(), &event) {
+            assert!(
+                !process.has_delivered(event.id()),
+                "{name}: {} delivered without interest",
+                process.address()
+            );
+            if never_receives_uninterested {
+                assert!(
+                    !process.has_received(event.id()),
+                    "{name}: {} received the event despite the protocol's \
+                     no-spurious-reception guarantee",
+                    process.address()
+                );
+            }
+        }
+    }
+}
+
+fn assert_group_order_matches_topology<F: ProtocolFactory>(name: &str) {
+    let topology = topology();
+    let group = F::build(&topology, half_interested_oracle(), &PmcastConfig::default());
+    let members = topology.members();
+    assert_eq!(*group.addresses, members, "{name}");
+    for (process, address) in group.processes.iter().zip(members.iter()) {
+        assert_eq!(process.address(), address, "{name}");
+    }
+}
+
+/// The whole contract for one protocol.
+fn assert_contract<F: ProtocolFactory>(name: &str, never_receives_uninterested: bool) {
+    assert_delivers_to_every_interested_process::<F>(name);
+    assert_duplicate_publish_is_deduplicated::<F>(name);
+    assert_no_delivery_without_interest::<F>(name, never_receives_uninterested);
+    assert_group_order_matches_topology::<F>(name);
+}
+
+#[test]
+fn pmcast_satisfies_the_multicast_contract() {
+    // pmcast is interest-aware but delegates of interested subtrees may
+    // receive events they do not deliver, so spurious reception is allowed
+    // (bounded — that is Figure 5's subject, not this contract's).
+    assert_contract::<PmcastFactory>("pmcast", false);
+}
+
+#[test]
+fn flood_broadcast_satisfies_the_multicast_contract() {
+    // Flooding is interest-oblivious: uninterested processes receive (and
+    // forward) events, they just never deliver them.
+    assert_contract::<FloodFactory>("flood-broadcast", false);
+}
+
+#[test]
+fn genuine_multicast_satisfies_the_multicast_contract() {
+    // Genuine multicast never even contacts uninterested processes.
+    assert_contract::<GenuineFactory>("genuine-multicast", true);
+}
+
+#[test]
+fn registration_hook_is_idempotent_and_sufficient() {
+    // Pre-registering on one process, then publishing from another, works
+    // for every protocol (it is how the genuine directory is shared).
+    fn check<F: ProtocolFactory>(name: &str) {
+        let topology = topology();
+        let oracle = half_interested_oracle();
+        let group = F::build(&topology, oracle.clone(), &PmcastConfig::default());
+        let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(5));
+        let event = Event::builder(41).int("b", 3).build();
+        sim.process_mut(ProcessId(3)).register_event(&event);
+        sim.process_mut(ProcessId(3)).register_event(&event);
+        sim.process_mut(ProcessId(0)).publish(Arc::new(event.clone()));
+        sim.run_until_quiescent(300);
+        for process in sim.processes() {
+            assert_eq!(
+                process.has_delivered(event.id()),
+                oracle.is_interested(process.address(), &event),
+                "{name}: {}",
+                process.address()
+            );
+        }
+    }
+    check::<PmcastFactory>("pmcast");
+    check::<FloodFactory>("flood-broadcast");
+    check::<GenuineFactory>("genuine-multicast");
+}
