@@ -7,12 +7,15 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmcast_addr::AddressSpace;
 use pmcast_core::{
-    Gossip, MulticastProtocol, PmcastConfig, PmcastFactory, ProtocolFactory, SharedViews,
+    GenuineFactory, Gossip, MulticastProtocol, PmcastConfig, PmcastFactory, ProtocolFactory,
+    SharedViews,
 };
 use pmcast_interest::{Event, Filter, Interest, InterestSummary, Predicate};
-use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, InterestOracle};
+use pmcast_membership::{
+    AssignmentOracle, GlobalOracleView, ImplicitRegularTree, InterestOracle, MembershipView,
+};
 use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 fn bench(c: &mut Criterion) {
@@ -45,7 +48,8 @@ fn bench(c: &mut Criterion) {
     let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 8).expect("valid"));
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
-    let built = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+    let global_view = || -> Arc<dyn MembershipView> { Arc::new(GlobalOracleView::new(512)) };
+    let built = PmcastFactory::build(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
     let process = &built.processes[0];
     let probe = Event::builder(9).build();
     c.bench_function("matching_rate_depth1_n512", |b| {
@@ -81,7 +85,7 @@ fn bench(c: &mut Criterion) {
         process.publish(event);
     }
     let mut dispatch_group =
-        PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+        PmcastFactory::build(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
     let dup = Arc::new(Event::builder(123).int("b", 1).build());
     let mut direct_process = dispatch_group.processes.remove(0);
     let mut generic_process = dispatch_group.processes.remove(0);
@@ -94,14 +98,60 @@ fn bench(c: &mut Criterion) {
         b.iter(|| publish_generic(&mut generic_process, Arc::clone(&dup)))
     });
 
+    // Fanout sampling through the `MembershipView` trait boundary: the
+    // per-target candidate lookup must stay a cheap virtual call on top of
+    // the index shift it replaced.  `fanout_draw_direct` is the historical
+    // inline computation; `fanout_draw_through_view` routes the identical
+    // arithmetic through `Arc<dyn MembershipView>`.  Any gap beyond a few
+    // nanoseconds would mean the membership refactor taxed the hot path.
+    let draw_view = global_view();
+    let mut draw_rng = ChaCha8Rng::seed_from_u64(8);
+    c.bench_function("fanout_draw_direct", |b| {
+        b.iter(|| {
+            let own = 37usize;
+            let mut acc = 0usize;
+            for _ in 0..4 {
+                let pick = draw_rng.gen_range(0..511);
+                acc += if pick >= own { pick + 1 } else { pick };
+            }
+            acc
+        })
+    });
+    c.bench_function("fanout_draw_through_view", |b| {
+        b.iter(|| {
+            let own = 37usize;
+            let mut acc = 0usize;
+            for _ in 0..4 {
+                let pick = draw_rng.gen_range(0..draw_view.peer_count(own));
+                acc += draw_view.peer_at(own, pick);
+            }
+            acc
+        })
+    });
+
     // One full gossip round of a 512-process group with a hot event.
     let mut group = c.benchmark_group("protocol");
     group.sample_size(10);
     group.bench_function("gossip_rounds_n512", |b| {
         b.iter(|| {
-            let built = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+            let built =
+                PmcastFactory::build(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
             let mut sim = Simulation::new(built.processes, NetworkConfig::reliable(1));
             sim.process_mut(ProcessId(0)).pmcast(Event::builder(4).build());
+            sim.run_rounds(5);
+            sim.stats().messages_sent
+        })
+    });
+    // The genuine baseline's rounds now index a candidate set cached at
+    // accept time instead of rebuilding an O(audience) list per buffered
+    // event per round (the ROADMAP open item); this case guards the cached
+    // round cost at the same scale as `gossip_rounds_n512`.
+    group.bench_function("genuine_rounds_n512", |b| {
+        b.iter(|| {
+            let built =
+                GenuineFactory::build(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
+            let mut sim = Simulation::new(built.processes, NetworkConfig::reliable(1));
+            sim.process_mut(ProcessId(0)).publish(Arc::new(Event::builder(4).build()));
             sim.run_rounds(5);
             sim.stats().messages_sent
         })

@@ -25,7 +25,7 @@ use std::sync::{Arc, RwLock};
 use pmcast_addr::Address;
 use pmcast_analysis::pittel;
 use pmcast_interest::{Event, EventId};
-use pmcast_membership::{InterestOracle, TreeTopology};
+use pmcast_membership::{InterestOracle, MembershipView, TreeTopology};
 use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -50,8 +50,8 @@ pub struct FloodBroadcastProcess {
     id: ProcessId,
     fanout: usize,
     budget: u32,
-    group_size: usize,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
+    membership: Arc<dyn MembershipView>,
     buffered: FxHashMap<EventId, FlatEntry>,
     delivered: FxHashSet<EventId>,
     received: FxHashSet<EventId>,
@@ -69,14 +69,16 @@ impl std::fmt::Debug for FloodBroadcastProcess {
 }
 
 impl FloodBroadcastProcess {
-    /// Creates one flood-broadcast process.
+    /// Creates one flood-broadcast process; the round budget is estimated
+    /// from the membership provider's current group-size belief.
     pub fn new(
         address: Address,
         id: ProcessId,
-        group_size: usize,
         config: &PmcastConfig,
         oracle: Arc<dyn InterestOracle + Send + Sync>,
+        membership: Arc<dyn MembershipView>,
     ) -> Self {
+        let group_size = membership.estimated_size();
         let budget = pittel::round_budget(group_size as f64, config.fanout as f64, &config.env)
             .min(config.max_rounds_per_depth);
         Self {
@@ -84,8 +86,8 @@ impl FloodBroadcastProcess {
             id,
             fanout: config.fanout,
             budget,
-            group_size,
             oracle,
+            membership,
             buffered: FxHashMap::default(),
             delivered: FxHashSet::default(),
             received: FxHashSet::default(),
@@ -146,12 +148,17 @@ impl RoundProcess for FloodBroadcastProcess {
     type Message = Gossip;
 
     fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
-        // The target pool is everyone but us; rather than materializing an
-        // O(n) candidate list per round, draw F distinct indices from
-        // `0..n-1` and shift those at or above our own index by one.
-        let pool = self.group_size.saturating_sub(1);
+        // The target pool is the membership view's peer enumeration (the
+        // whole group minus ourselves under a global view, the bounded
+        // partial view under gossip membership — lpbcast's own rule); no
+        // O(n) candidate list is ever materialized: F distinct indices are
+        // drawn and mapped through `peer_at`.
         let fanout = self.fanout;
         let own = self.id.0;
+        let membership = Arc::clone(&self.membership);
+        // The view cannot change mid-round: query the pool once per round,
+        // not per buffered entry.
+        let pool = membership.peer_count(own);
         let mut picks = std::mem::take(&mut self.picks);
         self.buffered.retain(|_, entry| {
             if entry.round >= entry.budget {
@@ -160,7 +167,7 @@ impl RoundProcess for FloodBroadcastProcess {
             entry.round += 1;
             ctx.choose_indices_into(pool, fanout, &mut picks);
             for &pick in &picks {
-                let target = if pick >= own { pick + 1 } else { pick };
+                let target = membership.peer_at(own, pick);
                 let gossip = Gossip::new(Arc::clone(&entry.event), 1, 1.0, entry.round);
                 let size = gossip.wire_size();
                 ctx.send_sized(ProcessId(target), gossip, size);
@@ -206,16 +213,15 @@ impl crate::MulticastProtocol for FloodBroadcastProcess {
     }
 }
 
-/// Crate-internal construction backing [`build_flood_group`] and
-/// [`crate::FloodFactory`].
+/// Crate-internal construction backing [`crate::FloodFactory`].
 pub(crate) fn build_flood_group_internal<T: TreeTopology>(
     topology: &T,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
+    membership: Arc<dyn MembershipView>,
     config: &PmcastConfig,
 ) -> ProtocolGroup<FloodBroadcastProcess> {
     config.validate();
     let addresses = Arc::new(topology.members());
-    let group_size = addresses.len();
     let processes = addresses
         .iter()
         .enumerate()
@@ -223,9 +229,9 @@ pub(crate) fn build_flood_group_internal<T: TreeTopology>(
             FloodBroadcastProcess::new(
                 address.clone(),
                 ProcessId(index),
-                group_size,
                 config,
                 Arc::clone(&oracle),
+                Arc::clone(&membership),
             )
         })
         .collect();
@@ -233,19 +239,6 @@ pub(crate) fn build_flood_group_internal<T: TreeTopology>(
         processes,
         addresses,
     }
-}
-
-/// Builds a flood-broadcast process for every member of a topology.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FloodFactory::build` (the `ProtocolFactory` trait) instead"
-)]
-pub fn build_flood_group<T: TreeTopology>(
-    topology: &T,
-    oracle: Arc<dyn InterestOracle + Send + Sync>,
-    config: &PmcastConfig,
-) -> Vec<FloodBroadcastProcess> {
-    build_flood_group_internal(topology, oracle, config).processes
 }
 
 /// The shared per-event audience directory of the genuine baseline: for
@@ -291,16 +284,68 @@ impl EventDirectory {
     }
 }
 
+/// The cached fanout-candidate set of a buffered genuine-multicast entry,
+/// resolved **once** when the entry is accepted — the per-round
+/// O(audience) candidate rebuild this replaces was a ROADMAP open item
+/// (guarded by the `genuine_rounds_n512` micro-bench case).
+#[derive(Debug, Clone)]
+enum GenuineCandidates {
+    /// The event was never registered: nobody to forward to; the entry is
+    /// garbage collected on its first round.
+    Unknown,
+    /// Global membership: the shared audience minus this process, accessed
+    /// through an index shift — O(1) extra memory per entry.  `own_pos` is
+    /// this process's position in the (sorted) audience, if present.
+    Audience {
+        audience: Arc<Vec<ProcessId>>,
+        own_pos: Option<usize>,
+    },
+    /// Partial membership: the audience restricted to the peers this
+    /// process knew at accept time, bounded by the membership view size.
+    Known(Vec<ProcessId>),
+}
+
+impl GenuineCandidates {
+    fn len(&self) -> usize {
+        match self {
+            GenuineCandidates::Unknown => 0,
+            GenuineCandidates::Audience { audience, own_pos } => {
+                audience.len() - usize::from(own_pos.is_some())
+            }
+            GenuineCandidates::Known(list) => list.len(),
+        }
+    }
+
+    /// The `k`-th candidate, `k < len()`.
+    fn get(&self, k: usize) -> ProcessId {
+        match self {
+            GenuineCandidates::Unknown => unreachable!("no candidates to index"),
+            GenuineCandidates::Audience { audience, own_pos } => {
+                let index = match own_pos {
+                    Some(own) if k >= *own => k + 1,
+                    _ => k,
+                };
+                audience[index]
+            }
+            GenuineCandidates::Known(list) => list[k],
+        }
+    }
+
+    /// Whether the entry may be forwarded at all (its event is known to
+    /// the directory).
+    fn forwardable(&self) -> bool {
+        !matches!(self, GenuineCandidates::Unknown)
+    }
+}
+
 /// Shared state of a buffered event in the genuine multicast: the payload
-/// plus the audience resolved from the directory when the event was
-/// accepted (`None` if the event was never registered — such entries cannot
-/// be forwarded and are garbage collected on their first round).
+/// plus the candidate set cached when the entry was accepted.
 #[derive(Debug, Clone)]
 struct GenuineEntry {
     event: Arc<Event>,
     round: u32,
     budget: u32,
-    audience: Option<Arc<Vec<ProcessId>>>,
+    candidates: GenuineCandidates,
 }
 
 /// Genuine multicast: gossip only among the processes interested in the
@@ -313,6 +358,7 @@ pub struct GenuineMulticastProcess {
     max_rounds: u32,
     env: pmcast_analysis::EnvParams,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
+    membership: Arc<dyn MembershipView>,
     /// Member addresses in dense-identifier order, for audience resolution.
     addresses: Arc<Vec<Address>>,
     /// Interested peers per event, shared by the whole group.
@@ -320,8 +366,7 @@ pub struct GenuineMulticastProcess {
     buffered: FxHashMap<EventId, GenuineEntry>,
     delivered: FxHashSet<EventId>,
     received: FxHashSet<EventId>,
-    /// Reusable buffers for candidate targets and the fanout draw.
-    candidates: Vec<ProcessId>,
+    /// Reusable buffer for the fanout draw.
     picks: Vec<usize>,
 }
 
@@ -365,13 +410,34 @@ impl GenuineMulticastProcess {
         }
         let audience = self.directory.lookup(id);
         let budget = self.budget_for(audience.as_ref().map(|a| a.len()).unwrap_or(0));
+        // Resolve the candidate set once: the round loop only indexes it.
+        let candidates = match audience {
+            None => GenuineCandidates::Unknown,
+            Some(audience) => {
+                if self.membership.is_global() {
+                    // Audiences are sorted by dense identifier, so "minus
+                    // ourselves" is an index shift, not a filtered copy.
+                    let own_pos = audience.binary_search(&self.id).ok();
+                    GenuineCandidates::Audience { audience, own_pos }
+                } else {
+                    // Partial knowledge: enumerate the (bounded) view and
+                    // keep the peers that are in the audience.
+                    let own = self.id.0;
+                    let known = (0..self.membership.peer_count(own))
+                        .map(|k| ProcessId(self.membership.peer_at(own, k)))
+                        .filter(|peer| audience.binary_search(peer).is_ok())
+                        .collect();
+                    GenuineCandidates::Known(known)
+                }
+            }
+        };
         self.buffered.insert(
             id,
             GenuineEntry {
                 event,
                 round: 0,
                 budget,
-                audience,
+                candidates,
             },
         );
     }
@@ -411,30 +477,25 @@ impl RoundProcess for GenuineMulticastProcess {
 
     fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
         let fanout = self.fanout;
-        let own_id = self.id;
-        let mut candidates = std::mem::take(&mut self.candidates);
         let mut picks = std::mem::take(&mut self.picks);
         self.buffered.retain(|_, entry| {
             if entry.round >= entry.budget {
                 return false;
             }
             entry.round += 1;
-            // Audiences were resolved when the entry was accepted; an
+            // Candidates were cached when the entry was accepted; an
             // unregistered event has nobody to go to.
-            let Some(audience) = &entry.audience else {
+            if !entry.candidates.forwardable() {
                 return false;
-            };
-            candidates.clear();
-            candidates.extend(audience.iter().copied().filter(|&p| p != own_id));
-            ctx.choose_indices_into(candidates.len(), fanout, &mut picks);
+            }
+            ctx.choose_indices_into(entry.candidates.len(), fanout, &mut picks);
             for &pick in &picks {
                 let gossip = Gossip::new(Arc::clone(&entry.event), 1, 1.0, entry.round);
                 let size = gossip.wire_size();
-                ctx.send_sized(candidates[pick], gossip, size);
+                ctx.send_sized(entry.candidates.get(pick), gossip, size);
             }
             true
         });
-        self.candidates = candidates;
         self.picks = picks;
     }
 
@@ -477,11 +538,11 @@ impl crate::MulticastProtocol for GenuineMulticastProcess {
     }
 }
 
-/// Crate-internal construction backing [`build_genuine_group`] and
-/// [`crate::GenuineFactory`].
+/// Crate-internal construction backing [`crate::GenuineFactory`].
 pub(crate) fn build_genuine_group_internal<T: TreeTopology>(
     topology: &T,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
+    membership: Arc<dyn MembershipView>,
     config: &PmcastConfig,
 ) -> ProtocolGroup<GenuineMulticastProcess> {
     config.validate();
@@ -497,12 +558,12 @@ pub(crate) fn build_genuine_group_internal<T: TreeTopology>(
             max_rounds: config.max_rounds_per_depth,
             env: config.env,
             oracle: Arc::clone(&oracle),
+            membership: Arc::clone(&membership),
             addresses: Arc::clone(&addresses),
             directory: Arc::clone(&directory),
             buffered: FxHashMap::default(),
             delivered: FxHashSet::default(),
             received: FxHashSet::default(),
-            candidates: Vec::new(),
             picks: Vec::new(),
         })
         .collect();
@@ -512,42 +573,19 @@ pub(crate) fn build_genuine_group_internal<T: TreeTopology>(
     }
 }
 
-/// Builds a genuine-multicast process for every member of a topology, with
-/// the given events pre-registered in the shared audience directory.
-///
-/// The up-front event list is a relic of the old API: the directory is now
-/// shared and populated through
-/// [`GenuineMulticastProcess::register_event`] (publishing registers
-/// automatically), so new code needs neither this function nor the list.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GenuineFactory::build` (the `ProtocolFactory` trait); publishing registers \
-            events automatically"
-)]
-pub fn build_genuine_group<T: TreeTopology>(
-    topology: &T,
-    oracle: Arc<dyn InterestOracle + Send + Sync>,
-    config: &PmcastConfig,
-    events: &[Event],
-) -> Vec<GenuineMulticastProcess> {
-    let mut group = build_genuine_group_internal(topology, oracle, config);
-    if let Some(first) = group.processes.first_mut() {
-        for event in events {
-            first.register_event(event);
-        }
-    }
-    group.processes
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use pmcast_addr::AddressSpace;
-    use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, UniformOracle};
+    use pmcast_membership::{AssignmentOracle, GlobalOracleView, ImplicitRegularTree, UniformOracle};
     use pmcast_simnet::{NetworkConfig, Simulation};
 
     fn topology() -> ImplicitRegularTree {
         ImplicitRegularTree::new(AddressSpace::regular(2, 4).unwrap())
+    }
+
+    fn global_view() -> Arc<dyn MembershipView> {
+        Arc::new(GlobalOracleView::new(16))
     }
 
     fn half_interested_oracle() -> Arc<AssignmentOracle> {
@@ -563,7 +601,7 @@ mod tests {
         let topology = topology();
         let oracle = half_interested_oracle();
         let event = Event::builder(1).build();
-        let group = build_flood_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+        let group = build_flood_group_internal(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(4));
         sim.process_mut(ProcessId(0)).broadcast(event.clone());
         sim.run_until_quiescent(200);
@@ -588,7 +626,7 @@ mod tests {
         let oracle = half_interested_oracle();
         let event = Event::builder(2).build();
         let group =
-            build_genuine_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+            build_genuine_group_internal(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(4));
         // The multicaster is an interested process (0.0); publishing
         // registers the audience in the shared directory.
@@ -615,12 +653,12 @@ mod tests {
         let oracle = half_interested_oracle();
         let event = Event::builder(3).build();
 
-        let flood = build_flood_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+        let flood = build_flood_group_internal(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
         let mut flood_sim = Simulation::new(flood.processes, NetworkConfig::reliable(9));
         flood_sim.process_mut(ProcessId(0)).broadcast(event.clone());
         flood_sim.run_until_quiescent(200);
 
-        let genuine = build_genuine_group_internal(&topology, oracle, &PmcastConfig::default());
+        let genuine = build_genuine_group_internal(&topology, oracle, global_view(), &PmcastConfig::default());
         let mut genuine_sim = Simulation::new(genuine.processes, NetworkConfig::reliable(9));
         genuine_sim.process_mut(ProcessId(0)).multicast(event.clone());
         genuine_sim.run_until_quiescent(200);
@@ -638,7 +676,7 @@ mod tests {
         let topology = topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
         let group =
-            build_flood_group_internal(&topology, oracle, &PmcastConfig::default().with_fanout(3));
+            build_flood_group_internal(&topology, oracle, global_view(), &PmcastConfig::default().with_fanout(3));
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(12));
         sim.process_mut(ProcessId(5)).broadcast(event_with_id(4));
         sim.run_until_quiescent(200);
@@ -657,7 +695,7 @@ mod tests {
     fn duplicate_events_are_accepted_once() {
         let topology = topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let mut group = build_flood_group_internal(&topology, oracle, &PmcastConfig::default());
+        let mut group = build_flood_group_internal(&topology, oracle, global_view(), &PmcastConfig::default());
         let event = Event::builder(5).build();
         group.processes[0].broadcast(event.clone());
         group.processes[0].broadcast(event.clone());
@@ -674,7 +712,7 @@ mod tests {
         let oracle = half_interested_oracle();
         let known = Event::builder(10).build();
         let unknown = Event::builder(11).build();
-        let mut group = build_genuine_group_internal(&topology, oracle, &PmcastConfig::default());
+        let mut group = build_genuine_group_internal(&topology, oracle, global_view(), &PmcastConfig::default());
         group.processes[0].register_event(&known);
         // Bypass `publish` (which would register) to model a process that
         // holds an event the directory knows nothing about.
@@ -694,7 +732,7 @@ mod tests {
         let topology = topology();
         let oracle = half_interested_oracle();
         let event = Event::builder(12).build();
-        let group = build_genuine_group_internal(&topology, oracle.clone(), &PmcastConfig::default());
+        let group = build_genuine_group_internal(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(6));
         // No up-front event list anywhere: publish alone suffices.
         sim.process_mut(ProcessId(0)).publish(Arc::new(event.clone()));
@@ -709,25 +747,5 @@ mod tests {
         }
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_genuine_shim_preregisters_events() {
-        let topology = topology();
-        let oracle = half_interested_oracle();
-        let event = Event::builder(13).build();
-        let processes = build_genuine_group(
-            &topology,
-            oracle,
-            &PmcastConfig::default(),
-            std::slice::from_ref(&event),
-        );
-        let mut sim = Simulation::new(processes, NetworkConfig::reliable(3));
-        sim.process_mut(ProcessId(0)).multicast(event.clone());
-        sim.run_until_quiescent(200);
-        let delivered = sim
-            .processes()
-            .filter(|p| p.has_delivered(event.id()))
-            .count();
-        assert_eq!(delivered, 8);
-    }
+
 }

@@ -35,7 +35,9 @@
 //! use pmcast_addr::AddressSpace;
 //! use pmcast_core::{MulticastReport, PmcastConfig, PmcastFactory, ProtocolFactory};
 //! use pmcast_interest::Event;
-//! use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, TreeTopology};
+//! use pmcast_membership::{
+//!     AssignmentOracle, GlobalOracleView, ImplicitRegularTree, TreeTopology,
+//! };
 //! use pmcast_simnet::{NetworkConfig, Simulation};
 //! use rand::SeedableRng;
 //!
@@ -45,12 +47,15 @@
 //! // Half the processes are interested.
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
+//! // Membership knowledge is a provider too: swap `GlobalOracleView` for a
+//! // `PartialView` and fanout candidates come from gossip discovery.
+//! let membership = Arc::new(GlobalOracleView::new(topology.member_count()));
 //!
 //! // Every protocol is built the same way, through its `ProtocolFactory`:
 //! // swap `PmcastFactory` for `FloodFactory` or `GenuineFactory` and the
 //! // rest of this example stays identical.
 //! let config = PmcastConfig::default();
-//! let group = PmcastFactory::build(&topology, oracle.clone(), &config);
+//! let group = PmcastFactory::build(&topology, oracle.clone(), membership, &config);
 //! let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(7));
 //! // Process 0 multicasts the event.
 //! sim.process_mut(pmcast_simnet::ProcessId(0)).pmcast(event.clone());
@@ -75,17 +80,13 @@ mod protocol;
 mod report;
 mod views;
 
-#[allow(deprecated)]
-pub use baseline::{
-    build_flood_group, build_genuine_group, FloodBroadcastProcess, GenuineMulticastProcess,
-};
+pub use baseline::{FloodBroadcastProcess, GenuineMulticastProcess};
 pub use buffer::{BufferedGossip, GossipBuffers};
 pub use config::{PmcastConfig, TuningConfig};
 pub use message::Gossip;
 pub use multicast::{
     FloodFactory, GenuineFactory, MulticastProtocol, PmcastFactory, ProtocolFactory, ProtocolGroup,
 };
-#[allow(deprecated)]
-pub use protocol::{build_group, PmcastGroup, PmcastProcess};
+pub use protocol::{PmcastGroup, PmcastProcess};
 pub use report::{DeliveryOutcome, MulticastReport};
 pub use views::{GossipTarget, SharedViews};

@@ -1,8 +1,8 @@
 //! The protocol-agnostic multicast interface: every dissemination protocol
 //! of this crate — pmcast and both baselines — implements
 //! [`MulticastProtocol`], and a matching [`ProtocolFactory`] builds a whole
-//! group of instances from the same three ingredients: a topology, an
-//! interest oracle and a [`PmcastConfig`].
+//! group of instances from the same four ingredients: a topology, an
+//! interest oracle, a [`MembershipView`] provider and a [`PmcastConfig`].
 //!
 //! This is the API-stability contract of the workspace: simulation harnesses
 //! (`pmcast-sim`), benches and examples are written once against these two
@@ -30,12 +30,23 @@
 //! shared-directory registration for the genuine baseline.  Publishing
 //! always registers the published event first, so generic code never has to
 //! special-case a protocol.
+//!
+//! ## Membership providers
+//!
+//! Protocols draw their fanout candidates from a [`MembershipView`], never
+//! from the group definition directly: under
+//! [`GlobalOracleView`](pmcast_membership::GlobalOracleView) every process
+//! knows the whole group (the historical construction, bit-identical to
+//! it), while [`PartialView`](pmcast_membership::PartialView) bounds each
+//! process to a gossip-maintained partial view — candidates a process does
+//! not currently know are simply not contacted.  Interest evaluation (the
+//! oracle) is orthogonal and unaffected.
 
 use std::sync::Arc;
 
 use pmcast_addr::Address;
 use pmcast_interest::{Event, EventId};
-use pmcast_membership::{InterestOracle, TreeTopology};
+use pmcast_membership::{InterestOracle, MembershipView, TreeTopology};
 use pmcast_simnet::RoundProcess;
 
 use crate::{DeliveryOutcome, Gossip, PmcastConfig};
@@ -99,12 +110,17 @@ impl<P> std::fmt::Debug for ProtocolGroup<P> {
     }
 }
 
-/// Builds a whole [`ProtocolGroup`] for one protocol from the three shared
-/// ingredients: topology, interest oracle and configuration.
+/// Builds a whole [`ProtocolGroup`] for one protocol from the four shared
+/// ingredients: topology, interest oracle, membership provider and
+/// configuration.
 ///
 /// Factories are zero-sized types used purely for static dispatch:
 /// `PmcastFactory::build(…)` monomorphizes the simulation harness per
-/// protocol, keeping the hot path free of virtual calls.
+/// protocol, keeping the publish and gossip hot paths free of virtual
+/// calls.  The membership provider is shared as a trait object — its
+/// per-draw cost is a candidate lookup, guarded by the
+/// `fanout_draw_direct` vs `fanout_draw_through_view` cases of
+/// `crates/bench/benches/micro.rs`.
 pub trait ProtocolFactory {
     /// The protocol type this factory instantiates.
     type Process: MulticastProtocol;
@@ -118,6 +134,7 @@ pub trait ProtocolFactory {
     fn build<T: TreeTopology>(
         topology: &T,
         oracle: Arc<dyn InterestOracle + Send + Sync>,
+        membership: Arc<dyn MembershipView>,
         config: &PmcastConfig,
     ) -> ProtocolGroup<Self::Process>;
 }
@@ -132,9 +149,10 @@ impl ProtocolFactory for PmcastFactory {
     fn build<T: TreeTopology>(
         topology: &T,
         oracle: Arc<dyn InterestOracle + Send + Sync>,
+        membership: Arc<dyn MembershipView>,
         config: &PmcastConfig,
     ) -> ProtocolGroup<Self::Process> {
-        let group = crate::protocol::build_pmcast_group(topology, oracle, config);
+        let group = crate::protocol::build_pmcast_group(topology, oracle, membership, config);
         ProtocolGroup {
             processes: group.processes,
             addresses: group.addresses,
@@ -153,9 +171,10 @@ impl ProtocolFactory for FloodFactory {
     fn build<T: TreeTopology>(
         topology: &T,
         oracle: Arc<dyn InterestOracle + Send + Sync>,
+        membership: Arc<dyn MembershipView>,
         config: &PmcastConfig,
     ) -> ProtocolGroup<Self::Process> {
-        crate::baseline::build_flood_group_internal(topology, oracle, config)
+        crate::baseline::build_flood_group_internal(topology, oracle, membership, config)
     }
 }
 
@@ -170,9 +189,10 @@ impl ProtocolFactory for GenuineFactory {
     fn build<T: TreeTopology>(
         topology: &T,
         oracle: Arc<dyn InterestOracle + Send + Sync>,
+        membership: Arc<dyn MembershipView>,
         config: &PmcastConfig,
     ) -> ProtocolGroup<Self::Process> {
-        crate::baseline::build_genuine_group_internal(topology, oracle, config)
+        crate::baseline::build_genuine_group_internal(topology, oracle, membership, config)
     }
 }
 
@@ -181,18 +201,24 @@ mod tests {
     use super::*;
     use pmcast_addr::AddressSpace;
     use pmcast_interest::Event;
-    use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, UniformOracle};
+    use pmcast_membership::{
+        AssignmentOracle, GlobalOracleView, ImplicitRegularTree, UniformOracle,
+    };
     use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
 
     fn topology() -> ImplicitRegularTree {
         ImplicitRegularTree::new(AddressSpace::regular(2, 4).unwrap())
     }
 
+    fn global_view() -> Arc<dyn MembershipView> {
+        Arc::new(GlobalOracleView::new(16))
+    }
+
     /// Exercises the whole trait surface generically for one protocol.
     fn publish_and_run<F: ProtocolFactory>() -> Vec<F::Process> {
         let topology = topology();
         let oracle = Arc::new(UniformOracle::new(16));
-        let group = F::build(&topology, oracle, &PmcastConfig::default());
+        let group = F::build(&topology, oracle, global_view(), &PmcastConfig::default());
         assert_eq!(group.processes.len(), 16);
         assert_eq!(group.addresses.len(), 16);
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(9));
@@ -220,7 +246,7 @@ mod tests {
         let oracle = Arc::new(AssignmentOracle::new(
             vec!["0.0".parse().unwrap(), "1.2".parse().unwrap()],
         ));
-        let group = GenuineFactory::build(&topology, oracle, &PmcastConfig::default());
+        let group = GenuineFactory::build(&topology, oracle, global_view(), &PmcastConfig::default());
         for (process, address) in group.processes.iter().zip(group.addresses.iter()) {
             assert_eq!(MulticastProtocol::address(process), address);
         }
@@ -231,7 +257,7 @@ mod tests {
     fn register_event_is_a_no_op_for_interest_oblivious_protocols() {
         let topology = topology();
         let oracle = Arc::new(UniformOracle::new(16));
-        let mut group = FloodFactory::build(&topology, oracle, &PmcastConfig::default());
+        let mut group = FloodFactory::build(&topology, oracle, global_view(), &PmcastConfig::default());
         let event = Event::builder(77).build();
         group.processes[0].register_event(&event);
         assert!(!MulticastProtocol::has_received(&group.processes[0], event.id()));

@@ -3,7 +3,7 @@ use std::sync::Arc;
 use pmcast_addr::{Address, Depth};
 use pmcast_analysis::pittel;
 use pmcast_interest::{Event, EventId};
-use pmcast_membership::{InterestOracle, TreeTopology};
+use pmcast_membership::{InterestOracle, MembershipView, TreeTopology};
 use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
 use rand::Rng;
 use rustc_hash::FxHashSet;
@@ -30,32 +30,11 @@ impl std::fmt::Debug for PmcastGroup {
     }
 }
 
-/// Builds the pmcast protocol instances for every member of a topology.
-///
-/// The returned processes are ordered by dense identifier, matching the
-/// order of [`TreeTopology::members`]; hand them directly to
-/// [`pmcast_simnet::Simulation::new`].
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid (see [`PmcastConfig::validate`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `PmcastFactory::build` (the `ProtocolFactory` trait) instead"
-)]
-pub fn build_group<T: TreeTopology>(
-    topology: &T,
-    oracle: Arc<dyn InterestOracle + Send + Sync>,
-    config: &PmcastConfig,
-) -> PmcastGroup {
-    build_pmcast_group(topology, oracle, config)
-}
-
-/// Crate-internal group construction backing both [`build_group`] and
-/// [`crate::PmcastFactory`].
+/// Crate-internal group construction backing [`crate::PmcastFactory`].
 pub(crate) fn build_pmcast_group<T: TreeTopology>(
     topology: &T,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
+    membership: Arc<dyn MembershipView>,
     config: &PmcastConfig,
 ) -> PmcastGroup {
     config.validate();
@@ -71,6 +50,7 @@ pub(crate) fn build_pmcast_group<T: TreeTopology>(
                 config.clone(),
                 Arc::clone(&views),
                 Arc::clone(&oracle),
+                Arc::clone(&membership),
             )
         })
         .collect();
@@ -97,6 +77,7 @@ pub struct PmcastProcess {
     config: PmcastConfig,
     views: Arc<SharedViews>,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
+    membership: Arc<dyn MembershipView>,
     buffers: GossipBuffers,
     delivered: Vec<Arc<Event>>,
     delivered_ids: FxHashSet<EventId>,
@@ -117,13 +98,14 @@ impl std::fmt::Debug for PmcastProcess {
 }
 
 impl PmcastProcess {
-    /// Creates a process; normally done through [`build_group`].
+    /// Creates a process; normally done through [`crate::PmcastFactory`].
     pub fn new(
         address: Address,
         id: ProcessId,
         config: PmcastConfig,
         views: Arc<SharedViews>,
         oracle: Arc<dyn InterestOracle + Send + Sync>,
+        membership: Arc<dyn MembershipView>,
     ) -> Self {
         let depth = views.depth();
         Self {
@@ -132,6 +114,7 @@ impl PmcastProcess {
             config,
             views,
             oracle,
+            membership,
             buffers: GossipBuffers::new(depth),
             delivered: Vec::new(),
             delivered_ids: FxHashSet::default(),
@@ -324,12 +307,14 @@ impl PmcastProcess {
         let fanout = self.config.fanout;
         let own_id = self.id;
 
-        // Candidate destinations (everyone in the view but ourselves),
-        // computed once per depth and re-shuffled per entry.
+        // Candidate destinations (everyone in the view but ourselves that
+        // the membership provider currently knows — under a global view
+        // that is the whole view, under a partial view only the discovered
+        // subset), computed once per depth and re-shuffled per entry.
         scratch.candidates.clear();
-        scratch
-            .candidates
-            .extend((0..view.len()).filter(|&i| view[i].id != own_id));
+        scratch.candidates.extend((0..view.len()).filter(|&i| {
+            view[i].id != own_id && self.membership.knows(own_id.0, view[i].id.0)
+        }));
 
         entries.retain_mut(|entry| {
             if entry.round < entry.budget {
@@ -442,7 +427,7 @@ mod tests {
     use pmcast_addr::AddressSpace;
     use pmcast_interest::{Filter, Predicate};
     use pmcast_membership::{
-        AssignmentOracle, GroupTree, ImplicitRegularTree, UniformOracle,
+        AssignmentOracle, GlobalOracleView, GroupTree, ImplicitRegularTree, UniformOracle,
     };
     use pmcast_simnet::{NetworkConfig, Simulation};
     use rand::SeedableRng;
@@ -450,6 +435,10 @@ mod tests {
 
     fn small_topology() -> ImplicitRegularTree {
         ImplicitRegularTree::new(AddressSpace::regular(2, 4).unwrap())
+    }
+
+    fn global_view() -> Arc<dyn MembershipView> {
+        Arc::new(GlobalOracleView::new(16))
     }
 
     fn run_multicast(
@@ -460,7 +449,7 @@ mod tests {
         sender: usize,
     ) -> (Vec<PmcastProcess>, pmcast_simnet::TrafficStats) {
         let topology = small_topology();
-        let group = build_pmcast_group(&topology, oracle, &config);
+        let group = build_pmcast_group(&topology, oracle, global_view(), &config);
         let mut sim = Simulation::new(group.processes, network);
         sim.process_mut(ProcessId(sender)).pmcast(event);
         sim.run_until_quiescent(300);
@@ -548,7 +537,7 @@ mod tests {
             .collect();
         let oracle: Arc<dyn InterestOracle + Send + Sync> =
             Arc::new(AssignmentOracle::new(interested));
-        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(&topology, oracle, global_view(), &PmcastConfig::default());
         let process = &group.processes[0];
         let event = Event::builder(1).build();
         // Depth 1: all four subtrees contain interested processes.
@@ -563,7 +552,7 @@ mod tests {
         let oracle: Arc<dyn InterestOracle + Send + Sync> =
             Arc::new(AssignmentOracle::new(vec!["0.0".parse::<Address>().unwrap()]));
         let tuned_config = PmcastConfig::default().with_tuning(6);
-        let group = build_pmcast_group(&topology, oracle.clone(), &tuned_config);
+        let group = build_pmcast_group(&topology, oracle.clone(), global_view(), &tuned_config);
         let process = &group.processes[0];
         let event = Event::builder(1).build();
         let raw = process.matching_rate(1, &event);
@@ -572,7 +561,7 @@ mod tests {
         assert!(effective <= 1.0);
 
         // Without tuning the effective rate equals the raw rate.
-        let plain_group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
+        let plain_group = build_pmcast_group(&topology, oracle, global_view(), &PmcastConfig::default());
         let plain = &plain_group.processes[0];
         assert!((plain.effective_rate(1, &event) - plain.matching_rate(1, &event)).abs() < 1e-12);
     }
@@ -588,7 +577,7 @@ mod tests {
         let oracle: Arc<dyn InterestOracle + Send + Sync> =
             Arc::new(AssignmentOracle::new(interested));
         let config = PmcastConfig::default().with_local_interest_shortcut(true);
-        let group = build_pmcast_group(&topology, oracle.clone(), &config);
+        let group = build_pmcast_group(&topology, oracle.clone(), global_view(), &config);
         let sender_index = group
             .addresses
             .iter()
@@ -607,7 +596,7 @@ mod tests {
         assert_eq!(sender.buffers.at_depth(2).len(), 1);
 
         // Without the shortcut the event starts at the root.
-        let group2 = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
+        let group2 = build_pmcast_group(&topology, oracle, global_view(), &PmcastConfig::default());
         assert_eq!(group2.processes[sender_index].initial_depth(&event), 1);
     }
 
@@ -642,7 +631,7 @@ mod tests {
         }
         let tree = Arc::new(tree);
         let oracle: Arc<dyn InterestOracle + Send + Sync> = tree.clone();
-        let group = build_pmcast_group(tree.as_ref(), oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(tree.as_ref(), oracle, global_view(), &PmcastConfig::default());
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(2));
         let event = Event::builder(11).str("kind", "alert").build();
         sim.process_mut(ProcessId(0)).pmcast(event.clone());
@@ -663,7 +652,7 @@ mod tests {
     fn multiple_concurrent_events_are_kept_apart() {
         let topology = small_topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(&topology, oracle, global_view(), &PmcastConfig::default());
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(23));
         let event_a = Event::builder(100).int("b", 1).build();
         let event_b = Event::builder(200).int("b", 2).build();
@@ -700,7 +689,7 @@ mod tests {
     fn debug_output_is_informative() {
         let topology = small_topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(&topology, oracle, global_view(), &PmcastConfig::default());
         let text = format!("{:?}", group);
         assert!(text.contains("PmcastGroup"));
         let process_text = format!("{:?}", group.processes[0]);
@@ -709,22 +698,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_build_group_shim_still_works() {
-        // One release of backwards compatibility: the free function builds
-        // the same group as the factory.
-        let topology = small_topology();
-        let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let group = super::build_group(&topology, oracle, &PmcastConfig::default());
-        assert_eq!(group.processes.len(), 16);
-        assert_eq!(group.addresses.len(), 16);
-    }
-
-    #[test]
     fn duplicate_publish_is_ignored() {
         let topology = small_topology();
         let oracle: Arc<dyn InterestOracle + Send + Sync> = Arc::new(UniformOracle::new(16));
-        let group = build_pmcast_group(&topology, oracle, &PmcastConfig::default());
+        let group = build_pmcast_group(&topology, oracle, global_view(), &PmcastConfig::default());
         let mut process = group.processes.into_iter().next().unwrap();
         let event = Arc::new(Event::builder(12).int("b", 3).build());
         process.publish(Arc::clone(&event));

@@ -28,6 +28,12 @@
 //! * [`MembershipManager`] + [`ViewExchange`] — loosely coordinated
 //!   membership maintenance: gossip-pull anti-entropy on timestamped view
 //!   lines, joins, leaves and failure detection (Section 2.3).
+//! * [`MembershipView`] — the *provider* boundary the dissemination layer
+//!   draws fanout candidates from, with a global implementation
+//!   ([`GlobalOracleView`], everyone knows everyone — the evaluation
+//!   model) and an lpbcast-style bounded gossip one ([`PartialView`]).
+//!   See the `provider` module docs for the sampling-determinism and
+//!   eviction contract.
 //!
 //! ## Example
 //!
@@ -62,6 +68,7 @@ mod churn;
 mod election;
 mod error;
 mod oracle;
+pub mod provider;
 mod topology;
 mod tree;
 mod view;
@@ -71,6 +78,7 @@ pub use churn::{FailureDetector, MembershipEvent, MembershipManager};
 pub use election::{CapacityWeightedPolicy, DelegatePolicy, SmallestAddressPolicy};
 pub use error::MembershipError;
 pub use oracle::{AssignmentOracle, InterestOracle, SubscriptionOracle, UniformOracle};
+pub use provider::{GlobalOracleView, MembershipView, PartialView, PartialViewConfig};
 pub use topology::{ImplicitRegularTree, TreeTopology};
 pub use tree::GroupTree;
 pub use view::{DepthView, ViewEntry, ViewTable};

@@ -32,6 +32,15 @@
 //! 2. **Network stream** — the [`pmcast_simnet::Simulation`] is created
 //!    with `NetworkConfig { seed: seed_t, … }` and internally splits that
 //!    seed into its message-loss, protocol and crash streams.
+//! 3. **Membership stream** — scenarios selecting a gossip membership
+//!    provider ([`crate::scenario::MembershipSpec::Partial`]) bootstrap their
+//!    [`PartialView`](pmcast_membership::PartialView) from
+//!    `seed_t.wrapping_mul(0xC2B2_AE35).wrapping_add(17)`; all view
+//!    exchanges and evictions draw from that provider-private ChaCha8
+//!    stream.  The default [`crate::scenario::MembershipSpec::Global`] provider consumes
+//!    **no** randomness and observes churn as a no-op, so global-membership
+//!    scenarios reproduce the historical (pre-provider) streams bit for
+//!    bit.
 //!
 //!    The default workload (empty publish schedule) is one event with id
 //!    `1000 + t` and a single `int("b", 1)` attribute, published at round 0
@@ -399,8 +408,21 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
     let mut injection_order: Vec<usize> = (0..schedule.len()).collect();
     injection_order.sort_by_key(|&index| schedule[index].0);
 
-    let group = F::build(&topology, oracle.clone(), &scenario.protocol);
-    let mut sim = Simulation::new(group.processes, network);
+    // The membership provider: global knowledge (bit-identical to the
+    // historical construction) or a per-trial gossip-bootstrapped partial
+    // view, fed by the engine's crash plan through the crash observer and
+    // advanced once per simulation round.
+    let membership = scenario
+        .membership
+        .instantiate(
+            topology.member_count(),
+            seed.wrapping_mul(0xC2B2_AE35).wrapping_add(17),
+        );
+    let group = F::build(&topology, oracle.clone(), Arc::clone(&membership), &scenario.protocol);
+    let observer_view = Arc::clone(&membership);
+    let mut sim = Simulation::with_crash_observer(group.processes, network, move |id| {
+        observer_view.observe_crash(id.0)
+    });
     let mut injected = 0;
     let mut rounds = 0;
     while rounds < scenario.max_rounds {
@@ -412,6 +434,7 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
             sim.process_mut(ProcessId(*sender)).publish(Arc::clone(event));
             injected += 1;
         }
+        membership.round_elapsed();
         sim.step();
         rounds += 1;
         if injected == injection_order.len() && sim.is_quiescent() {
@@ -650,6 +673,66 @@ mod tests {
         );
         // And repeated parallel runs are stable despite thread scheduling.
         assert_eq!(parallel, run_trials_parallel(&config));
+    }
+
+    #[test]
+    fn global_view_outcomes_are_bit_identical_to_the_pre_provider_engine() {
+        // Golden outcomes captured immediately before membership became a
+        // provider axis: the default `GlobalOracleView` must reproduce the
+        // historical oracle-built trials bit for bit — interest counts,
+        // deliveries, spurious receptions, message counts and round counts.
+        type QuickGolden = (Protocol, [(u64, u64, u64, u64, u64); 3]);
+        let golden_quick: [QuickGolden; 3] = [
+            // (interested, delivered, received_uninterested, messages, rounds)
+            (Protocol::Pmcast, [(111, 108, 53, 1659, 17), (102, 98, 60, 1566, 17), (106, 105, 56, 1655, 17)]),
+            (Protocol::FloodBroadcast, [(111, 111, 104, 3870, 18), (102, 102, 114, 3888, 19), (106, 106, 110, 3888, 19)]),
+            (Protocol::GenuineMulticast, [(111, 111, 0, 1776, 16), (102, 102, 0, 1632, 16), (106, 106, 0, 1696, 17)]),
+        ];
+        for (protocol, expected) in golden_quick {
+            let config = ExperimentConfig::quick().with_trials(3).with_protocol_kind(protocol);
+            for (trial, outcome) in run_trials(&config).iter().enumerate() {
+                let got = (
+                    outcome.report.interested as u64,
+                    outcome.report.delivered_interested as u64,
+                    outcome.report.received_uninterested as u64,
+                    outcome.messages_sent,
+                    outcome.rounds,
+                );
+                assert_eq!(got, expected[trial], "{protocol:?} trial {trial}");
+            }
+        }
+
+        // A churn-and-loss scenario exercising the crash observer path (a
+        // no-op for the global view, so the streams must not shift).
+        let scenario = Scenario::builder()
+            .group(4, 3)
+            .matching_rate(0.6)
+            .loss(0.05)
+            .crash_fraction(0.05)
+            .crash_at(3, 7)
+            .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+            .publish_at(2, Publisher::Uniform, Event::builder(2).int("b", 2).build())
+            .trials(2)
+            .seed(11)
+            .build();
+        type ScenarioGolden = (Protocol, [(u64, u64, u64, u64); 2]);
+        let golden_scenario: [ScenarioGolden; 3] = [
+            // (delivered, received_total, messages, rounds)
+            (Protocol::Pmcast, [(80, 100, 1113, 16), (62, 104, 1137, 16)]),
+            (Protocol::FloodBroadcast, [(80, 116, 1624, 17), (64, 118, 1652, 17)]),
+            (Protocol::GenuineMulticast, [(80, 80, 1120, 17), (64, 64, 896, 16)]),
+        ];
+        for (protocol, expected) in golden_scenario {
+            for (trial, outcome) in scenario.run(protocol).iter().enumerate() {
+                let got = (
+                    outcome.report.delivered_interested as u64,
+                    outcome.report.received_total as u64,
+                    outcome.messages_sent,
+                    outcome.rounds,
+                );
+                assert_eq!(got, expected[trial], "{protocol:?} trial {trial}");
+            }
+        }
     }
 
     #[test]

@@ -29,13 +29,75 @@
 //! assert_eq!(outcomes[0].per_event.len(), 2);
 //! ```
 
+use std::sync::Arc;
+
 use pmcast_core::PmcastConfig;
 use pmcast_interest::Event;
+use pmcast_membership::{GlobalOracleView, MembershipView, PartialView, PartialViewConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::runner::{
     run_scenario, run_scenario_parallel, ExperimentConfig, Protocol, TrialOutcome,
 };
+
+/// Which membership provider the processes of a trial draw their fanout
+/// candidates from — the scenario axis that turns "a group of `n` known
+/// processes" into "a population discovered by gossip".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MembershipSpec {
+    /// Every process knows the whole group
+    /// ([`GlobalOracleView`]) — the historical construction, bit-identical
+    /// to pre-provider scenarios.
+    #[default]
+    Global,
+    /// lpbcast-style bounded partial views maintained by gossip
+    /// ([`PartialView`]), re-bootstrapped per trial from the trial's
+    /// membership seed stream (see the seed contract in
+    /// [`crate::runner`]).
+    Partial {
+        /// Maximum peers per process view.
+        view_size: usize,
+        /// Membership-gossip contacts per round.
+        gossip_fanout: usize,
+        /// View entries piggybacked per contact.
+        digest_size: usize,
+    },
+}
+
+impl MembershipSpec {
+    /// The default partial-view spec with a given view size (the knob the
+    /// paper-style reliability-vs-view-size sweeps vary).
+    pub fn partial(view_size: usize) -> Self {
+        let defaults = PartialViewConfig::default().with_view_size(view_size);
+        Self::Partial {
+            view_size: defaults.view_size,
+            gossip_fanout: defaults.gossip_fanout,
+            digest_size: defaults.digest_size,
+        }
+    }
+
+    /// Instantiates the provider for one trial of a group of `n` processes;
+    /// `membership_seed` must come from the trial's membership stream so
+    /// parallel trials stay bit-identical to sequential ones.
+    pub fn instantiate(&self, n: usize, membership_seed: u64) -> Arc<dyn MembershipView> {
+        match *self {
+            MembershipSpec::Global => Arc::new(GlobalOracleView::new(n)),
+            MembershipSpec::Partial {
+                view_size,
+                gossip_fanout,
+                digest_size,
+            } => Arc::new(PartialView::bootstrap(
+                n,
+                PartialViewConfig {
+                    view_size,
+                    gossip_fanout,
+                    digest_size,
+                },
+                membership_seed,
+            )),
+        }
+    }
+}
 
 /// How the publisher of a scheduled publication is chosen.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +159,10 @@ pub struct Scenario {
     /// The publish schedule; empty means the default workload (see type
     /// docs).
     pub publications: Vec<Publication>,
+    /// The membership provider processes draw fanout candidates from
+    /// ([`MembershipSpec::Global`] by default, which reproduces the
+    /// historical scenarios bit for bit).
+    pub membership: MembershipSpec,
     /// Independent trials to run.
     pub trials: usize,
     /// Base PRNG seed; trial `t` uses `seed + t`.
@@ -120,6 +186,7 @@ impl Scenario {
                 crash_fraction: 0.0,
                 crash_schedule: Vec::new(),
                 publications: Vec::new(),
+                membership: MembershipSpec::Global,
                 trials: 1,
                 seed: 42,
                 max_rounds: 400,
@@ -141,6 +208,7 @@ impl Scenario {
             crash_fraction: config.crash_fraction,
             crash_schedule: Vec::new(),
             publications: Vec::new(),
+            membership: MembershipSpec::Global,
             trials: config.trials,
             seed: config.seed,
             max_rounds: config.max_rounds,
@@ -208,6 +276,14 @@ impl ScenarioBuilder {
     /// [`crash_fraction`](Self::crash_fraction)).
     pub fn crash_at(mut self, round: u64, process: usize) -> Self {
         self.scenario.crash_schedule.push((round, process));
+        self
+    }
+
+    /// Selects the membership provider (see [`MembershipSpec`]); e.g.
+    /// `.membership(MembershipSpec::partial(15))` runs the trial over
+    /// lpbcast-style bounded partial views instead of global knowledge.
+    pub fn membership(mut self, membership: MembershipSpec) -> Self {
+        self.scenario.membership = membership;
         self
     }
 
@@ -287,6 +363,15 @@ impl ScenarioBuilder {
                 process < n,
                 "crash-schedule index {process} out of range for a group of {n}"
             );
+        }
+        if let MembershipSpec::Partial {
+            view_size,
+            gossip_fanout,
+            ..
+        } = self.scenario.membership
+        {
+            assert!(view_size > 0, "partial-view size must be positive");
+            assert!(gossip_fanout > 0, "membership gossip fanout must be positive");
         }
         self.scenario
     }

@@ -126,6 +126,12 @@ pub struct Simulation<P: RoundProcess> {
     inbox: Vec<Envelope<P::Message>>,
     /// Reused across rounds: messages emitted by the process being driven.
     outbox: Vec<(ProcessId, P::Message, usize)>,
+    /// Invoked exactly once per crash, at the moment the process goes down
+    /// (initial [`CrashPlan`] fraction, scheduled crashes and manual
+    /// [`crash`](Self::crash) calls alike).  Lets layers living outside the
+    /// engine — e.g. a gossip membership provider — observe churn without
+    /// re-deriving the crash plan's random stream.
+    crash_observer: Option<Box<dyn FnMut(ProcessId)>>,
 }
 
 impl<P: RoundProcess> std::fmt::Debug for Simulation<P> {
@@ -141,6 +147,28 @@ impl<P: RoundProcess> Simulation<P> {
     /// Creates a simulation over the given processes and network
     /// configuration, applying any initial crash plan.
     pub fn new(processes: Vec<P>, config: NetworkConfig) -> Self {
+        Self::build(processes, config, None)
+    }
+
+    /// Like [`new`](Self::new), but with a crash observer: `observer` is
+    /// invoked exactly once per crashed process, at crash time — including
+    /// the crashes the initial [`CrashPlan`] fraction applies during this
+    /// very call.  The observer must not touch the simulation (it runs
+    /// while the engine holds it mutably); it is meant for notifying
+    /// co-simulated layers such as a gossip membership provider.
+    pub fn with_crash_observer(
+        processes: Vec<P>,
+        config: NetworkConfig,
+        observer: impl FnMut(ProcessId) + 'static,
+    ) -> Self {
+        Self::build(processes, config, Some(Box::new(observer)))
+    }
+
+    fn build(
+        processes: Vec<P>,
+        config: NetworkConfig,
+        mut crash_observer: Option<Box<dyn FnMut(ProcessId)>>,
+    ) -> Self {
         let mut seed_rng = ChaCha8Rng::seed_from_u64(config.seed);
         let network_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
         let protocol_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
@@ -148,18 +176,22 @@ impl<P: RoundProcess> Simulation<P> {
         let mut scheduled_crashes = VecDeque::new();
         let crash_fraction = |network: &mut RoundNetwork<P::Message>,
                                   seed_rng: &mut ChaCha8Rng,
+                                  observer: &mut Option<Box<dyn FnMut(ProcessId)>>,
                                   fraction: f64| {
             let mut crash_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
             for index in 0..processes.len() {
                 if crash_rng.gen_bool(fraction.clamp(0.0, 1.0)) {
                     network.crash(ProcessId(index));
+                    if let Some(observer) = observer {
+                        observer(ProcessId(index));
+                    }
                 }
             }
         };
         match &config.crash_plan {
             CrashPlan::None => {}
             CrashPlan::InitialFraction(fraction) => {
-                crash_fraction(&mut network, &mut seed_rng, *fraction);
+                crash_fraction(&mut network, &mut seed_rng, &mut crash_observer, *fraction);
             }
             CrashPlan::Scheduled(schedule) => {
                 let mut sorted = schedule.clone();
@@ -167,7 +199,7 @@ impl<P: RoundProcess> Simulation<P> {
                 scheduled_crashes = sorted.into();
             }
             CrashPlan::Mixed { fraction, schedule } => {
-                crash_fraction(&mut network, &mut seed_rng, *fraction);
+                crash_fraction(&mut network, &mut seed_rng, &mut crash_observer, *fraction);
                 let mut sorted = schedule.clone();
                 sorted.sort();
                 scheduled_crashes = sorted.into();
@@ -181,6 +213,19 @@ impl<P: RoundProcess> Simulation<P> {
             round: 0,
             inbox: Vec::new(),
             outbox: Vec::new(),
+            crash_observer,
+        }
+    }
+
+    /// Crashes a process (if it is not already down) and notifies the
+    /// crash observer on the transition.
+    fn crash_and_notify(&mut self, id: ProcessId) {
+        if self.network.is_crashed(id) {
+            return;
+        }
+        self.network.crash(id);
+        if let Some(observer) = &mut self.crash_observer {
+            observer(id);
         }
     }
 
@@ -222,7 +267,7 @@ impl<P: RoundProcess> Simulation<P> {
 
     /// Crashes a process immediately.
     pub fn crash(&mut self, id: ProcessId) {
-        self.network.crash(id);
+        self.crash_and_notify(id);
     }
 
     /// Number of crashed processes.
@@ -240,7 +285,7 @@ impl<P: RoundProcess> Simulation<P> {
             if when > self.round {
                 break;
             }
-            self.network.crash(ProcessId(index));
+            self.crash_and_notify(ProcessId(index));
             self.scheduled_crashes.pop_front();
         }
 
@@ -506,6 +551,40 @@ mod tests {
         sim.run_until_quiescent(10);
         assert!(!sim.process(ProcessId(4)).has_token);
         assert!(sim.stats().messages_to_crashed > 0);
+    }
+
+    #[test]
+    fn crash_observer_sees_every_crash_exactly_once() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<ProcessId>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let plan = CrashPlan::Mixed {
+            fraction: 0.3,
+            schedule: vec![(1, 2)],
+        };
+        let config = NetworkConfig::reliable(11).with_crash_plan(plan);
+        let everyone: Vec<ProcessId> = (0..50).map(ProcessId).collect();
+        let processes: Vec<Flood> = (0..50)
+            .map(|i| Flood::new(everyone.clone(), i == 0))
+            .collect();
+        let mut sim = Simulation::with_crash_observer(processes, config, move |id| {
+            sink.borrow_mut().push(id)
+        });
+        // The initial fraction is observed during construction.
+        assert_eq!(seen.borrow().len(), sim.crashed_count());
+        sim.step();
+        sim.step(); // round 1 → the scheduled crash of process 2 applies
+        assert!(sim.is_crashed(ProcessId(2)));
+        // Manual crashes notify too; re-crashing is not re-notified.
+        sim.crash(ProcessId(7));
+        sim.crash(ProcessId(7));
+        sim.crash(ProcessId(2));
+        assert_eq!(seen.borrow().len(), sim.crashed_count());
+        let mut unique = seen.borrow().clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), sim.crashed_count(), "no duplicate notifications");
     }
 
     #[test]

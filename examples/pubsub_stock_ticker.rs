@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use pmcast::sim::workload::{ticker_event, ticker_subscription};
 use pmcast::{
-    AddressSpace, Event, GroupTree, Interest, MulticastReport, NetworkConfig, PmcastConfig,
-    PmcastFactory, ProcessId, ProtocolFactory, Simulation, TreeTopology,
+    AddressSpace, Event, GlobalOracleView, GroupTree, Interest, MulticastReport, NetworkConfig,
+    PmcastConfig, PmcastFactory, ProcessId, ProtocolFactory, Simulation, TreeTopology,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -47,7 +47,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 2. Build the pmcast group; the GroupTree doubles as the interest
     //    oracle since it holds every subscription.
     let config = PmcastConfig::default().with_fanout(3);
-    let group = PmcastFactory::build(tree.as_ref(), tree.clone(), &config);
+    let membership = Arc::new(GlobalOracleView::new(tree.member_count()));
+    let group = PmcastFactory::build(tree.as_ref(), tree.clone(), membership, &config);
     let mut sim = Simulation::new(
         group.processes,
         NetworkConfig::default().with_loss(0.01).with_seed(11),

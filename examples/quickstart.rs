@@ -14,7 +14,7 @@
 //! * **All protocols implement `MulticastProtocol`.**  pmcast and both
 //!   baselines are built through a `ProtocolFactory` (`PmcastFactory`,
 //!   `FloodFactory`, `GenuineFactory`) from the same
-//!   `(topology, oracle, config)` triple, publish shared `Arc<Event>`
+//!   `(topology, oracle, membership, config)` quadruple, publish shared `Arc<Event>`
 //!   payloads, and answer the same delivery/reception queries.  Code
 //!   written against the trait — like step 3 below — works for any
 //!   protocol, with static dispatch only.
@@ -28,9 +28,9 @@ use std::error::Error;
 use std::sync::Arc;
 
 use pmcast::{
-    AddressSpace, AssignmentOracle, Event, ImplicitRegularTree, InterestOracle, MulticastReport,
-    NetworkConfig, PmcastConfig, PmcastFactory, ProcessId, Protocol, ProtocolFactory, Publisher,
-    Scenario, Simulation, TreeTopology,
+    AddressSpace, AssignmentOracle, Event, GlobalOracleView, ImplicitRegularTree, InterestOracle,
+    MembershipSpec, MulticastReport, NetworkConfig, PmcastConfig, PmcastFactory, ProcessId,
+    Protocol, ProtocolFactory, Publisher, Scenario, Simulation, TreeTopology,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    Swapping `PmcastFactory` for `FloodFactory` or `GenuineFactory`
     //    is the only change needed to run a baseline instead.
     let config = PmcastConfig::default(); // R = 3, F = 2
-    let group = PmcastFactory::build(&topology, oracle.clone(), &config);
+    // Membership knowledge is pluggable too: `GlobalOracleView` models the
+    // closed group every process knows in full (swap in a `PartialView` for
+    // gossip-discovered membership — see examples/partial_view_sweep.rs).
+    let membership = Arc::new(GlobalOracleView::new(topology.member_count()));
+    let group = PmcastFactory::build(&topology, oracle.clone(), membership, &config);
     let mut sim = Simulation::new(group.processes, NetworkConfig::default().with_loss(0.01).with_seed(7));
 
     // 4. Publish an event from process 0.0.0 and run to quiescence.  The
@@ -100,6 +104,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .loss(0.01)
         .publish(Publisher::Interested, Event::builder(10).int("b", 2).build())
         .publish_at(3, Publisher::Uniform, Event::builder(11).int("b", 3).build())
+        .membership(MembershipSpec::Global) // or MembershipSpec::partial(view_size)
         .seed(7)
         .build();
     println!("\nscenario (2 publishers, 2 events) across protocols:");

@@ -26,10 +26,15 @@
 //! All three dissemination protocols — pmcast and the two baselines —
 //! implement the [`MulticastProtocol`] trait and are built through a
 //! [`ProtocolFactory`] ([`PmcastFactory`], [`FloodFactory`],
-//! [`GenuineFactory`]) from the same `(topology, oracle, config)` triple.
-//! Workloads are described declaratively with the [`Scenario`] builder and
-//! executed by one generic trial loop ([`sim::runner`]), so comparing
-//! protocols or adding workloads never duplicates simulation code.
+//! [`GenuineFactory`]) from the same `(topology, oracle, membership,
+//! config)` quadruple.  Membership knowledge is a pluggable
+//! [`MembershipView`]: [`GlobalOracleView`] gives every process the whole
+//! group (the paper's evaluation model), while [`PartialView`] bounds each
+//! process to an lpbcast-style gossip-maintained partial view.  Workloads
+//! are described declaratively with the [`Scenario`] builder — including a
+//! [`MembershipSpec`] axis — and executed by one generic trial loop
+//! ([`sim::runner`]), so comparing protocols or adding workloads never
+//! duplicates simulation code.
 //!
 //! ## Quick start
 //!
@@ -38,8 +43,9 @@
 //! # fn main() -> Result<(), Box<dyn Error>> {
 //! use std::sync::Arc;
 //! use pmcast::{
-//!     AddressSpace, AssignmentOracle, Event, ImplicitRegularTree, MulticastReport,
-//!     NetworkConfig, PmcastConfig, PmcastFactory, ProcessId, ProtocolFactory, Simulation,
+//!     AddressSpace, AssignmentOracle, Event, GlobalOracleView, ImplicitRegularTree,
+//!     MulticastReport, NetworkConfig, PmcastConfig, PmcastFactory, ProcessId,
+//!     ProtocolFactory, Simulation, TreeTopology,
 //! };
 //! use rand::SeedableRng;
 //!
@@ -47,8 +53,9 @@
 //! let topology = ImplicitRegularTree::new(AddressSpace::regular(3, 4)?);
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 //! let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.5, &mut rng));
+//! let membership = Arc::new(GlobalOracleView::new(topology.member_count()));
 //!
-//! let group = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+//! let group = PmcastFactory::build(&topology, oracle.clone(), membership, &PmcastConfig::default());
 //! let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(1));
 //! let event = Event::builder(1).int("b", 7).build();
 //! sim.process_mut(ProcessId(0)).pmcast(event.clone());
@@ -118,20 +125,21 @@ pub mod sim {
 
 pub use pmcast_addr::{AddrError, Address, AddressSpace, Prefix};
 pub use pmcast_analysis::{EnvParams, GroupParams};
-#[allow(deprecated)]
-pub use pmcast_core::{build_flood_group, build_genuine_group, build_group};
 pub use pmcast_core::{
     FloodBroadcastProcess, FloodFactory, GenuineFactory, GenuineMulticastProcess, Gossip,
     MulticastProtocol, MulticastReport, PmcastConfig, PmcastFactory, PmcastGroup, PmcastProcess,
     ProtocolFactory, ProtocolGroup, TuningConfig,
 };
 pub use pmcast_sim::runner::{ExperimentConfig, Protocol, TrialOutcome};
-pub use pmcast_sim::scenario::{Publication, Publisher, Scenario, ScenarioBuilder};
+pub use pmcast_sim::scenario::{
+    MembershipSpec, Publication, Publisher, Scenario, ScenarioBuilder,
+};
 pub use pmcast_interest::{
     AttributeValue, Event, EventId, Filter, Interest, InterestSummary, Predicate,
 };
 pub use pmcast_membership::{
-    AssignmentOracle, GroupTree, ImplicitRegularTree, InterestOracle, MembershipManager,
-    SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
+    AssignmentOracle, GlobalOracleView, GroupTree, ImplicitRegularTree, InterestOracle,
+    MembershipManager, MembershipView, PartialView, PartialViewConfig, SubscriptionOracle,
+    TreeTopology, UniformOracle, ViewTable,
 };
 pub use pmcast_simnet::{NetworkConfig, ProcessId, Simulation, TrafficStats};

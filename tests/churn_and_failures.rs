@@ -6,10 +6,15 @@ use std::sync::Arc;
 
 use pmcast::membership::{MembershipEvent, MembershipManager, ViewExchange};
 use pmcast::{
-    Address, AddressSpace, AssignmentOracle, Event, Filter, GroupTree, ImplicitRegularTree,
-    InterestOracle, MulticastReport, NetworkConfig, PmcastConfig, PmcastFactory, Predicate,
-    ProcessId, ProtocolFactory, Simulation, TreeTopology, UniformOracle,
+    Address, AddressSpace, AssignmentOracle, Event, Filter, GlobalOracleView, GroupTree,
+    ImplicitRegularTree, InterestOracle, MembershipView, MulticastReport, NetworkConfig,
+    PmcastConfig, PmcastFactory, Predicate, ProcessId, ProtocolFactory, Simulation,
+    TreeTopology, UniformOracle,
 };
+
+fn global_view(n: usize) -> Arc<dyn MembershipView> {
+    Arc::new(GlobalOracleView::new(n))
+}
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -105,7 +110,7 @@ fn crashed_root_delegates_do_not_prevent_delivery() {
     let oracle: Arc<dyn InterestOracle + Send + Sync> =
         Arc::new(UniformOracle::new(topology.member_count()));
     let config = PmcastConfig::default().with_fanout(3);
-    let group = PmcastFactory::build(&topology, oracle, &config);
+    let group = PmcastFactory::build(&topology, oracle, global_view(topology.member_count()), &config);
     let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(77));
 
     // Delegates of subgroup k are k.0, k.1, k.2; crash k.0 and k.1 for k ≥ 1
@@ -141,7 +146,12 @@ fn publisher_crash_after_injection_still_spreads_the_event() {
     let topology = ImplicitRegularTree::new(AddressSpace::regular(2, 5).expect("valid shape"));
     let oracle: Arc<dyn InterestOracle + Send + Sync> =
         Arc::new(UniformOracle::new(topology.member_count()));
-    let group = PmcastFactory::build(&topology, oracle, &PmcastConfig::default().with_fanout(3));
+    let group = PmcastFactory::build(
+        &topology,
+        oracle,
+        global_view(topology.member_count()),
+        &PmcastConfig::default().with_fanout(3),
+    );
     let schedule = pmcast::simnet::CrashPlan::Scheduled(vec![(3, 0)]);
     let mut sim = Simulation::new(
         group.processes,
@@ -176,7 +186,7 @@ fn heavy_loss_with_higher_fanout_still_delivers_to_interested_processes() {
         pittel_constant: 2.0,
     };
     let config = PmcastConfig::default().with_fanout(4).with_env(env);
-    let group = PmcastFactory::build(&topology, oracle.clone(), &config);
+    let group = PmcastFactory::build(&topology, oracle.clone(), global_view(topology.member_count()), &config);
     let mut sim = Simulation::new(
         group.processes,
         NetworkConfig::faulty(0.25, 0.01, 21),

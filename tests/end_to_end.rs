@@ -5,10 +5,15 @@
 use std::sync::Arc;
 
 use pmcast::{
-    AddressSpace, AssignmentOracle, Event, Filter, FloodFactory, GroupTree, ImplicitRegularTree,
-    Interest, InterestOracle, MulticastReport, NetworkConfig, PmcastConfig, PmcastFactory,
-    Predicate, ProcessId, ProtocolFactory, Simulation, TreeTopology, UniformOracle,
+    AddressSpace, AssignmentOracle, Event, Filter, FloodFactory, GlobalOracleView, GroupTree,
+    ImplicitRegularTree, Interest, InterestOracle, MembershipView, MulticastReport,
+    NetworkConfig, PmcastConfig, PmcastFactory, Predicate, ProcessId, ProtocolFactory,
+    Simulation, TreeTopology, UniformOracle,
 };
+
+fn global_view(n: usize) -> Arc<dyn MembershipView> {
+    Arc::new(GlobalOracleView::new(n))
+}
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -23,7 +28,7 @@ fn multicast_reaches_interested_processes_across_subtrees() {
     let oracle = Arc::new(AssignmentOracle::sample(&topology, 0.4, &mut rng));
     let event = Event::builder(1).int("b", 1).build();
 
-    let group = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+    let group = PmcastFactory::build(&topology, oracle.clone(), global_view(topology.member_count()), &PmcastConfig::default());
     let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(100));
     // Publish from an interested process if possible.
     let sender = oracle
@@ -57,7 +62,7 @@ fn broadcast_special_case_delivers_everywhere_even_with_losses() {
     let event = Event::builder(2).build();
 
     let config = PmcastConfig::default().with_fanout(4);
-    let group = PmcastFactory::build(&topology, oracle, &PmcastConfig { ..config });
+    let group = PmcastFactory::build(&topology, oracle, global_view(topology.member_count()), &PmcastConfig { ..config });
     let mut sim = Simulation::new(
         group.processes,
         NetworkConfig::default().with_loss(0.05).with_seed(3),
@@ -91,7 +96,7 @@ fn content_based_group_delivers_exactly_to_matching_subscribers() {
     }
     let tree = Arc::new(tree);
 
-    let group = PmcastFactory::build(tree.as_ref(), tree.clone(), &PmcastConfig::default().with_fanout(3));
+    let group = PmcastFactory::build(tree.as_ref(), tree.clone(), global_view(tree.member_count()), &PmcastConfig::default().with_fanout(3));
     let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(8));
     let event = Event::builder(77).str("topic", "markets").build();
     sim.process_mut(ProcessId(1)).pmcast(event.clone());
@@ -123,7 +128,7 @@ fn crashes_of_a_minority_do_not_break_delivery_for_the_rest() {
         Arc::new(UniformOracle::new(topology.member_count()));
     let event = Event::builder(5).build();
 
-    let group = PmcastFactory::build(&topology, oracle, &PmcastConfig::default().with_fanout(3));
+    let group = PmcastFactory::build(&topology, oracle, global_view(topology.member_count()), &PmcastConfig::default().with_fanout(3));
     let mut sim = Simulation::new(
         group.processes,
         NetworkConfig::faulty(0.02, 0.05, 9), // 2% loss, ~5% of processes crashed
@@ -157,13 +162,13 @@ fn pmcast_uses_fewer_messages_than_flooding_when_interest_is_sparse() {
         .unwrap_or(0);
 
     // pmcast run.
-    let group = PmcastFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+    let group = PmcastFactory::build(&topology, oracle.clone(), global_view(topology.member_count()), &PmcastConfig::default());
     let mut pmcast_sim = Simulation::new(group.processes, NetworkConfig::reliable(12));
     pmcast_sim.process_mut(ProcessId(sender)).pmcast(event.clone());
     pmcast_sim.run_until_quiescent(300);
 
     // Flooding baseline run.
-    let flood = FloodFactory::build(&topology, oracle.clone(), &PmcastConfig::default());
+    let flood = FloodFactory::build(&topology, oracle.clone(), global_view(topology.member_count()), &PmcastConfig::default());
     let mut flood_sim = Simulation::new(flood.processes, NetworkConfig::reliable(12));
     flood_sim.process_mut(ProcessId(sender)).broadcast(event.clone());
     flood_sim.run_until_quiescent(300);
@@ -186,7 +191,7 @@ fn several_publishers_can_multicast_concurrently() {
     let topology = small_tree();
     let oracle: Arc<dyn InterestOracle + Send + Sync> =
         Arc::new(UniformOracle::new(topology.member_count()));
-    let group = PmcastFactory::build(&topology, oracle, &PmcastConfig::default());
+    let group = PmcastFactory::build(&topology, oracle, global_view(topology.member_count()), &PmcastConfig::default());
     let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(33));
 
     let events: Vec<Event> = (0..4).map(|i| Event::builder(500 + i).int("b", i as i64).build()).collect();

@@ -1,5 +1,7 @@
 //! Generic conformance suite for the [`MulticastProtocol`] /
-//! [`ProtocolFactory`] contract, instantiated for all three protocols.
+//! [`ProtocolFactory`] contract, instantiated for all three protocols
+//! **under both membership providers** ([`GlobalOracleView`] and
+//! [`PartialView`]).
 //!
 //! Every protocol behind the trait must uphold the same observable
 //! contract, checked by one generic function per property:
@@ -13,14 +15,53 @@
 //!   *reception* within their guarantees;
 //! * the group is built in dense-identifier order, with trait addresses
 //!   matching the topology's member order.
+//!
+//! The partial-view instantiation runs the contract with a full-size
+//! bounded view (every peer discovered), which must preserve the exact
+//! guarantees; smaller views trade delivery for knowledge — that regime is
+//! covered by the scenario-level test at the bottom and by
+//! `examples/partial_view_sweep.rs`.  A deterministic proptest asserts the
+//! membership layer's own invariant: a [`PartialView`] under the default
+//! churn-free scenario converges to (and never leaves) a connected
+//! overlay, with every live process reachable.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pmcast::{
     Address, AddressSpace, AssignmentOracle, Event, FloodFactory, GenuineFactory,
-    ImplicitRegularTree, InterestOracle, MulticastProtocol, NetworkConfig, PmcastConfig,
-    PmcastFactory, ProcessId, ProtocolFactory, Simulation, TreeTopology,
+    GlobalOracleView, ImplicitRegularTree, InterestOracle, MembershipSpec, MembershipView,
+    MulticastProtocol, NetworkConfig, PartialView, PartialViewConfig, PmcastConfig,
+    PmcastFactory, ProcessId, Protocol, ProtocolFactory, Publisher, Scenario, Simulation,
+    TreeTopology,
 };
+use proptest::prelude::*;
+
+const GROUP: usize = 16;
+
+/// The membership providers the conformance suite is instantiated with.
+#[derive(Clone, Copy, Debug)]
+enum Provider {
+    Global,
+    /// A bounded gossip view large enough to have discovered every peer:
+    /// the partial-view machinery with the same knowledge guarantees.
+    PartialFull,
+}
+
+impl Provider {
+    fn view(self, n: usize) -> Arc<dyn MembershipView> {
+        match self {
+            Provider::Global => Arc::new(GlobalOracleView::new(n)),
+            Provider::PartialFull => Arc::new(PartialView::bootstrap(
+                n,
+                PartialViewConfig::default().with_view_size(n - 1),
+                71,
+            )),
+        }
+    }
+}
+
+const PROVIDERS: [Provider; 2] = [Provider::Global, Provider::PartialFull];
 
 fn topology() -> ImplicitRegularTree {
     ImplicitRegularTree::new(AddressSpace::regular(2, 4).expect("valid shape"))
@@ -38,11 +79,14 @@ fn half_interested_oracle() -> Arc<AssignmentOracle> {
 /// Builds a group, publishes `copies` clones of one shared event from
 /// process 0, runs to quiescence and returns the final states plus the
 /// message count.
-fn publish_and_run<F: ProtocolFactory>(copies: usize) -> (Vec<F::Process>, Event, u64) {
+fn publish_and_run<F: ProtocolFactory>(
+    provider: Provider,
+    copies: usize,
+) -> (Vec<F::Process>, Event, u64) {
     let topology = topology();
     let oracle = half_interested_oracle();
-    let group = F::build(&topology, oracle, &PmcastConfig::default());
-    assert_eq!(group.processes.len(), 16);
+    let group = F::build(&topology, oracle, provider.view(GROUP), &PmcastConfig::default());
+    assert_eq!(group.processes.len(), GROUP);
     let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(71));
     let event = Event::builder(40).int("b", 2).build();
     let shared = Arc::new(event.clone());
@@ -54,33 +98,39 @@ fn publish_and_run<F: ProtocolFactory>(copies: usize) -> (Vec<F::Process>, Event
     (sim.into_processes(), event, messages)
 }
 
-fn assert_delivers_to_every_interested_process<F: ProtocolFactory>(name: &str) {
+fn assert_delivers_to_every_interested_process<F: ProtocolFactory>(
+    name: &str,
+    provider: Provider,
+) {
     let oracle = half_interested_oracle();
-    let (processes, event, _) = publish_and_run::<F>(1);
+    let (processes, event, _) = publish_and_run::<F>(provider, 1);
     for process in &processes {
         if oracle.is_interested(process.address(), &event) {
             assert!(
                 process.has_delivered(event.id()),
-                "{name}: {} is interested but did not deliver",
+                "{name}/{provider:?}: {} is interested but did not deliver",
                 process.address()
             );
-            assert!(process.has_received(event.id()), "{name}: delivered implies received");
+            assert!(
+                process.has_received(event.id()),
+                "{name}/{provider:?}: delivered implies received"
+            );
         }
     }
 }
 
-fn assert_duplicate_publish_is_deduplicated<F: ProtocolFactory>(name: &str) {
-    let (once, event, messages_once) = publish_and_run::<F>(1);
-    let (twice, _, messages_twice) = publish_and_run::<F>(2);
+fn assert_duplicate_publish_is_deduplicated<F: ProtocolFactory>(name: &str, provider: Provider) {
+    let (once, event, messages_once) = publish_and_run::<F>(provider, 1);
+    let (twice, _, messages_twice) = publish_and_run::<F>(provider, 2);
     assert_eq!(
         messages_once, messages_twice,
-        "{name}: a duplicate publish must be ignored, not re-gossiped"
+        "{name}/{provider:?}: a duplicate publish must be ignored, not re-gossiped"
     );
     for (a, b) in once.iter().zip(twice.iter()) {
         assert_eq!(
             a.has_delivered(event.id()),
             b.has_delivered(event.id()),
-            "{name}: duplicate publish changed delivery at {}",
+            "{name}/{provider:?}: duplicate publish changed delivery at {}",
             a.address()
         );
     }
@@ -88,21 +138,22 @@ fn assert_duplicate_publish_is_deduplicated<F: ProtocolFactory>(name: &str) {
 
 fn assert_no_delivery_without_interest<F: ProtocolFactory>(
     name: &str,
+    provider: Provider,
     never_receives_uninterested: bool,
 ) {
     let oracle = half_interested_oracle();
-    let (processes, event, _) = publish_and_run::<F>(1);
+    let (processes, event, _) = publish_and_run::<F>(provider, 1);
     for process in &processes {
         if !oracle.is_interested(process.address(), &event) {
             assert!(
                 !process.has_delivered(event.id()),
-                "{name}: {} delivered without interest",
+                "{name}/{provider:?}: {} delivered without interest",
                 process.address()
             );
             if never_receives_uninterested {
                 assert!(
                     !process.has_received(event.id()),
-                    "{name}: {} received the event despite the protocol's \
+                    "{name}/{provider:?}: {} received the event despite the protocol's \
                      no-spurious-reception guarantee",
                     process.address()
                 );
@@ -111,22 +162,29 @@ fn assert_no_delivery_without_interest<F: ProtocolFactory>(
     }
 }
 
-fn assert_group_order_matches_topology<F: ProtocolFactory>(name: &str) {
+fn assert_group_order_matches_topology<F: ProtocolFactory>(name: &str, provider: Provider) {
     let topology = topology();
-    let group = F::build(&topology, half_interested_oracle(), &PmcastConfig::default());
+    let group = F::build(
+        &topology,
+        half_interested_oracle(),
+        provider.view(GROUP),
+        &PmcastConfig::default(),
+    );
     let members = topology.members();
-    assert_eq!(*group.addresses, members, "{name}");
+    assert_eq!(*group.addresses, members, "{name}/{provider:?}");
     for (process, address) in group.processes.iter().zip(members.iter()) {
-        assert_eq!(process.address(), address, "{name}");
+        assert_eq!(process.address(), address, "{name}/{provider:?}");
     }
 }
 
-/// The whole contract for one protocol.
+/// The whole contract for one protocol, under every membership provider.
 fn assert_contract<F: ProtocolFactory>(name: &str, never_receives_uninterested: bool) {
-    assert_delivers_to_every_interested_process::<F>(name);
-    assert_duplicate_publish_is_deduplicated::<F>(name);
-    assert_no_delivery_without_interest::<F>(name, never_receives_uninterested);
-    assert_group_order_matches_topology::<F>(name);
+    for provider in PROVIDERS {
+        assert_delivers_to_every_interested_process::<F>(name, provider);
+        assert_duplicate_publish_is_deduplicated::<F>(name, provider);
+        assert_no_delivery_without_interest::<F>(name, provider, never_receives_uninterested);
+        assert_group_order_matches_topology::<F>(name, provider);
+    }
 }
 
 #[test]
@@ -154,10 +212,15 @@ fn genuine_multicast_satisfies_the_multicast_contract() {
 fn registration_hook_is_idempotent_and_sufficient() {
     // Pre-registering on one process, then publishing from another, works
     // for every protocol (it is how the genuine directory is shared).
-    fn check<F: ProtocolFactory>(name: &str) {
+    fn check<F: ProtocolFactory>(name: &str, provider: Provider) {
         let topology = topology();
         let oracle = half_interested_oracle();
-        let group = F::build(&topology, oracle.clone(), &PmcastConfig::default());
+        let group = F::build(
+            &topology,
+            oracle.clone(),
+            provider.view(GROUP),
+            &PmcastConfig::default(),
+        );
         let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(5));
         let event = Event::builder(41).int("b", 3).build();
         sim.process_mut(ProcessId(3)).register_event(&event);
@@ -168,12 +231,134 @@ fn registration_hook_is_idempotent_and_sufficient() {
             assert_eq!(
                 process.has_delivered(event.id()),
                 oracle.is_interested(process.address(), &event),
-                "{name}: {}",
+                "{name}/{provider:?}: {}",
                 process.address()
             );
         }
     }
-    check::<PmcastFactory>("pmcast");
-    check::<FloodFactory>("flood-broadcast");
-    check::<GenuineFactory>("genuine-multicast");
+    for provider in PROVIDERS {
+        check::<PmcastFactory>("pmcast", provider);
+        check::<FloodFactory>("flood-broadcast", provider);
+        check::<GenuineFactory>("genuine-multicast", provider);
+    }
+}
+
+#[test]
+fn small_partial_views_still_disseminate_through_the_scenario_engine() {
+    // The genuinely partial regime: 216 processes that each know at most 12
+    // peers, membership gossip running alongside the dissemination.  The
+    // guarantees soften (that is the research point), but the flooding
+    // broadcast — lpbcast's own shape — must still reach the vast majority
+    // of its audience, and the run must stay deterministic in parallel.
+    let scenario = Scenario::builder()
+        .group(6, 3)
+        .matching_rate(0.5)
+        .membership(MembershipSpec::partial(12))
+        .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+        .trials(2)
+        .seed(3)
+        .build();
+    // Partial knowledge costs the protocols differently — which is the
+    // research point.  Flooding (lpbcast's own shape: gossip to your view)
+    // barely notices; the genuine baseline loses the audience members it
+    // does not know; pmcast suffers most because its tree delegates are
+    // mostly outside a 12-peer view until gossip discovers them.
+    let floor = [
+        (Protocol::Pmcast, 0.1),
+        (Protocol::FloodBroadcast, 0.9),
+        (Protocol::GenuineMulticast, 0.3),
+    ];
+    let delivery_mean = |outcomes: &[pmcast::TrialOutcome]| -> f64 {
+        outcomes.iter().map(|o| o.report.delivery_ratio()).sum::<f64>() / outcomes.len() as f64
+    };
+    let mut narrow_pmcast_mean = 0.0;
+    for (protocol, floor) in floor {
+        let outcomes = scenario.run(protocol);
+        for outcome in &outcomes {
+            assert!(outcome.messages_sent > 0, "{protocol:?}");
+            assert!(
+                outcome.report.delivery_ratio() > floor,
+                "{protocol:?} collapsed under partial views: {:?}",
+                outcome.report
+            );
+        }
+        if protocol == Protocol::Pmcast {
+            narrow_pmcast_mean = delivery_mean(&outcomes);
+        }
+        if protocol == Protocol::FloodBroadcast {
+            // Flooding over a 12-peer view behaves like lpbcast: near-total
+            // delivery.
+            assert!(
+                outcomes[0].report.delivery_ratio() > 0.95,
+                "{:?}",
+                outcomes[0].report
+            );
+        }
+        assert_eq!(
+            outcomes,
+            scenario.run_parallel(protocol),
+            "{protocol:?}: partial-view trials must stay deterministic in parallel"
+        );
+    }
+    // Widening the views restores pmcast's reliability — the
+    // reliability-vs-view-size curve of examples/partial_view_sweep.rs.
+    let wide = Scenario::builder()
+        .group(6, 3)
+        .matching_rate(0.5)
+        .membership(MembershipSpec::partial(128))
+        .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+        .trials(2)
+        .seed(3)
+        .build();
+    let wide_mean = delivery_mean(&wide.run(Protocol::Pmcast));
+    assert!(
+        wide_mean > narrow_pmcast_mean + 0.2,
+        "wider views must recover pmcast reliability ({narrow_pmcast_mean:.3} -> {wide_mean:.3})"
+    );
+}
+
+/// Live-to-live reachability from process 0 over the view edges.
+fn reachable_live(view: &PartialView, n: usize) -> usize {
+    let start = (0..n).find(|&p| view.is_live(p)).expect("somebody is live");
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([start]);
+    seen[start] = true;
+    let mut count = 1;
+    while let Some(process) = queue.pop_front() {
+        for k in 0..view.peer_count(process) {
+            let peer = view.peer_at(process, k);
+            if view.is_live(peer) && !seen[peer] {
+                seen[peer] = true;
+                count += 1;
+                queue.push_back(peer);
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    /// Under the default churn-free scenario shape (n = 6³ = 216), a
+    /// `PartialView` converges to — and never leaves — a connected overlay:
+    /// after any number of gossip rounds, every live process is reachable
+    /// from every other over view edges, for any seed and any admissible
+    /// view size.
+    #[test]
+    fn partial_view_converges_to_a_connected_overlay(
+        seed in 0u64..1_000_000,
+        view_size in 4usize..32,
+        rounds in 0usize..60,
+    ) {
+        let n = 216; // the default scenario group: arity 6, depth 3
+        let config = PartialViewConfig::default().with_view_size(view_size);
+        let view = PartialView::bootstrap(n, config, seed);
+        for _ in 0..rounds {
+            view.round_elapsed();
+        }
+        prop_assert_eq!(view.estimated_size(), n, "churn-free: everyone stays live");
+        for process in 0..n {
+            prop_assert!(view.peer_count(process) <= view_size.max(1));
+        }
+        prop_assert_eq!(reachable_live(&view, n), n);
+    }
 }
