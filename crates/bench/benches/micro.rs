@@ -12,7 +12,8 @@ use pmcast_core::{
 };
 use pmcast_interest::{Event, Filter, Interest, InterestSummary, Predicate};
 use pmcast_membership::{
-    AssignmentOracle, GlobalOracleView, ImplicitRegularTree, InterestOracle, MembershipView,
+    AssignmentOracle, DelegateView, DelegateViewConfig, GlobalOracleView, ImplicitRegularTree,
+    InterestOracle, MembershipView,
 };
 use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
 use rand::{Rng, SeedableRng};
@@ -124,6 +125,47 @@ fn bench(c: &mut Criterion) {
             for _ in 0..4 {
                 let pick = draw_rng.gen_range(0..draw_view.peer_count(own));
                 acc += draw_view.peer_at(own, pick);
+            }
+            acc
+        })
+    });
+
+    // Depth-structured candidate draws through the hierarchical
+    // `DelegateView` (the PR 4 membership provider): rebuild one depth's
+    // candidate list through `knows_at_depth` — an O(slots) slot-group
+    // lookup, no flat-view scan — then draw F distinct targets by partial
+    // Fisher–Yates over the reused buffer, exactly the `gossip_depth` hot
+    // path.  Both vectors are allocated once outside the iteration, so the
+    // per-draw cost must stay allocation-free and within a few nanoseconds
+    // of the flat `fanout_draw_through_view` boundary.
+    let delegate_view: Arc<dyn MembershipView> = Arc::new(DelegateView::bootstrap(
+        8,
+        3,
+        DelegateViewConfig::default(),
+        8,
+    ));
+    // The depth-2 shared view of process 37 (prefix 0.4): three delegates
+    // of each subgroup 0.g — the positions pmcast iterates at that depth.
+    let view_targets: Vec<usize> = (0..8usize)
+        .flat_map(|g| (0..3usize).map(move |r| g * 8 + r))
+        .collect();
+    let mut delegate_candidates: Vec<usize> = Vec::with_capacity(view_targets.len());
+    c.bench_function("delegate_draw", |b| {
+        b.iter(|| {
+            let own = 37usize;
+            delegate_candidates.clear();
+            delegate_candidates.extend(
+                view_targets
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != own && delegate_view.knows_at_depth(own, 2, p)),
+            );
+            let mut acc = 0usize;
+            let picks = 4.min(delegate_candidates.len());
+            for slot in 0..picks {
+                let swap = draw_rng.gen_range(slot..delegate_candidates.len());
+                delegate_candidates.swap(slot, swap);
+                acc += delegate_candidates[slot];
             }
             acc
         })

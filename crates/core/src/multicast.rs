@@ -37,10 +37,16 @@
 //! from the group definition directly: under
 //! [`GlobalOracleView`](pmcast_membership::GlobalOracleView) every process
 //! knows the whole group (the historical construction, bit-identical to
-//! it), while [`PartialView`](pmcast_membership::PartialView) bounds each
-//! process to a gossip-maintained partial view — candidates a process does
-//! not currently know are simply not contacted.  Interest evaluation (the
-//! oracle) is orthogonal and unaffected.
+//! it), [`PartialView`](pmcast_membership::PartialView) bounds each
+//! process to a flat gossip-maintained partial view, and
+//! [`DelegateView`](pmcast_membership::DelegateView) maintains the paper's
+//! hierarchical per-depth delegate tables — candidates a process does not
+//! currently know are simply not contacted.  pmcast asks the view
+//! per depth
+//! ([`MembershipView::knows_at_depth`](pmcast_membership::MembershipView::knows_at_depth)),
+//! so under the hierarchical provider its tree delegates come from the
+//! maintained hierarchy itself.  Interest evaluation (the oracle) is
+//! orthogonal and unaffected.
 
 use std::sync::Arc;
 
@@ -119,8 +125,43 @@ impl<P> std::fmt::Debug for ProtocolGroup<P> {
 /// protocol, keeping the publish and gossip hot paths free of virtual
 /// calls.  The membership provider is shared as a trait object — its
 /// per-draw cost is a candidate lookup, guarded by the
-/// `fanout_draw_direct` vs `fanout_draw_through_view` cases of
-/// `crates/bench/benches/micro.rs`.
+/// `fanout_draw_direct` vs `fanout_draw_through_view` and `delegate_draw`
+/// cases of `crates/bench/benches/micro.rs`.
+///
+/// # Examples
+///
+/// Code written against the factory bound runs unchanged for every
+/// protocol — this is the whole point of the contract:
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use pmcast_addr::AddressSpace;
+/// use pmcast_core::{
+///     FloodFactory, GenuineFactory, MulticastProtocol, PmcastConfig, PmcastFactory,
+///     ProtocolFactory,
+/// };
+/// use pmcast_interest::Event;
+/// use pmcast_membership::{GlobalOracleView, UniformOracle};
+/// use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
+///
+/// fn deliveries<F: ProtocolFactory>() -> usize {
+///     let topology = pmcast_membership::ImplicitRegularTree::new(
+///         AddressSpace::regular(2, 4).expect("valid shape"),
+///     );
+///     let oracle = Arc::new(UniformOracle::new(16));
+///     let membership = Arc::new(GlobalOracleView::new(16));
+///     let group = F::build(&topology, oracle, membership, &PmcastConfig::default());
+///     let mut sim = Simulation::new(group.processes, NetworkConfig::reliable(1));
+///     let event = Event::builder(7).int("b", 1).build();
+///     sim.process_mut(ProcessId(0)).publish(Arc::new(event.clone()));
+///     sim.run_until_quiescent(200);
+///     sim.processes().filter(|p| p.has_delivered(event.id())).count()
+/// }
+///
+/// assert_eq!(deliveries::<PmcastFactory>(), 16);
+/// assert_eq!(deliveries::<FloodFactory>(), 16);
+/// assert_eq!(deliveries::<GenuineFactory>(), 16);
+/// ```
 pub trait ProtocolFactory {
     /// The protocol type this factory instantiates.
     type Process: MulticastProtocol;

@@ -307,13 +307,17 @@ impl PmcastProcess {
         let fanout = self.config.fanout;
         let own_id = self.id;
 
-        // Candidate destinations (everyone in the view but ourselves that
-        // the membership provider currently knows — under a global view
-        // that is the whole view, under a partial view only the discovered
-        // subset), computed once per depth and re-shuffled per entry.
+        // Candidate destinations: everyone in the view but ourselves that
+        // the membership provider currently knows *at this depth*.  Under a
+        // global view that is the whole view; under a flat partial view it
+        // is the discovered subset (`knows_at_depth` falls back to `knows`);
+        // under the hierarchical `DelegateView` the answer comes straight
+        // from the depth-`depth` delegate slots, so pmcast's tree delegates
+        // are exactly the processes the maintained hierarchy seats.
+        // Computed once per depth and re-shuffled per entry.
         scratch.candidates.clear();
         scratch.candidates.extend((0..view.len()).filter(|&i| {
-            view[i].id != own_id && self.membership.knows(own_id.0, view[i].id.0)
+            view[i].id != own_id && self.membership.knows_at_depth(own_id.0, depth, view[i].id.0)
         }));
 
         entries.retain_mut(|entry| {

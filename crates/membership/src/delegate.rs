@@ -1,0 +1,861 @@
+//! The paper's Section 2 view-table maintenance as a membership provider:
+//! a [`DelegateView`] keeps each process's membership knowledge **structured
+//! by the tree coordinates** of the `pmcast` address space instead of as one
+//! flat bounded list.
+//!
+//! ## Why a third provider
+//!
+//! The flat [`PartialView`](crate::PartialView) models lpbcast: a bounded
+//! *uniform random* sample of the group.  pmcast, however, gossips through
+//! the **delegates** of its per-depth views — the `R` smallest-address
+//! processes of every sibling subgroup — and at paper scale (`n ≈ 10 648`,
+//! views of a few hundred entries) those specific processes are almost never
+//! inside a small random sample, so pmcast's reliability collapses (see
+//! `examples/partial_view_sweep.rs`).  Section 2 of the paper never
+//! maintains a flat sample in the first place: a process's view *is* the
+//! hierarchy — per depth `i`, one slot group per sibling subgroup, holding
+//! that subgroup's delegates.  `DelegateView` reproduces exactly that
+//! shape:
+//!
+//! * **Per-depth delegate slots.**  For every depth `l ∈ 1..d` a process
+//!   keeps, for each of the `a` subgroups sharing its depth-`(l−1)` prefix,
+//!   up to [`DelegateViewConfig::slots`] delegate entries — the smallest
+//!   known-live members of that subgroup, mirroring the paper's
+//!   smallest-address delegate election.  At the leaf depth it keeps its
+//!   `a − 1` subgroup neighbours.  Total view size is
+//!   `(d−1)·a·slots + a ∈ O(d·R·n^{1/d})` (Equation 2), **not** `n`.
+//! * **Bootstrap = the join handoff.**  A joining process receives its view
+//!   table from a delegate of each subgroup along its path (Section 2.3);
+//!   the simulation collapses that handshake into a fully populated
+//!   bootstrap, so at round zero every slot holds the subgroup's current
+//!   delegates — the same processes
+//!   [`SharedViews`](../../pmcast_core/struct.SharedViews.html) elects,
+//!   whenever `slots ≥ R`.
+//! * **Gossip piggybacks delegate tables per subtree.**  Once per
+//!   simulation round every live process contacts
+//!   [`DelegateViewConfig::gossip_fanout`] known peers and pushes its own
+//!   subscription plus a random [`DelegateViewConfig::digest_size`]-entry
+//!   digest of its view; the receiver files each candidate into the slot
+//!   groups of **every depth at which the candidate qualifies** (a peer
+//!   sharing a length-`k` prefix is a candidate for depths `1..=k+1`).
+//! * **Eviction keeps delegates, not randomness.**  A slot group only
+//!   overflows when a *smaller* live candidate arrives, in which case the
+//!   largest entry is evicted — so each group deterministically converges to
+//!   the `slots` smallest live members of its subgroup, which is precisely
+//!   the paper's re-election rule.  Slot entries are **monitored** like
+//!   delegates in Section 2.3: a crash is swept from every table within one
+//!   membership round (unlike the deliberately lazy failure detection of
+//!   [`PartialView`](crate::PartialView)), and the sweep immediately
+//!   re-elects replacements from the already-gossiped candidates in the
+//!   evictor's view, keeping at least one live delegate per occupied
+//!   subtree whenever one is known.
+//! * **Pinned ring contact as the connectivity fallback.**  Exactly as in
+//!   [`PartialView`](crate::PartialView), every process pins its live ring
+//!   successor (monitored, never evicted), so the live overlay stays
+//!   connected even through churn that empties slot groups — gossip can
+//!   always route candidates back in.
+//!
+//! ## Determinism
+//!
+//! All randomness (gossip target picks, digest sampling) flows from the
+//! seed the view was constructed with — for simulation trials, the same
+//! per-trial membership stream [`PartialView`](crate::PartialView) uses
+//! (rule 3 of the seed contract in `pmcast-sim`'s runner docs), so parallel
+//! Monte-Carlo trials stay bit-identical to sequential ones.  Slot
+//! admission and eviction are fully deterministic (smallest-address order)
+//! and consume no randomness at all.
+//!
+//! `DelegateView` implements the whole [`MembershipView`] contract: the
+//! flat [`peer_count`](MembershipView::peer_count) /
+//! [`peer_at`](MembershipView::peer_at) enumeration (used by the flooding
+//! and genuine baselines) walks the deduplicated union of all slot entries
+//! plus the pinned contact, while
+//! [`knows_at_depth`](MembershipView::knows_at_depth) — the query the
+//! pmcast fanout draw asks — resolves in `O(slots)` straight from the slot
+//! group of the queried depth.
+
+use std::sync::RwLock;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::provider::MembershipView;
+
+/// Sentinel marking an unoccupied delegate slot.  `u32::MAX` sorts after
+/// every valid index, so a slot group is simply kept sorted ascending.
+const EMPTY: u32 = u32::MAX;
+
+/// Parameters of the [`DelegateView`] hierarchical membership layer.
+///
+/// # Examples
+///
+/// ```rust
+/// use pmcast_membership::DelegateViewConfig;
+///
+/// let config = DelegateViewConfig::default().with_slots(3);
+/// // A 22-ary depth-3 tree (the paper-scale group, n = 10 648) needs only
+/// // (3 − 1) · 22 · 3 + 22 = 154 view entries per process.
+/// assert_eq!(config.table_entries(22, 3), 154);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelegateViewConfig {
+    /// Delegate slots per subgroup per depth — the membership-side mirror of
+    /// the protocol's redundancy factor `R`; keep `slots ≥ R` so every
+    /// delegate the dissemination layer elects is representable.
+    pub slots: usize,
+    /// Number of known peers each process contacts per membership round.
+    pub gossip_fanout: usize,
+    /// Number of view entries piggybacked on each contact (besides the
+    /// sender's own subscription).
+    pub digest_size: usize,
+}
+
+impl Default for DelegateViewConfig {
+    fn default() -> Self {
+        Self {
+            slots: 3,
+            gossip_fanout: 3,
+            digest_size: 4,
+        }
+    }
+}
+
+impl DelegateViewConfig {
+    /// Sets the per-subgroup delegate slot count, returning the config for
+    /// chaining.
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// The bounded per-process view size this configuration yields on a
+    /// regular `arity^depth` tree: `(d−1)·a·slots + a` (Equation 2 of the
+    /// paper), the hierarchical counterpart of `PartialViewConfig::view_size`.
+    pub fn table_entries(&self, arity: u32, depth: usize) -> usize {
+        let a = arity as usize;
+        depth.saturating_sub(1) * a * self.slots + a
+    }
+}
+
+/// Dense-index arithmetic over a regular `arity^depth` tree.
+///
+/// Dense identifiers enumerate addresses in lexicographic order, so index
+/// `i`'s address components are simply its base-`arity` digits, most
+/// significant first — every tree coordinate a view table needs is computed,
+/// never stored.
+#[derive(Debug, Clone)]
+struct TreeShape {
+    arity: usize,
+    depth: usize,
+    /// `pows[k] = arity^k`, `k ∈ 0..=depth`.
+    pows: Vec<usize>,
+    slots: usize,
+}
+
+impl TreeShape {
+    fn new(arity: usize, depth: usize, slots: usize) -> Self {
+        let mut pows = Vec::with_capacity(depth + 1);
+        let mut p = 1usize;
+        for _ in 0..=depth {
+            pows.push(p);
+            p = p.checked_mul(arity).expect("group size overflows usize");
+        }
+        Self {
+            arity,
+            depth,
+            pows,
+            slots,
+        }
+    }
+
+    fn member_count(&self) -> usize {
+        self.pows[self.depth]
+    }
+
+    /// The `k`-th address component (0-based, most significant first) of
+    /// dense index `i`.
+    fn digit(&self, i: usize, k: usize) -> usize {
+        (i / self.pows[self.depth - 1 - k]) % self.arity
+    }
+
+    /// Number of leading address components `p` and `q` share.
+    fn common_prefix(&self, p: usize, q: usize) -> usize {
+        (0..self.depth)
+            .take_while(|&k| self.digit(p, k) == self.digit(q, k))
+            .count()
+    }
+
+    /// Total slots in one process's table: `(d−1)·a·slots` inner entries
+    /// plus `a` leaf-neighbour entries.
+    fn table_len(&self) -> usize {
+        (self.depth - 1) * self.arity * self.slots + self.arity
+    }
+
+    /// Slot range of the depth-`l` group for sibling component `g`
+    /// (`l ∈ 1..=depth`; the leaf depth has one slot per component).
+    fn group_range(&self, l: usize, g: usize) -> std::ops::Range<usize> {
+        if l == self.depth {
+            let start = (self.depth - 1) * self.arity * self.slots + g;
+            start..start + 1
+        } else {
+            let start = ((l - 1) * self.arity + g) * self.slots;
+            start..start + self.slots
+        }
+    }
+
+    /// First dense index of the depth-`l` sibling subgroup `g` of process
+    /// `q` (the subgroup `q.prefix(l−1) · g`).
+    fn subgroup_base(&self, q: usize, l: usize, g: usize) -> usize {
+        let span = self.pows[self.depth - l + 1];
+        (q / span) * span + g * self.pows[self.depth - l]
+    }
+
+    /// Number of processes in any depth-`l` subgroup.
+    fn subgroup_size(&self, l: usize) -> usize {
+        self.pows[self.depth - l]
+    }
+}
+
+/// Mutable provider state behind one lock: the per-process slot tables, the
+/// flat (deduplicated) peer enumerations, pinned contacts, liveness and the
+/// provider-private PRNG stream.
+#[derive(Debug)]
+struct DelegateState {
+    shape: TreeShape,
+    /// `tables[q]` is the fixed-layout slot table of `q` (see
+    /// [`TreeShape::group_range`]); inner groups are sorted ascending with
+    /// [`EMPTY`] sentinels at the end.
+    tables: Vec<Vec<u32>>,
+    /// `flat[q]` is the dense peer enumeration backing `peer_count` /
+    /// `peer_at`: the deduplicated union of `q`'s slot entries plus its
+    /// pinned contact.
+    flat: Vec<Vec<u32>>,
+    /// `contact[q]` is `q`'s pinned live ring successor (monitored, never
+    /// evicted) — the connectivity fallback.
+    contact: Vec<u32>,
+    alive: Vec<bool>,
+    live: usize,
+    /// Crashes observed since the last membership round, awaiting the
+    /// monitored-delegate sweep.
+    pending_dead: Vec<u32>,
+    rng: ChaCha8Rng,
+}
+
+impl DelegateState {
+    /// The next live index strictly after `of`, cyclically.
+    fn next_live(&self, of: usize) -> Option<usize> {
+        let n = self.alive.len();
+        (1..n).map(|offset| (of + offset) % n).find(|&i| self.alive[i])
+    }
+
+    /// Returns `true` if `peer` occupies any slot of `q`'s table.
+    fn table_contains(&self, q: usize, peer: usize) -> bool {
+        let cp = self.shape.common_prefix(q, peer);
+        let deepest = (cp + 1).min(self.shape.depth);
+        (1..=deepest).any(|l| {
+            let g = self.shape.digit(peer, l - 1);
+            self.tables[q][self.shape.group_range(l, g)].contains(&(peer as u32))
+        })
+    }
+
+    /// Drops `peer` from `q`'s flat enumeration unless a slot or the pinned
+    /// contact still references it.
+    fn maybe_drop_from_flat(&mut self, q: usize, peer: usize) {
+        if self.contact[q] as usize == peer || self.table_contains(q, peer) {
+            return;
+        }
+        if let Some(pos) = self.flat[q].iter().position(|&e| e as usize == peer) {
+            self.flat[q].swap_remove(pos);
+        }
+    }
+
+    /// Files `peer` into the depth-`l` slot group it belongs to in `q`'s
+    /// table.  The group holds the `slots` smallest known-live members of
+    /// the subgroup: a smaller candidate evicts the largest entry (the
+    /// deterministic smallest-address re-election of Section 2).  Returns
+    /// `true` if the table changed.
+    fn admit_at_level(&mut self, q: usize, l: usize, peer: usize) -> bool {
+        let g = self.shape.digit(peer, l - 1);
+        let range = self.shape.group_range(l, g);
+        let peer = peer as u32;
+        let group = &mut self.tables[q][range];
+        if group.contains(&peer) {
+            return false;
+        }
+        let last = group.len() - 1;
+        let evicted = group[last];
+        if peer >= evicted {
+            return false; // group is full of smaller (or equal) entries
+        }
+        // Insert in sorted position, shifting the tail out.
+        let pos = group.partition_point(|&e| e < peer);
+        group[pos..].rotate_right(1);
+        group[pos] = peer;
+        if evicted != EMPTY {
+            self.maybe_drop_from_flat(q, evicted as usize);
+        }
+        true
+    }
+
+    /// Admits `peer` into `q`'s view: every slot group it qualifies for
+    /// (depths `1..=cp+1`), plus the flat enumeration if any slot took it.
+    fn admit_peer(&mut self, q: usize, peer: usize) {
+        if q == peer {
+            return;
+        }
+        let cp = self.shape.common_prefix(q, peer);
+        let deepest = (cp + 1).min(self.shape.depth);
+        let mut admitted = false;
+        for l in 1..=deepest {
+            admitted |= self.admit_at_level(q, l, peer);
+        }
+        if admitted && !self.flat[q].contains(&(peer as u32)) {
+            self.flat[q].push(peer as u32);
+        }
+    }
+
+    /// Removes `x` from every slot group of `q`'s table, re-electing
+    /// replacements from the candidates already gossiped into `q`'s flat
+    /// view so every occupied subtree keeps a live delegate if one is
+    /// known.
+    fn evict_from_table(&mut self, q: usize, x: usize) {
+        let cp = self.shape.common_prefix(q, x);
+        let deepest = (cp + 1).min(self.shape.depth);
+        for l in 1..=deepest {
+            let g = self.shape.digit(x, l - 1);
+            let range = self.shape.group_range(l, g);
+            let group = &mut self.tables[q][range.clone()];
+            let Some(pos) = group.iter().position(|&e| e as usize == x) else {
+                continue;
+            };
+            group[pos..].rotate_left(1);
+            let last = group.len() - 1;
+            group[last] = EMPTY;
+            if l == self.shape.depth {
+                continue; // leaf slots name one fixed process; nothing to re-elect
+            }
+            // Re-election: promote the smallest live already-known member
+            // of the subgroup that is not yet seated.
+            let base = self.shape.subgroup_base(q, l, g);
+            let size = self.shape.subgroup_size(l);
+            let mut candidate: Option<usize> = None;
+            for &e in &self.flat[q] {
+                let e = e as usize;
+                if e != q
+                    && e >= base
+                    && e < base + size
+                    && self.alive[e]
+                    && candidate.is_none_or(|best| e < best)
+                    && !self.tables[q][range.clone()].contains(&(e as u32))
+                {
+                    candidate = Some(e);
+                }
+            }
+            if let Some(winner) = candidate {
+                self.admit_at_level(q, l, winner);
+            }
+        }
+    }
+
+    /// Evicts `x` from every process's view (slot tables and flat
+    /// enumerations) and re-pins any process whose ring contact it was.
+    fn evict_everywhere(&mut self, x: usize) {
+        for q in 0..self.alive.len() {
+            if q == x {
+                continue;
+            }
+            self.evict_from_table(q, x);
+            if let Some(pos) = self.flat[q].iter().position(|&e| e as usize == x) {
+                self.flat[q].swap_remove(pos);
+            }
+            if self.alive[q] && self.contact[q] as usize == x {
+                self.pin_contact(q);
+            }
+        }
+    }
+
+    /// Pins `q`'s contact to `peer`, keeping it in `q`'s flat view (and
+    /// its slot groups when it qualifies).
+    fn pin_to(&mut self, q: usize, peer: usize) {
+        self.contact[q] = peer as u32;
+        self.admit_peer(q, peer);
+        if !self.flat[q].contains(&(peer as u32)) {
+            self.flat[q].push(peer as u32);
+        }
+    }
+
+    /// Re-pins `q`'s contact to its current live ring successor.
+    fn pin_contact(&mut self, q: usize) {
+        if let Some(successor) = self.next_live(q) {
+            self.pin_to(q, successor);
+        }
+    }
+}
+
+/// The Section 2 hierarchical membership provider: per-depth delegate slot
+/// tables over a regular tree, maintained by gossip (see the
+/// [module docs](self) for the full design).
+///
+/// # Examples
+///
+/// ```rust
+/// use pmcast_membership::{DelegateView, DelegateViewConfig, MembershipView};
+///
+/// // A 4-ary tree of depth 2 (n = 16), three delegate slots per subgroup.
+/// let view = DelegateView::bootstrap(4, 2, DelegateViewConfig::default(), 7);
+/// // Process 0 knows the three smallest members of the sibling subgroup
+/// // starting at index 12 as its depth-1 delegates …
+/// assert!(view.knows_at_depth(0, 1, 12));
+/// assert!(view.knows_at_depth(0, 1, 14));
+/// // … but not that subgroup's largest member: views stay bounded.
+/// assert!(!view.knows_at_depth(0, 1, 15));
+/// // Its leaf view holds every subgroup neighbour.
+/// assert!(view.knows_at_depth(0, 2, 1) && view.knows_at_depth(0, 2, 3));
+/// ```
+#[derive(Debug)]
+pub struct DelegateView {
+    config: DelegateViewConfig,
+    state: RwLock<DelegateState>,
+}
+
+impl DelegateView {
+    /// Bootstraps the delegate views of a fully populated regular
+    /// `arity^depth` tree (the topology the scenario engine simulates);
+    /// all provider randomness flows from `seed`.
+    ///
+    /// Bootstrap models the paper's join handoff: every slot group starts
+    /// out holding its subgroup's current delegates (the `slots` smallest
+    /// members, the sitting process excluded from its own view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity`, `depth`, `slots` or `gossip_fanout` is zero.
+    pub fn bootstrap(arity: u32, depth: usize, config: DelegateViewConfig, seed: u64) -> Self {
+        assert!(arity > 0, "arity must be positive");
+        assert!(depth > 0, "depth must be positive");
+        assert!(config.slots > 0, "delegate slots must be positive");
+        assert!(config.gossip_fanout > 0, "gossip_fanout must be positive");
+        let shape = TreeShape::new(arity as usize, depth, config.slots);
+        let n = shape.member_count();
+        let mut tables = Vec::with_capacity(n);
+        let mut flat = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for q in 0..n {
+            let mut table = vec![EMPTY; shape.table_len()];
+            let mut known: Vec<u32> = Vec::new();
+            for l in 1..=depth {
+                for g in 0..shape.arity {
+                    let base = shape.subgroup_base(q, l, g);
+                    let size = shape.subgroup_size(l);
+                    let range = shape.group_range(l, g);
+                    let mut slot = range.start;
+                    for (member, discovered) in
+                        seen.iter_mut().enumerate().skip(base).take(size)
+                    {
+                        if member == q {
+                            continue;
+                        }
+                        if slot == range.end {
+                            break;
+                        }
+                        table[slot] = member as u32;
+                        slot += 1;
+                        if !*discovered {
+                            *discovered = true;
+                            known.push(member as u32);
+                        }
+                    }
+                }
+            }
+            let contact = ((q + 1) % n) as u32;
+            if n > 1 && !seen[contact as usize] {
+                known.push(contact);
+            }
+            for &member in &known {
+                seen[member as usize] = false;
+            }
+            tables.push(table);
+            flat.push(known);
+        }
+        Self {
+            config,
+            state: RwLock::new(DelegateState {
+                shape,
+                tables,
+                flat,
+                contact: (0..n).map(|q| ((q + 1) % n) as u32).collect(),
+                alive: vec![true; n],
+                live: n,
+                pending_dead: Vec::new(),
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            }),
+        }
+    }
+
+    /// The provider's configuration.
+    pub fn config(&self) -> &DelegateViewConfig {
+        &self.config
+    }
+
+    /// Returns `true` if the process is currently believed alive.
+    pub fn is_live(&self, process: usize) -> bool {
+        self.state.read().expect("delegate view lock poisoned").alive[process]
+    }
+
+    /// The live delegates `of` currently seats for the depth-`l` sibling
+    /// subgroup with component `g` — an inspection hook for tests and
+    /// diagnostics (the re-election invariant is asserted over exactly this
+    /// set).
+    pub fn live_delegates_of(&self, of: usize, depth: usize, g: usize) -> Vec<usize> {
+        let state = self.state.read().expect("delegate view lock poisoned");
+        state.tables[of][state.shape.group_range(depth, g)]
+            .iter()
+            .filter(|&&e| e != EMPTY && state.alive[e as usize])
+            .map(|&e| e as usize)
+            .collect()
+    }
+}
+
+impl MembershipView for DelegateView {
+    fn estimated_size(&self) -> usize {
+        self.state.read().expect("delegate view lock poisoned").live
+    }
+
+    fn peer_count(&self, of: usize) -> usize {
+        self.state.read().expect("delegate view lock poisoned").flat[of].len()
+    }
+
+    fn peer_at(&self, of: usize, k: usize) -> usize {
+        self.state.read().expect("delegate view lock poisoned").flat[of][k] as usize
+    }
+
+    fn knows(&self, of: usize, peer: usize) -> bool {
+        self.state.read().expect("delegate view lock poisoned").flat[of]
+            .contains(&(peer as u32))
+    }
+
+    fn knows_at_depth(&self, of: usize, depth: usize, peer: usize) -> bool {
+        if of == peer {
+            return false;
+        }
+        let state = self.state.read().expect("delegate view lock poisoned");
+        if depth > state.shape.depth || depth == 0 {
+            return false;
+        }
+        if state.shape.common_prefix(of, peer) + 1 < depth {
+            return false; // not under the shared prefix of this view depth
+        }
+        let g = state.shape.digit(peer, depth - 1);
+        state.tables[of][state.shape.group_range(depth, g)].contains(&(peer as u32))
+    }
+
+    /// One membership round: first the monitored-delegate sweep (crashes
+    /// observed since the last round are evicted from every table, with
+    /// immediate re-election from known candidates), then every live
+    /// process pushes its subscription plus a random view digest to
+    /// `gossip_fanout` known peers.
+    fn round_elapsed(&self) {
+        let state = &mut *self.state.write().expect("delegate view lock poisoned");
+        // Monitored delegates: a crash is detected and swept within one
+        // membership round (pinned-contact re-pinning included).
+        while let Some(x) = state.pending_dead.pop() {
+            state.evict_everywhere(x as usize);
+        }
+        let n = state.alive.len();
+        for sender in 0..n {
+            if !state.alive[sender] {
+                continue;
+            }
+            for _ in 0..self.config.gossip_fanout {
+                if state.flat[sender].is_empty() {
+                    break;
+                }
+                let pick = state.rng.gen_range(0..state.flat[sender].len());
+                let target = state.flat[sender][pick] as usize;
+                if !state.alive[target] {
+                    // Stale entry (e.g. a crash observed mid-round): evict
+                    // on contact, like any failure detector would.
+                    state.flat[sender].swap_remove(pick);
+                    state.evict_from_table(sender, target);
+                    continue;
+                }
+                // Piggyback the sender's subscription plus a view digest;
+                // the receiver files every candidate into the slot groups
+                // of each depth it qualifies for.
+                state.admit_peer(target, sender);
+                for _ in 0..self.config.digest_size {
+                    let len = state.flat[sender].len();
+                    let candidate = state.flat[sender][state.rng.gen_range(0..len)] as usize;
+                    if candidate != target && state.alive[candidate] {
+                        state.admit_peer(target, candidate);
+                    }
+                }
+            }
+        }
+    }
+
+    fn observe_join(&self, process: usize) {
+        let state = &mut *self.state.write().expect("delegate view lock poisoned");
+        if state.alive[process] {
+            return;
+        }
+        state.alive[process] = true;
+        state.live += 1;
+        // A crash-then-rejoin must not leave the process queued for the
+        // monitored sweep: it is live again, so nothing to evict.
+        state.pending_dead.retain(|&x| x as usize != process);
+        // The joiner re-subscribes through its ring successor; its live
+        // ring predecessor re-pins onto it.  Slot tables refill by gossip
+        // (the join handoff, replayed incrementally).
+        state.pin_contact(process);
+        let n = state.alive.len();
+        if let Some(offset) = (1..n).find(|offset| state.alive[(process + n - offset) % n]) {
+            let predecessor = (process + n - offset) % n;
+            if predecessor != process {
+                state.pin_to(predecessor, process);
+            }
+        }
+    }
+
+    fn observe_leave(&self, process: usize) {
+        let state = &mut *self.state.write().expect("delegate view lock poisoned");
+        if !state.alive[process] {
+            return;
+        }
+        state.alive[process] = false;
+        state.live -= 1;
+        // An unsub propagates eagerly: evict the leaver everywhere (with
+        // re-election) and drop the leaver's own knowledge.
+        state.evict_everywhere(process);
+        for slot in state.tables[process].iter_mut() {
+            *slot = EMPTY;
+        }
+        state.flat[process].clear();
+    }
+
+    fn observe_crash(&self, process: usize) {
+        let state = &mut *self.state.write().expect("delegate view lock poisoned");
+        if !state.alive[process] {
+            return;
+        }
+        state.alive[process] = false;
+        state.live -= 1;
+        // Swept by the monitored-delegate pass of the next membership round.
+        state.pending_dead.push(process as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Number of live processes reachable from `start` over live-to-live
+    /// view edges.
+    fn reachable_live(view: &DelegateView, n: usize, start: usize) -> usize {
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        let mut count = 1;
+        while let Some(process) = queue.pop_front() {
+            for k in 0..view.peer_count(process) {
+                let peer = view.peer_at(process, k);
+                if view.is_live(peer) && !seen[peer] {
+                    seen[peer] = true;
+                    count += 1;
+                    queue.push_back(peer);
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn bootstrap_seats_the_subgroup_delegates_per_depth() {
+        // 3-ary tree of depth 3 (n = 27), 2 slots per subgroup.
+        let config = DelegateViewConfig::default().with_slots(2);
+        let view = DelegateView::bootstrap(3, 3, config, 1);
+        // Process 0's depth-1 view: the two smallest members of each root
+        // subgroup (itself excluded from its own).
+        for (g, expected) in [(0, [1, 2]), (1, [9, 10]), (2, [18, 19])] {
+            for peer in expected {
+                assert!(view.knows_at_depth(0, 1, peer), "depth 1 group {g} delegate {peer}");
+            }
+        }
+        assert!(!view.knows_at_depth(0, 1, 11), "non-delegates stay unknown");
+        // Depth-2 view of process 13 (digits 1.1.1): delegates of subgroups
+        // 1.0 / 1.1 / 1.2.
+        for peer in [9, 10, 12, 14, 15, 16] {
+            assert!(view.knows_at_depth(13, 2, peer), "depth 2 delegate {peer}");
+        }
+        // Leaf neighbours.
+        assert!(view.knows_at_depth(13, 3, 12) && view.knows_at_depth(13, 3, 14));
+        assert!(!view.knows_at_depth(13, 3, 9), "9 is outside 13's leaf subgroup");
+        // Flat view is bounded by (d−1)·a·slots + a (+1 for the contact),
+        // far below n would be for larger trees; never includes self.
+        assert!(view.peer_count(13) <= config.table_entries(3, 3) + 1);
+        assert!(!view.knows(13, 13));
+        assert_eq!(view.estimated_size(), 27);
+    }
+
+    #[test]
+    fn knows_at_depth_defaults_to_flat_knows_for_other_providers() {
+        use crate::provider::{GlobalOracleView, PartialView, PartialViewConfig};
+        let global = GlobalOracleView::new(8);
+        assert!(global.knows_at_depth(0, 1, 5));
+        assert!(!global.knows_at_depth(0, 2, 0));
+        let partial = PartialView::bootstrap(8, PartialViewConfig::default(), 3);
+        for peer in 0..8 {
+            for depth in 1..=3 {
+                assert_eq!(
+                    partial.knows_at_depth(2, depth, peer),
+                    partial.knows(2, peer),
+                    "flat providers ignore the depth"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_rounds_are_deterministic_per_seed_and_stay_bounded() {
+        let snapshot = |seed: u64| {
+            let view = DelegateView::bootstrap(3, 2, DelegateViewConfig::default(), seed);
+            for _ in 0..10 {
+                view.round_elapsed();
+            }
+            (0..9)
+                .map(|p| {
+                    let mut peers: Vec<usize> =
+                        (0..view.peer_count(p)).map(|k| view.peer_at(p, k)).collect();
+                    peers.sort_unstable();
+                    peers
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(snapshot(9), snapshot(9));
+        let view = DelegateView::bootstrap(4, 3, DelegateViewConfig::default(), 5);
+        for _ in 0..20 {
+            view.round_elapsed();
+        }
+        let bound = DelegateViewConfig::default().table_entries(4, 3) + 1;
+        for p in 0..64 {
+            assert!(view.peer_count(p) <= bound, "flat view stays bounded");
+        }
+    }
+
+    #[test]
+    fn crash_triggers_sweep_and_re_election_within_one_round() {
+        // n = 16, a = 4, d = 2, 2 slots: process 15's depth-1 delegates of
+        // subgroup 0 are {0, 1}.
+        let config = DelegateViewConfig::default().with_slots(2);
+        let view = DelegateView::bootstrap(4, 2, config, 11);
+        assert_eq!(view.live_delegates_of(15, 1, 0), vec![0, 1]);
+        view.observe_crash(0);
+        // Crash detection is monitored: swept at the next membership round.
+        assert!(view.knows(15, 0), "crash is not evicted before the sweep");
+        view.round_elapsed();
+        assert!(!view.knows(15, 0), "sweep evicts the crashed delegate everywhere");
+        // Re-election promoted an already-known live member of subgroup 0
+        // (1 kept its seat; 2 or 3 may join as gossip spreads candidates).
+        let seated = view.live_delegates_of(15, 1, 0);
+        assert!(seated.contains(&1), "surviving delegate keeps its seat: {seated:?}");
+        assert!(!seated.is_empty(), "the occupied subtree keeps a live delegate");
+        // The live overlay stays connected through the churn.
+        assert_eq!(reachable_live(&view, 16, 1), 15);
+    }
+
+    #[test]
+    fn smaller_candidates_displace_larger_delegates_deterministically() {
+        let config = DelegateViewConfig::default().with_slots(1);
+        let view = DelegateView::bootstrap(4, 2, config, 2);
+        // With one slot, process 0 seats only the smallest member of
+        // subgroup 3 (index 12).
+        assert!(view.knows_at_depth(0, 1, 12));
+        assert!(!view.knows_at_depth(0, 1, 13));
+        view.observe_crash(12);
+        view.round_elapsed();
+        // 12's seat passes to the next-smallest live member once gossip
+        // has carried a candidate over; run a few rounds to let it arrive.
+        for _ in 0..10 {
+            view.round_elapsed();
+        }
+        let seated = view.live_delegates_of(0, 1, 3);
+        assert!(
+            seated.first().is_some_and(|&d| d == 13),
+            "smallest live member re-elected, got {seated:?}"
+        );
+    }
+
+    #[test]
+    fn leave_is_evicted_eagerly_and_rejoin_reconnects() {
+        let view = DelegateView::bootstrap(3, 2, DelegateViewConfig::default(), 3);
+        view.observe_leave(4);
+        assert_eq!(view.estimated_size(), 8);
+        for p in 0..9 {
+            assert!(!view.knows(p, 4), "unsub evicts everywhere");
+        }
+        assert!(view.knows(3, 5), "ring predecessor re-pins past the leaver");
+        view.observe_join(4);
+        assert_eq!(view.estimated_size(), 9);
+        assert!(view.knows(4, 5), "joiner knows its ring contact");
+        assert!(view.knows(3, 4), "predecessor re-pins onto the joiner");
+        for _ in 0..15 {
+            view.round_elapsed();
+        }
+        assert_eq!(reachable_live(&view, 9, 0), 9, "gossip re-fills the joiner's view");
+        // Duplicate notifications are idempotent.
+        view.observe_join(4);
+        view.observe_leave(7);
+        view.observe_leave(7);
+        assert_eq!(view.estimated_size(), 8);
+    }
+
+    #[test]
+    fn crash_then_rejoin_is_not_swept() {
+        let view = DelegateView::bootstrap(3, 2, DelegateViewConfig::default(), 13);
+        view.observe_crash(4);
+        view.observe_join(4);
+        // The rejoin cancels the queued monitored sweep: the next round
+        // must not evict the (live again) process from anyone's view.
+        view.round_elapsed();
+        assert!(view.is_live(4));
+        assert_eq!(view.estimated_size(), 9);
+        assert!(view.knows(3, 4), "ring predecessor still pins the rejoined process");
+        assert!(view.knows(4, 5), "joiner still knows its ring contact");
+    }
+
+    #[test]
+    fn connectivity_and_delegate_cover_survive_heavy_churn() {
+        let view = DelegateView::bootstrap(3, 3, DelegateViewConfig::default().with_slots(2), 17);
+        for round in 0..30usize {
+            if round % 3 == 0 {
+                view.observe_crash((round * 5 + 1) % 27);
+            }
+            if round % 4 == 0 {
+                view.observe_leave((round * 7 + 2) % 27);
+            }
+            view.round_elapsed();
+        }
+        for _ in 0..10 {
+            view.round_elapsed();
+        }
+        let live: Vec<usize> = (0..27).filter(|&p| view.is_live(p)).collect();
+        assert!(live.len() >= 2, "churn left enough of the group alive");
+        assert_eq!(
+            reachable_live(&view, 27, live[0]),
+            live.len(),
+            "every live process stays reachable after churn"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delegate slots must be positive")]
+    fn zero_slots_are_rejected() {
+        let config = DelegateViewConfig {
+            slots: 0,
+            gossip_fanout: 1,
+            digest_size: 1,
+        };
+        let _ = DelegateView::bootstrap(2, 2, config, 0);
+    }
+}

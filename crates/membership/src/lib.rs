@@ -29,11 +29,15 @@
 //!   membership maintenance: gossip-pull anti-entropy on timestamped view
 //!   lines, joins, leaves and failure detection (Section 2.3).
 //! * [`MembershipView`] — the *provider* boundary the dissemination layer
-//!   draws fanout candidates from, with a global implementation
+//!   draws fanout candidates from, with three implementations: a global one
 //!   ([`GlobalOracleView`], everyone knows everyone — the evaluation
-//!   model) and an lpbcast-style bounded gossip one ([`PartialView`]).
-//!   See the `provider` module docs for the sampling-determinism and
-//!   eviction contract.
+//!   model), an lpbcast-style flat bounded gossip one ([`PartialView`]),
+//!   and the paper's own hierarchical view-table maintenance
+//!   ([`DelegateView`]: per-depth delegate slots structured by the tree
+//!   coordinates, gossip-piggybacked delegate tables, smallest-address
+//!   re-election under churn).  See the [`provider`] module docs for the
+//!   sampling-determinism and eviction contract and the [`delegate`]
+//!   module docs for the hierarchical design.
 //!
 //! ## Example
 //!
@@ -65,6 +69,7 @@
 
 mod antientropy;
 mod churn;
+pub mod delegate;
 mod election;
 mod error;
 mod oracle;
@@ -75,6 +80,7 @@ mod view;
 
 pub use antientropy::{LineKey, ViewDigest, ViewExchange};
 pub use churn::{FailureDetector, MembershipEvent, MembershipManager};
+pub use delegate::{DelegateView, DelegateViewConfig};
 pub use election::{CapacityWeightedPolicy, DelegatePolicy, SmallestAddressPolicy};
 pub use error::MembershipError;
 pub use oracle::{AssignmentOracle, InterestOracle, SubscriptionOracle, UniformOracle};

@@ -89,6 +89,20 @@ pub trait MembershipView: Send + Sync + std::fmt::Debug {
     /// Returns `true` if `of` currently knows `peer`.
     fn knows(&self, of: usize, peer: usize) -> bool;
 
+    /// Returns `true` if `of` currently knows `peer` as a gossip candidate
+    /// **at tree depth `depth`** (1-based, the paper's per-depth views).
+    ///
+    /// This is the query the pmcast fanout draw asks: "may I contact this
+    /// depth-`depth` view entry?".  Flat providers ([`GlobalOracleView`],
+    /// [`PartialView`]) have no per-depth structure and fall back to
+    /// [`knows`](Self::knows); the hierarchical
+    /// [`DelegateView`](crate::DelegateView) answers straight from the slot
+    /// group of that depth in `O(slots)` — the `delegate_draw` micro-bench
+    /// guards that the depth-structured draw stays allocation-free.
+    fn knows_at_depth(&self, of: usize, _depth: usize, peer: usize) -> bool {
+        self.knows(of, peer)
+    }
+
     /// Returns `true` if every process knows the whole group.  Protocols
     /// whose candidate sets are already subsets of the group (the genuine
     /// baseline's audiences) use this to skip materializing filtered

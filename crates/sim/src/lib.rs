@@ -8,7 +8,9 @@
 //! * [`scenario`] — the fluent [`scenario::Scenario`] /
 //!   [`scenario::ScenarioBuilder`] API describing a trial's workload:
 //!   multiple publishers, multiple events, per-round publish schedules,
-//!   crash/churn schedules and loss.
+//!   crash/churn schedules, loss, and the [`scenario::MembershipSpec`]
+//!   membership axis (global knowledge, flat lpbcast-style partial views,
+//!   or the paper's hierarchical delegate tables).
 //! * [`runner`] — run one or many multicast trials for a given scenario or
 //!   experiment point, optionally in parallel.  One generic simulation
 //!   loop serves every protocol through

@@ -33,11 +33,19 @@
 //!    with `NetworkConfig { seed: seed_t, … }` and internally splits that
 //!    seed into its message-loss, protocol and crash streams.
 //! 3. **Membership stream** — scenarios selecting a gossip membership
-//!    provider ([`crate::scenario::MembershipSpec::Partial`]) bootstrap their
-//!    [`PartialView`](pmcast_membership::PartialView) from
+//!    provider bootstrap it from
 //!    `seed_t.wrapping_mul(0xC2B2_AE35).wrapping_add(17)`; all view
-//!    exchanges and evictions draw from that provider-private ChaCha8
-//!    stream.  The default [`crate::scenario::MembershipSpec::Global`] provider consumes
+//!    exchanges, digest picks and evictions draw from that
+//!    provider-private ChaCha8 stream.  **Both** gossip providers share
+//!    this one stream rule — there is deliberately no fourth stream:
+//!    [`crate::scenario::MembershipSpec::Partial`] seeds its
+//!    [`PartialView`](pmcast_membership::PartialView) from it, and
+//!    [`crate::scenario::MembershipSpec::Delegate`] seeds its
+//!    [`DelegateView`](pmcast_membership::DelegateView) from it (delegate
+//!    slot admission/eviction is deterministic smallest-address order and
+//!    consumes no randomness at all, so the stream only feeds gossip
+//!    target and digest picks).  The default
+//!    [`crate::scenario::MembershipSpec::Global`] provider consumes
 //!    **no** randomness and observes churn as a no-op, so global-membership
 //!    scenarios reproduce the historical (pre-provider) streams bit for
 //!    bit.
@@ -409,15 +417,16 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
     injection_order.sort_by_key(|&index| schedule[index].0);
 
     // The membership provider: global knowledge (bit-identical to the
-    // historical construction) or a per-trial gossip-bootstrapped partial
-    // view, fed by the engine's crash plan through the crash observer and
-    // advanced once per simulation round.
-    let membership = scenario
-        .membership
-        .instantiate(
-            topology.member_count(),
-            seed.wrapping_mul(0xC2B2_AE35).wrapping_add(17),
-        );
+    // historical construction), a per-trial gossip-bootstrapped flat
+    // partial view, or the hierarchical delegate tables — fed by the
+    // engine's crash plan through the crash observer and advanced once per
+    // simulation round.  Gossip providers draw from the membership stream
+    // (rule 3 of the module-level seed contract).
+    let membership = scenario.membership.instantiate(
+        scenario.arity,
+        scenario.depth,
+        seed.wrapping_mul(0xC2B2_AE35).wrapping_add(17),
+    );
     let group = F::build(&topology, oracle.clone(), Arc::clone(&membership), &scenario.protocol);
     let observer_view = Arc::clone(&membership);
     let mut sim = Simulation::with_crash_observer(group.processes, network, move |id| {

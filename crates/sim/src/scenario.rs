@@ -33,7 +33,10 @@ use std::sync::Arc;
 
 use pmcast_core::PmcastConfig;
 use pmcast_interest::Event;
-use pmcast_membership::{GlobalOracleView, MembershipView, PartialView, PartialViewConfig};
+use pmcast_membership::{
+    DelegateView, DelegateViewConfig, GlobalOracleView, MembershipView, PartialView,
+    PartialViewConfig,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::runner::{
@@ -43,6 +46,31 @@ use crate::runner::{
 /// Which membership provider the processes of a trial draw their fanout
 /// candidates from — the scenario axis that turns "a group of `n` known
 /// processes" into "a population discovered by gossip".
+///
+/// # Examples
+///
+/// The same workload can run over global knowledge, a flat lpbcast-style
+/// bounded view, or the paper's hierarchical delegate tables — only the
+/// membership axis changes:
+///
+/// ```rust
+/// use pmcast_sim::runner::Protocol;
+/// use pmcast_sim::scenario::{MembershipSpec, Scenario};
+///
+/// for membership in [
+///     MembershipSpec::Global,          // everyone knows everyone
+///     MembershipSpec::partial(12),     // flat bounded random views
+///     MembershipSpec::delegate(3),     // Section 2 per-depth delegate slots
+/// ] {
+///     let scenario = Scenario::builder()
+///         .group(4, 2)
+///         .membership(membership)
+///         .seed(7)
+///         .build();
+///     let outcome = &scenario.run(Protocol::Pmcast)[0];
+///     assert!(outcome.messages_sent > 0);
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum MembershipSpec {
     /// Every process knows the whole group
@@ -50,13 +78,29 @@ pub enum MembershipSpec {
     /// to pre-provider scenarios.
     #[default]
     Global,
-    /// lpbcast-style bounded partial views maintained by gossip
+    /// lpbcast-style **flat** bounded partial views maintained by gossip
     /// ([`PartialView`]), re-bootstrapped per trial from the trial's
     /// membership seed stream (see the seed contract in
     /// [`crate::runner`]).
     Partial {
         /// Maximum peers per process view.
         view_size: usize,
+        /// Membership-gossip contacts per round.
+        gossip_fanout: usize,
+        /// View entries piggybacked per contact.
+        digest_size: usize,
+    },
+    /// The paper's **hierarchical** Section 2 view-table maintenance
+    /// ([`DelegateView`]): per-depth delegate slots structured by the
+    /// scenario's tree coordinates, gossip-piggybacked delegate tables and
+    /// smallest-address re-election under churn.  Bounded like
+    /// [`Partial`](Self::Partial) (`(d−1)·a·slots + a` entries), but the
+    /// bounded view *contains pmcast's tree delegates by construction* —
+    /// see `examples/partial_view_sweep.rs` for the flat-vs-delegate
+    /// comparison this variant exists for.
+    Delegate {
+        /// Delegate slots per subgroup per depth (keep `slots ≥ R`).
+        slots: usize,
         /// Membership-gossip contacts per round.
         gossip_fanout: usize,
         /// View entries piggybacked per contact.
@@ -76,10 +120,31 @@ impl MembershipSpec {
         }
     }
 
-    /// Instantiates the provider for one trial of a group of `n` processes;
-    /// `membership_seed` must come from the trial's membership stream so
-    /// parallel trials stay bit-identical to sequential ones.
-    pub fn instantiate(&self, n: usize, membership_seed: u64) -> Arc<dyn MembershipView> {
+    /// The default delegate-view spec with a given per-subgroup slot count
+    /// (the hierarchical counterpart of [`partial`](Self::partial)'s view
+    /// size).
+    pub fn delegate(slots: usize) -> Self {
+        let defaults = DelegateViewConfig::default().with_slots(slots);
+        Self::Delegate {
+            slots: defaults.slots,
+            gossip_fanout: defaults.gossip_fanout,
+            digest_size: defaults.digest_size,
+        }
+    }
+
+    /// Instantiates the provider for one trial over a regular
+    /// `arity^depth` tree; `membership_seed` must come from the trial's
+    /// membership stream (rule 3 of the [`crate::runner`] seed contract —
+    /// shared by the [`Partial`](Self::Partial) and
+    /// [`Delegate`](Self::Delegate) providers) so parallel trials stay
+    /// bit-identical to sequential ones.
+    pub fn instantiate(
+        &self,
+        arity: u32,
+        depth: usize,
+        membership_seed: u64,
+    ) -> Arc<dyn MembershipView> {
+        let n = (arity as usize).pow(depth as u32);
         match *self {
             MembershipSpec::Global => Arc::new(GlobalOracleView::new(n)),
             MembershipSpec::Partial {
@@ -90,6 +155,20 @@ impl MembershipSpec {
                 n,
                 PartialViewConfig {
                     view_size,
+                    gossip_fanout,
+                    digest_size,
+                },
+                membership_seed,
+            )),
+            MembershipSpec::Delegate {
+                slots,
+                gossip_fanout,
+                digest_size,
+            } => Arc::new(DelegateView::bootstrap(
+                arity,
+                depth,
+                DelegateViewConfig {
+                    slots,
                     gossip_fanout,
                     digest_size,
                 },
@@ -175,6 +254,31 @@ impl Scenario {
     /// Starts building a scenario from the quick-profile defaults
     /// (`a = 6`, `d = 3`, default protocol config, matching rate 0.5,
     /// reliable network, default workload, 1 trial, seed 42).
+    ///
+    /// # Examples
+    ///
+    /// Every builder method is an independent axis; only what differs from
+    /// the defaults needs to be spelled out:
+    ///
+    /// ```rust
+    /// use pmcast_interest::Event;
+    /// use pmcast_sim::runner::Protocol;
+    /// use pmcast_sim::scenario::{MembershipSpec, Publisher, Scenario};
+    ///
+    /// let scenario = Scenario::builder()
+    ///     .group(4, 3)                         // 4^3 = 64 processes
+    ///     .matching_rate(0.5)
+    ///     .loss(0.01)
+    ///     .membership(MembershipSpec::delegate(3))
+    ///     .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+    ///     .trials(2)
+    ///     .seed(9)
+    ///     .build();
+    /// let outcomes = scenario.run(Protocol::Pmcast);
+    /// assert_eq!(outcomes.len(), 2);
+    /// // Parallel execution is bit-identical to sequential.
+    /// assert_eq!(outcomes, scenario.run_parallel(Protocol::Pmcast));
+    /// ```
     pub fn builder() -> ScenarioBuilder {
         ScenarioBuilder {
             scenario: Scenario {
@@ -281,7 +385,9 @@ impl ScenarioBuilder {
 
     /// Selects the membership provider (see [`MembershipSpec`]); e.g.
     /// `.membership(MembershipSpec::partial(15))` runs the trial over
-    /// lpbcast-style bounded partial views instead of global knowledge.
+    /// lpbcast-style bounded partial views instead of global knowledge,
+    /// and `.membership(MembershipSpec::delegate(3))` over the paper's
+    /// hierarchical delegate tables.
     pub fn membership(mut self, membership: MembershipSpec) -> Self {
         self.scenario.membership = membership;
         self
@@ -364,14 +470,24 @@ impl ScenarioBuilder {
                 "crash-schedule index {process} out of range for a group of {n}"
             );
         }
-        if let MembershipSpec::Partial {
-            view_size,
-            gossip_fanout,
-            ..
-        } = self.scenario.membership
-        {
-            assert!(view_size > 0, "partial-view size must be positive");
-            assert!(gossip_fanout > 0, "membership gossip fanout must be positive");
+        match self.scenario.membership {
+            MembershipSpec::Global => {}
+            MembershipSpec::Partial {
+                view_size,
+                gossip_fanout,
+                ..
+            } => {
+                assert!(view_size > 0, "partial-view size must be positive");
+                assert!(gossip_fanout > 0, "membership gossip fanout must be positive");
+            }
+            MembershipSpec::Delegate {
+                slots,
+                gossip_fanout,
+                ..
+            } => {
+                assert!(slots > 0, "delegate slots must be positive");
+                assert!(gossip_fanout > 0, "membership gossip fanout must be positive");
+            }
         }
         self.scenario
     }

@@ -1,38 +1,47 @@
-//! Reliability vs. membership view size: what partial knowledge costs each
-//! protocol.
+//! Reliability vs. membership knowledge: what each *shape* of partial
+//! knowledge costs each protocol.
 //!
-//! Every process draws its fanout candidates from an lpbcast-style
-//! [`pmcast::PartialView`] bounded to `ℓ` peers (the `MembershipSpec`
-//! scenario axis), while membership gossip keeps discovering the group in
-//! the background.  Sweeping `ℓ` produces the reliability-vs-view-size
-//! curve the partial-membership literature studies: flooding (which *is*
-//! gossip over the view) barely notices, the genuine baseline loses the
-//! audience members it does not know, and pmcast needs the view to have
-//! discovered its tree delegates.
+//! Two bounded membership providers are swept against the global-knowledge
+//! baseline:
+//!
+//! * **Flat** — an lpbcast-style [`pmcast::PartialView`] bounded to `ℓ`
+//!   uniformly mixed peers (the `MembershipSpec::partial` axis).  Flooding
+//!   (which *is* gossip over the view) barely notices, the genuine baseline
+//!   loses the audience members it does not know — and pmcast collapses,
+//!   because its tree delegates are rarely inside a small random sample.
+//! * **Delegate** — the paper's own Section 2 view-table maintenance
+//!   ([`pmcast::DelegateView`], the `MembershipSpec::delegate` axis): views
+//!   of comparable bounded size, but structured by the tree coordinates so
+//!   the per-depth delegate slots contain exactly the processes pmcast
+//!   gossips through.  Same bound, no collapse — the hierarchy, not the
+//!   amount of knowledge, is what pmcast needs.
 //!
 //! ```text
 //! cargo run --release --example partial_view_sweep            # quick, n = 216
 //! cargo run --release --example partial_view_sweep -- --paper # n = 10 648
 //! ```
 
-use pmcast::{Event, MembershipSpec, Protocol, Publisher, Scenario};
+use pmcast::{DelegateViewConfig, Event, MembershipSpec, Protocol, Publisher, Scenario};
+
+const PROTOCOLS: [Protocol; 3] = [
+    Protocol::Pmcast,
+    Protocol::FloodBroadcast,
+    Protocol::GenuineMulticast,
+];
 
 fn main() {
     let paper = std::env::args().any(|arg| arg == "--paper");
     // Quick profile: the default 6^3 tree; paper profile: the 22^3 group of
     // Figures 4-7.
-    let (arity, depth, trials, view_sizes): (u32, usize, usize, &[usize]) = if paper {
-        (22, 3, 3, &[16, 32, 64, 128, 256, 512])
-    } else {
-        (6, 3, 3, &[8, 16, 32, 64, 128])
-    };
+    let (arity, depth, trials, view_sizes, slot_counts): (u32, usize, usize, &[usize], &[usize]) =
+        if paper {
+            (22, 3, 3, &[16, 32, 64, 128, 256, 512], &[1, 2, 3])
+        } else {
+            (6, 3, 3, &[8, 16, 32, 64, 128], &[1, 2, 3])
+        };
     let n = (arity as usize).pow(depth as u32);
     println!(
-        "reliability vs. partial-view size — n = {n}, matching rate 0.5, 1% loss, {trials} trials"
-    );
-    println!(
-        "{:>10} {:>5}  {:>18} {:>18} {:>18}",
-        "view size", "ℓ/n", "pmcast", "flood broadcast", "genuine multicast"
+        "reliability vs. membership knowledge — n = {n}, matching rate 0.5, 1% loss, {trials} trials"
     );
 
     let scenario_for = |membership: MembershipSpec| {
@@ -50,25 +59,43 @@ fn main() {
         let outcomes = scenario.run_parallel(protocol);
         outcomes.iter().map(|o| o.report.delivery_ratio()).sum::<f64>() / outcomes.len() as f64
     };
-
-    for &view_size in view_sizes {
-        let scenario = scenario_for(MembershipSpec::partial(view_size));
-        print!("{:>10} {:>5.2} ", view_size, view_size as f64 / n as f64);
-        for protocol in [Protocol::Pmcast, Protocol::FloodBroadcast, Protocol::GenuineMulticast] {
-            print!(" {:>17.3}", delivery(&scenario, protocol));
+    let print_row = |label: &str, entries: usize, scenario: &Scenario| {
+        print!("{:>16} {:>7} {:>6.3} ", label, entries, entries as f64 / n as f64);
+        for protocol in PROTOCOLS {
+            print!(" {:>17.3}", delivery(scenario, protocol));
         }
         println!();
+    };
+
+    println!(
+        "{:>16} {:>7} {:>6}  {:>18} {:>18} {:>18}",
+        "membership", "entries", "ℓ/n", "pmcast", "flood broadcast", "genuine multicast"
+    );
+
+    // Flat lpbcast-style views: bounded uniform random samples.
+    for &view_size in view_sizes {
+        let scenario = scenario_for(MembershipSpec::partial(view_size));
+        print_row(&format!("flat ℓ={view_size}"), view_size, &scenario);
+    }
+
+    // Hierarchical delegate views: comparable bounds, tree-structured.
+    for &slots in slot_counts {
+        let entries = DelegateViewConfig::default()
+            .with_slots(slots)
+            .table_entries(arity, depth);
+        let scenario = scenario_for(MembershipSpec::delegate(slots));
+        print_row(&format!("delegate R={slots}"), entries, &scenario);
     }
 
     // The global-knowledge baseline every curve converges towards.
     let global = scenario_for(MembershipSpec::Global);
-    print!("{:>10} {:>5}  ", "global", "1.00");
-    for protocol in [Protocol::Pmcast, Protocol::FloodBroadcast, Protocol::GenuineMulticast] {
-        print!(" {:>17.3}", delivery(&global, protocol));
-    }
-    println!();
+    print_row("global", n - 1, &global);
+
     println!(
-        "\n(ℓ = bounded per-process view; membership gossip runs one exchange per simulation \
-         round — see MembershipSpec::partial and crates/membership's provider docs)"
+        "\n(flat = lpbcast-style bounded random views (MembershipSpec::partial); delegate = the \
+         paper's Section 2 per-depth delegate tables (MembershipSpec::delegate), whose bounded \
+         views contain pmcast's tree delegates by construction — see crates/membership's \
+         provider and delegate module docs.  Membership gossip runs one exchange per simulation \
+         round in both.)"
     );
 }

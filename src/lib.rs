@@ -29,8 +29,11 @@
 //! [`GenuineFactory`]) from the same `(topology, oracle, membership,
 //! config)` quadruple.  Membership knowledge is a pluggable
 //! [`MembershipView`]: [`GlobalOracleView`] gives every process the whole
-//! group (the paper's evaluation model), while [`PartialView`] bounds each
-//! process to an lpbcast-style gossip-maintained partial view.  Workloads
+//! group (the paper's evaluation model), [`PartialView`] bounds each
+//! process to an lpbcast-style flat gossip-maintained partial view, and
+//! [`DelegateView`] maintains the paper's Section 2 hierarchical view
+//! tables (per-depth delegate slots that contain pmcast's tree delegates
+//! by construction).  Workloads
 //! are described declaratively with the [`Scenario`] builder — including a
 //! [`MembershipSpec`] axis — and executed by one generic trial loop
 //! ([`sim::runner`]), so comparing protocols or adding workloads never
@@ -138,8 +141,8 @@ pub use pmcast_interest::{
     AttributeValue, Event, EventId, Filter, Interest, InterestSummary, Predicate,
 };
 pub use pmcast_membership::{
-    AssignmentOracle, GlobalOracleView, GroupTree, ImplicitRegularTree, InterestOracle,
-    MembershipManager, MembershipView, PartialView, PartialViewConfig, SubscriptionOracle,
-    TreeTopology, UniformOracle, ViewTable,
+    AssignmentOracle, DelegateView, DelegateViewConfig, GlobalOracleView, GroupTree,
+    ImplicitRegularTree, InterestOracle, MembershipManager, MembershipView, PartialView,
+    PartialViewConfig, SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
 };
 pub use pmcast_simnet::{NetworkConfig, ProcessId, Simulation, TrafficStats};

@@ -1,7 +1,7 @@
 //! Generic conformance suite for the [`MulticastProtocol`] /
 //! [`ProtocolFactory`] contract, instantiated for all three protocols
-//! **under both membership providers** ([`GlobalOracleView`] and
-//! [`PartialView`]).
+//! **under every membership provider** ([`GlobalOracleView`],
+//! [`PartialView`] and the hierarchical [`DelegateView`]).
 //!
 //! Every protocol behind the trait must uphold the same observable
 //! contract, checked by one generic function per property:
@@ -16,24 +16,26 @@
 //! * the group is built in dense-identifier order, with trait addresses
 //!   matching the topology's member order.
 //!
-//! The partial-view instantiation runs the contract with a full-size
-//! bounded view (every peer discovered), which must preserve the exact
-//! guarantees; smaller views trade delivery for knowledge — that regime is
-//! covered by the scenario-level test at the bottom and by
-//! `examples/partial_view_sweep.rs`.  A deterministic proptest asserts the
-//! membership layer's own invariant: a [`PartialView`] under the default
-//! churn-free scenario converges to (and never leaves) a connected
-//! overlay, with every live process reachable.
+//! The partial-view and delegate-view instantiations run the contract with
+//! full-knowledge bounds (every peer discoverable), which must preserve the
+//! exact guarantees; smaller views trade delivery for knowledge — that
+//! regime is covered by the scenario-level tests at the bottom and by
+//! `examples/partial_view_sweep.rs`.  Two deterministic proptests assert
+//! the membership layer's own invariants: a [`PartialView`] under the
+//! default churn-free scenario converges to (and never leaves) a connected
+//! overlay with every live process reachable, and a [`DelegateView`] under
+//! crash/unsubscribe churn re-elects delegates so that every occupied
+//! subtree keeps at least one live seated delegate.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pmcast::{
-    Address, AddressSpace, AssignmentOracle, Event, FloodFactory, GenuineFactory,
-    GlobalOracleView, ImplicitRegularTree, InterestOracle, MembershipSpec, MembershipView,
-    MulticastProtocol, NetworkConfig, PartialView, PartialViewConfig, PmcastConfig,
-    PmcastFactory, ProcessId, Protocol, ProtocolFactory, Publisher, Scenario, Simulation,
-    TreeTopology,
+    Address, AddressSpace, AssignmentOracle, DelegateView, DelegateViewConfig, Event,
+    FloodFactory, GenuineFactory, GlobalOracleView, ImplicitRegularTree, InterestOracle,
+    MembershipSpec, MembershipView, MulticastProtocol, NetworkConfig, PartialView,
+    PartialViewConfig, PmcastConfig, PmcastFactory, ProcessId, Protocol, ProtocolFactory,
+    Publisher, Scenario, Simulation, TreeTopology,
 };
 use proptest::prelude::*;
 
@@ -46,6 +48,10 @@ enum Provider {
     /// A bounded gossip view large enough to have discovered every peer:
     /// the partial-view machinery with the same knowledge guarantees.
     PartialFull,
+    /// The hierarchical delegate-table machinery with enough slots per
+    /// subgroup (`slots = a`) to seat every subgroup member: full knowledge
+    /// through the Section 2 view-table structure.
+    DelegateFull,
 }
 
 impl Provider {
@@ -57,11 +63,22 @@ impl Provider {
                 PartialViewConfig::default().with_view_size(n - 1),
                 71,
             )),
+            // The conformance topology is the regular 4-ary depth-2 tree.
+            Provider::DelegateFull => Arc::new(DelegateView::bootstrap(
+                4,
+                2,
+                DelegateViewConfig::default().with_slots(4),
+                71,
+            )),
         }
     }
 }
 
-const PROVIDERS: [Provider; 2] = [Provider::Global, Provider::PartialFull];
+const PROVIDERS: [Provider; 3] = [
+    Provider::Global,
+    Provider::PartialFull,
+    Provider::DelegateFull,
+];
 
 fn topology() -> ImplicitRegularTree {
     ImplicitRegularTree::new(AddressSpace::regular(2, 4).expect("valid shape"))
@@ -317,6 +334,77 @@ fn small_partial_views_still_disseminate_through_the_scenario_engine() {
     );
 }
 
+#[test]
+fn delegate_views_restore_pmcast_reliability_at_bounded_size() {
+    // The PR 4 acceptance bar, at quick scale: under the hierarchical
+    // `DelegateView` pmcast's delivery stays within 0.05 of the
+    // global-knowledge curve at a *bounded* view size — the same regime in
+    // which the flat `PartialView` collapses (its bounded random sample
+    // rarely contains pmcast's tree delegates).  And the delegate-view
+    // trials must stay bit-identical under the parallel runner.
+    let scenario_with = |membership: MembershipSpec| {
+        Scenario::builder()
+            .group(6, 3)
+            .matching_rate(0.5)
+            .membership(membership)
+            .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+            .trials(2)
+            .seed(3)
+            .build()
+    };
+    let delivery_mean = |outcomes: &[pmcast::TrialOutcome]| -> f64 {
+        outcomes.iter().map(|o| o.report.delivery_ratio()).sum::<f64>() / outcomes.len() as f64
+    };
+    let global = delivery_mean(&scenario_with(MembershipSpec::Global).run(Protocol::Pmcast));
+
+    // The delegate view's bound: (d−1)·a·slots + a = 42 entries, a fifth of
+    // the 216-process group.
+    let entries = DelegateViewConfig::default().with_slots(3).table_entries(6, 3);
+    assert!(entries * 5 < 216, "the delegate view must be genuinely bounded");
+    let delegate_scenario = scenario_with(MembershipSpec::delegate(3));
+    let delegate_outcomes = delegate_scenario.run(Protocol::Pmcast);
+    let delegate = delivery_mean(&delegate_outcomes);
+    assert!(
+        (global - delegate).abs() <= 0.05,
+        "delegate-view pmcast ({delegate:.3}) must track the global curve ({global:.3})"
+    );
+    assert_eq!(
+        delegate_outcomes,
+        delegate_scenario.run_parallel(Protocol::Pmcast),
+        "delegate-view trials must stay deterministic in parallel"
+    );
+
+    // Same bounded size, flat shape: the documented gap.  The contrast is
+    // sharpest at tight bounds, so compare at the one-slot delegate size
+    // ((d−1)·a·1 + a = 18 entries, a twelfth of the group); at paper scale
+    // the flat curve collapses outright (examples/partial_view_sweep.rs
+    // -- --paper: 0.36 at ℓ = 512 vs 0.998 for delegate R = 3).
+    let tight = DelegateViewConfig::default().with_slots(1).table_entries(6, 3);
+    let delegate_tight = delivery_mean(
+        &scenario_with(MembershipSpec::delegate(1)).run(Protocol::Pmcast),
+    );
+    let flat_tight = delivery_mean(
+        &scenario_with(MembershipSpec::partial(tight)).run(Protocol::Pmcast),
+    );
+    assert!(
+        flat_tight < delegate_tight - 0.2,
+        "an equally sized flat view ({flat_tight:.3}) must trail the hierarchy \
+         ({delegate_tight:.3}) at {tight} entries"
+    );
+
+    // The other two protocols still disseminate through delegate views.
+    for protocol in [Protocol::FloodBroadcast, Protocol::GenuineMulticast] {
+        for outcome in delegate_scenario.run(protocol) {
+            assert!(outcome.messages_sent > 0, "{protocol:?}");
+            assert!(
+                outcome.report.delivery_ratio() > 0.3,
+                "{protocol:?} collapsed under delegate views: {:?}",
+                outcome.report
+            );
+        }
+    }
+}
+
 /// Live-to-live reachability from process 0 over the view edges.
 fn reachable_live(view: &PartialView, n: usize) -> usize {
     let start = (0..n).find(|&p| view.is_live(p)).expect("somebody is live");
@@ -360,5 +448,53 @@ proptest! {
             prop_assert!(view.peer_count(process) <= view_size.max(1));
         }
         prop_assert_eq!(reachable_live(&view, n), n);
+    }
+
+    /// Delegate re-election under churn: after any mix of crashes and
+    /// unsubscriptions (bounded so a majority stays live) plus enough
+    /// membership rounds for gossip to spread candidates, **every occupied
+    /// subtree keeps at least one live seated delegate** in every live
+    /// process's per-depth slot groups: the monitored sweep evicts dead
+    /// delegates and re-election promotes gossiped candidates.
+    #[test]
+    fn delegate_re_election_keeps_live_delegates_per_occupied_subtree(
+        seed in 0u64..1_000_000,
+        churn in proptest::collection::vec((0usize..27, any::<bool>()), 0..8),
+    ) {
+        const ARITY: usize = 3;
+        const DEPTH: usize = 3;
+        let n = ARITY.pow(DEPTH as u32); // 27
+        let config = DelegateViewConfig::default().with_slots(2);
+        let view = DelegateView::bootstrap(ARITY as u32, DEPTH, config, seed);
+        for (victim, is_crash) in churn {
+            if is_crash {
+                view.observe_crash(victim);
+            } else {
+                view.observe_leave(victim);
+            }
+            view.round_elapsed();
+        }
+        // Settle: let gossip spread re-election candidates.
+        for _ in 0..40 {
+            view.round_elapsed();
+        }
+        let alive = |p: usize| view.is_live(p);
+        prop_assert!((0..n).filter(|&p| alive(p)).count() >= n - 8);
+        for q in (0..n).filter(|&p| alive(p)) {
+            for depth in 1..=DEPTH {
+                let span = ARITY.pow((DEPTH - depth + 1) as u32);
+                let sub = ARITY.pow((DEPTH - depth) as u32);
+                for g in 0..ARITY {
+                    let base = (q / span) * span + g * sub;
+                    let occupied = (base..base + sub).any(|m| m != q && alive(m));
+                    if occupied {
+                        prop_assert!(
+                            !view.live_delegates_of(q, depth, g).is_empty(),
+                            "process {q} lost all live delegates of depth-{depth} subgroup {g}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
