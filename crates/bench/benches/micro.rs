@@ -171,6 +171,26 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // A membership join storm against the hierarchical provider: each
+    // iteration is one crash + re-join transition pair of the same process
+    // in a 512-process `DelegateView` — the hot path a resubscription-churn
+    // (join_at/leave_at) scenario drives every round.  After the first
+    // warm-up iteration the flat views and slot tables already contain the
+    // revenant and its ring neighbours, so processing the join is pure
+    // in-place work: pending-sweep retain, ring re-pin, sorted slot
+    // admission — no allocation.  Track this next to `delegate_draw` to
+    // keep lifecycle processing off the allocator.
+    let storm_view = DelegateView::bootstrap(8, 3, DelegateViewConfig::default(), 8);
+    storm_view.observe_crash(200);
+    storm_view.observe_join(200);
+    c.bench_function("join_storm", |b| {
+        b.iter(|| {
+            storm_view.observe_crash(200);
+            storm_view.observe_join(200);
+            storm_view.estimated_size()
+        })
+    });
+
     // One full gossip round of a 512-process group with a hot event.
     let mut group = c.benchmark_group("protocol");
     group.sample_size(10);

@@ -47,6 +47,16 @@
 //! so under the hierarchical provider its tree delegates come from the
 //! maintained hierarchy itself.  Interest evaluation (the oracle) is
 //! orthogonal and unaffected.
+//!
+//! The audience may **shrink and grow mid-trial**: under a join/leave
+//! lifecycle schedule the provider's answers change between rounds, and
+//! every protocol must tolerate that without re-deriving the group —
+//! pmcast re-filters its per-depth candidates each round, the flooding
+//! baseline re-queries its peer pool each round, and the genuine baseline
+//! simply wastes fanout on targets that departed after its per-event
+//! candidate cache was built (the network drops those messages, exactly
+//! like sends to crashed processes).  The conformance suite runs all three
+//! protocols under mixed join/leave/crash schedules to pin this down.
 
 use std::sync::Arc;
 

@@ -420,8 +420,8 @@ pub struct DelegateView {
 
 impl DelegateView {
     /// Bootstraps the delegate views of a fully populated regular
-    /// `arity^depth` tree (the topology the scenario engine simulates);
-    /// all provider randomness flows from `seed`.
+    /// `arity^depth` tree (the paper's analysis topology); all provider
+    /// randomness flows from `seed`.
     ///
     /// Bootstrap models the paper's join handoff: every slot group starts
     /// out holding its subgroup's current delegates (the `slots` smallest
@@ -431,48 +431,85 @@ impl DelegateView {
     ///
     /// Panics if `arity`, `depth`, `slots` or `gossip_fanout` is zero.
     pub fn bootstrap(arity: u32, depth: usize, config: DelegateViewConfig, seed: u64) -> Self {
+        let n = TreeShape::new(arity as usize, depth, config.slots).member_count();
+        Self::bootstrap_sparse(arity, depth, config, seed, &vec![true; n])
+    }
+
+    /// Bootstraps over a **sparse** population: `occupied[i]` says whether
+    /// dense index `i` is a member at round zero.  The join handoff is
+    /// gap-aware — every slot group seats the `slots` smallest *occupied*
+    /// members of its subgroup, an empty subgroup's group stays entirely
+    /// unseated (all sentinel slots), and the pinned ring contact is
+    /// each process's nearest occupied successor, so the live overlay rings
+    /// over the occupied subset.  Processes joining later (into occupied
+    /// *or empty* subgroups) re-enter through
+    /// [`observe_join`](MembershipView::observe_join) and are seated by
+    /// gossip: `admit_peer` files a newcomer into every slot group it
+    /// qualifies for, including groups that were empty until then.
+    ///
+    /// With every address occupied this is exactly
+    /// [`bootstrap`](Self::bootstrap) — same tables, same untouched RNG
+    /// stream — so static scenarios are unaffected.  Sparse bootstrap
+    /// itself consumes **no** randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity`, `depth`, `slots` or `gossip_fanout` is zero, or
+    /// if `occupied.len() != arity^depth`.
+    pub fn bootstrap_sparse(
+        arity: u32,
+        depth: usize,
+        config: DelegateViewConfig,
+        seed: u64,
+        occupied: &[bool],
+    ) -> Self {
         assert!(arity > 0, "arity must be positive");
         assert!(depth > 0, "depth must be positive");
         assert!(config.slots > 0, "delegate slots must be positive");
         assert!(config.gossip_fanout > 0, "gossip_fanout must be positive");
         let shape = TreeShape::new(arity as usize, depth, config.slots);
         let n = shape.member_count();
+        assert_eq!(occupied.len(), n, "occupancy flags must cover all {n} addresses");
+        let live = occupied.iter().filter(|&&o| o).count();
+        let next_occupied = |q: usize| crate::population::next_occupied_after(occupied, q);
         let mut tables = Vec::with_capacity(n);
         let mut flat = Vec::with_capacity(n);
         let mut seen = vec![false; n];
         for q in 0..n {
             let mut table = vec![EMPTY; shape.table_len()];
             let mut known: Vec<u32> = Vec::new();
-            for l in 1..=depth {
-                for g in 0..shape.arity {
-                    let base = shape.subgroup_base(q, l, g);
-                    let size = shape.subgroup_size(l);
-                    let range = shape.group_range(l, g);
-                    let mut slot = range.start;
-                    for (member, discovered) in
-                        seen.iter_mut().enumerate().skip(base).take(size)
-                    {
-                        if member == q {
-                            continue;
-                        }
-                        if slot == range.end {
-                            break;
-                        }
-                        table[slot] = member as u32;
-                        slot += 1;
-                        if !*discovered {
-                            *discovered = true;
-                            known.push(member as u32);
+            if occupied[q] {
+                for l in 1..=depth {
+                    for g in 0..shape.arity {
+                        let base = shape.subgroup_base(q, l, g);
+                        let size = shape.subgroup_size(l);
+                        let range = shape.group_range(l, g);
+                        let mut slot = range.start;
+                        for (member, discovered) in
+                            seen.iter_mut().enumerate().skip(base).take(size)
+                        {
+                            if member == q || !occupied[member] {
+                                continue;
+                            }
+                            if slot == range.end {
+                                break;
+                            }
+                            table[slot] = member as u32;
+                            slot += 1;
+                            if !*discovered {
+                                *discovered = true;
+                                known.push(member as u32);
+                            }
                         }
                     }
                 }
-            }
-            let contact = ((q + 1) % n) as u32;
-            if n > 1 && !seen[contact as usize] {
-                known.push(contact);
-            }
-            for &member in &known {
-                seen[member as usize] = false;
+                let contact = next_occupied(q);
+                if live > 1 && !seen[contact as usize] {
+                    known.push(contact);
+                }
+                for &member in &known {
+                    seen[member as usize] = false;
+                }
             }
             tables.push(table);
             flat.push(known);
@@ -483,9 +520,9 @@ impl DelegateView {
                 shape,
                 tables,
                 flat,
-                contact: (0..n).map(|q| ((q + 1) % n) as u32).collect(),
-                alive: vec![true; n],
-                live: n,
+                contact: (0..n).map(next_occupied).collect(),
+                alive: occupied.to_vec(),
+                live,
                 pending_dead: Vec::new(),
                 rng: ChaCha8Rng::seed_from_u64(seed),
             }),
@@ -846,6 +883,90 @@ mod tests {
             live.len(),
             "every live process stays reachable after churn"
         );
+    }
+
+    #[test]
+    fn sparse_bootstrap_seats_delegates_over_gaps() {
+        // 4-ary depth-2 tree (n = 16); subgroup 2 (8..12) keeps only its
+        // largest member, subgroup 3 (12..16) starts entirely empty.
+        let mut occupied = vec![true; 16];
+        for absent in [8, 9, 10, 12, 13, 14, 15] {
+            occupied[absent] = false;
+        }
+        let config = DelegateViewConfig::default().with_slots(2);
+        let view = DelegateView::bootstrap_sparse(4, 2, config, 5, &occupied);
+        assert_eq!(view.estimated_size(), 9);
+        // Gap-aware election: subgroup 2's only delegate is 11 — the
+        // smallest *occupied* member, not the smallest address.
+        assert_eq!(view.live_delegates_of(0, 1, 2), vec![11]);
+        assert!(view.knows_at_depth(0, 1, 11));
+        assert!(!view.knows_at_depth(0, 1, 8), "absent addresses are never seated");
+        // The empty subgroup has no delegates anywhere.
+        assert!(view.live_delegates_of(0, 1, 3).is_empty());
+        // The ring contact skips the trailing gap: 11's successor wraps to 0.
+        assert!(view.knows(11, 0));
+        // Absent processes hold no knowledge yet.
+        assert_eq!(view.peer_count(12), 0);
+        // The live overlay is connected from the start.
+        assert_eq!(reachable_live(&view, 16, 0), 9);
+    }
+
+    #[test]
+    fn join_into_an_empty_subgroup_gets_seated_by_gossip() {
+        // Subgroup 3 of the 4-ary depth-2 tree starts empty; 12 joins later.
+        let mut occupied = vec![true; 16];
+        occupied[12..16].fill(false);
+        let config = DelegateViewConfig::default().with_slots(2);
+        let view = DelegateView::bootstrap_sparse(4, 2, config, 9, &occupied);
+        assert!(view.live_delegates_of(0, 1, 3).is_empty());
+        view.observe_join(12);
+        assert_eq!(view.estimated_size(), 13);
+        assert!(view.knows(12, 0), "joiner pins its occupied ring successor");
+        assert!(view.knows(11, 12), "ring predecessor re-pins onto the joiner");
+        // Gossip seats the newcomer in the (previously empty) slot groups.
+        for _ in 0..25 {
+            view.round_elapsed();
+        }
+        let mut seated = 0;
+        for q in (0..12).filter(|&q| view.is_live(q)) {
+            let delegates = view.live_delegates_of(q, 1, 3);
+            if !delegates.is_empty() {
+                assert_eq!(delegates, vec![12]);
+                seated += 1;
+            }
+        }
+        assert!(
+            seated >= 10,
+            "gossip must spread the joiner into almost every table, got {seated}/12"
+        );
+        assert_eq!(reachable_live(&view, 16, 0), 13);
+    }
+
+    #[test]
+    fn sparse_bootstrap_over_a_full_population_is_the_plain_bootstrap() {
+        let config = DelegateViewConfig::default();
+        let full = DelegateView::bootstrap(3, 3, config, 21);
+        let sparse = DelegateView::bootstrap_sparse(3, 3, config, 21, &[true; 27]);
+        for p in 0..27 {
+            let peers = |v: &DelegateView| -> Vec<usize> {
+                (0..v.peer_count(p)).map(|k| v.peer_at(p, k)).collect()
+            };
+            assert_eq!(peers(&full), peers(&sparse));
+            for depth in 1..=3 {
+                for peer in 0..27 {
+                    assert_eq!(
+                        full.knows_at_depth(p, depth, peer),
+                        sparse.knows_at_depth(p, depth, peer)
+                    );
+                }
+            }
+        }
+        // And the gossip streams stay aligned (same RNG, same state).
+        full.round_elapsed();
+        sparse.round_elapsed();
+        for p in 0..27 {
+            assert_eq!(full.peer_count(p), sparse.peer_count(p));
+        }
     }
 
     #[test]

@@ -37,7 +37,13 @@
 //!   coordinates, gossip-piggybacked delegate tables, smallest-address
 //!   re-election under churn).  See the [`provider`] module docs for the
 //!   sampling-determinism and eviction contract and the [`delegate`]
-//!   module docs for the hierarchical design.
+//!   module docs for the hierarchical design.  Both gossip providers also
+//!   bootstrap over **sparse** populations (`bootstrap_sparse`), seating
+//!   delegates gap-aware over partially occupied subgroups.
+//! * [`Population`] — a sparse, time-varying population over the regular
+//!   address space: initial occupancy plus a deterministic join/leave
+//!   schedule, with [`GroupTree`] snapshots per round (see the
+//!   [`population`] module docs).
 //!
 //! ## Example
 //!
@@ -73,6 +79,7 @@ pub mod delegate;
 mod election;
 mod error;
 mod oracle;
+pub mod population;
 pub mod provider;
 mod topology;
 mod tree;
@@ -84,6 +91,7 @@ pub use delegate::{DelegateView, DelegateViewConfig};
 pub use election::{CapacityWeightedPolicy, DelegatePolicy, SmallestAddressPolicy};
 pub use error::MembershipError;
 pub use oracle::{AssignmentOracle, InterestOracle, SubscriptionOracle, UniformOracle};
+pub use population::{LifecycleEvent, LifecycleEventKind, Population, PopulationSizes};
 pub use provider::{GlobalOracleView, MembershipView, PartialView, PartialViewConfig};
 pub use topology::{ImplicitRegularTree, TreeTopology};
 pub use tree::GroupTree;

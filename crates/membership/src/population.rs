@@ -1,0 +1,410 @@
+//! Sparse, time-varying group populations: which addresses of a tree are
+//! occupied, and how that occupancy changes as processes join and leave.
+//!
+//! The paper's membership is explicitly dynamic (processes subscribe and
+//! unsubscribe, and the Section 2 view tables are *maintained* under those
+//! transitions), but a simulation needs a declarative description of the
+//! population before it can drive those transitions deterministically.
+//! [`Population`] is that description: a capacity (`a^d` addresses), the
+//! set of dense indices occupied at round zero, and a sorted schedule of
+//! [`LifecycleEvent`]s (joins and graceful leaves — crashes are a *fault*
+//! model and stay on the network layer's crash plan).
+//!
+//! `Population` is the scheduling abstraction **over [`GroupTree`]**: it
+//! answers occupancy queries arithmetically (initial/peak/final sizes,
+//! occupancy at any round) and can materialise the explicit sparse
+//! [`GroupTree`] snapshot of any round via
+//! [`group_tree_at`](Population::group_tree_at), which is what ties the
+//! dense-index world of the simulation to the address/filter world of the
+//! membership tree.
+//!
+//! Determinism: a population is pure data.  Building one, querying it and
+//! snapshotting it consume no randomness, which is what lets scenario
+//! lifecycle schedules preserve the simulator's seed contract (see the
+//! `pmcast-sim` runner docs).
+
+use pmcast_addr::AddressSpace;
+use pmcast_interest::Filter;
+
+use crate::GroupTree;
+
+/// The kind of a scheduled membership lifecycle event.
+///
+/// The variant order is meaningful: events scheduled for the same round
+/// apply joins first, then leaves (the sort order of the schedule), so
+/// mixed schedules stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LifecycleEventKind {
+    /// The process joins (subscribes) — an initial join or a re-join.
+    Join,
+    /// The process leaves gracefully (unsubscribes).
+    Leave,
+}
+
+/// One scheduled membership transition of a [`Population`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LifecycleEvent {
+    /// The simulation round at which the transition applies.
+    pub round: u64,
+    /// Join or leave.
+    pub kind: LifecycleEventKind,
+    /// The dense index of the process making the transition.
+    pub process: usize,
+}
+
+/// The population sizes a lifecycle schedule produces over a trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationSizes {
+    /// Members at round zero (capacity minus the initially absent).
+    pub initial: usize,
+    /// The largest membership reached at any point of the schedule.
+    pub peak: usize,
+    /// Members once the whole schedule has been applied.
+    pub end: usize,
+}
+
+/// A sparse, time-varying population over a regular `a^d` address space.
+///
+/// # Examples
+///
+/// ```rust
+/// use pmcast_membership::{LifecycleEventKind, Population};
+///
+/// // 16 addresses; process 15 joins at round 3, process 0 leaves at round 5.
+/// let population = Population::new(16, &[(3, 15)], &[(5, 0)]);
+/// assert!(!population.is_static());
+/// assert_eq!(population.initially_absent(), &[15]);
+/// let sizes = population.sizes();
+/// assert_eq!((sizes.initial, sizes.peak, sizes.end), (15, 16, 15));
+/// assert!(!population.occupied_at_start()[15]);
+/// assert!(population.occupancy_at(3)[15], "joined by round 3");
+/// assert!(!population.occupancy_at(5)[0], "left at round 5");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Population {
+    capacity: usize,
+    /// Sorted, deduplicated dense indices absent at round zero.
+    initially_absent: Vec<usize>,
+    /// Sorted by `(round, kind, process)`.
+    events: Vec<LifecycleEvent>,
+}
+
+impl Population {
+    /// Builds the population implied by a join/leave schedule over a group
+    /// of `capacity` addresses.
+    ///
+    /// A process starts **absent** iff its earliest scheduled event is a
+    /// join (so `leave_at(2, p)` + `join_at(6, p)` describes a member that
+    /// departs and later re-subscribes, while a lone `join_at(3, q)`
+    /// describes a newcomer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheduled index is out of range for the capacity.
+    pub fn new(capacity: usize, joins: &[(u64, usize)], leaves: &[(u64, usize)]) -> Self {
+        let mut events: Vec<LifecycleEvent> = joins
+            .iter()
+            .map(|&(round, process)| LifecycleEvent {
+                round,
+                kind: LifecycleEventKind::Join,
+                process,
+            })
+            .chain(leaves.iter().map(|&(round, process)| LifecycleEvent {
+                round,
+                kind: LifecycleEventKind::Leave,
+                process,
+            }))
+            .collect();
+        for event in &events {
+            assert!(
+                event.process < capacity,
+                "lifecycle index {} out of range for a capacity of {capacity}",
+                event.process
+            );
+        }
+        events.sort();
+        // A process whose earliest event is a join was not there at round
+        // zero; the schedule is sorted, so the first sighting decides.
+        let mut first_event_seen = vec![false; capacity];
+        let mut initially_absent = Vec::new();
+        for event in &events {
+            if !std::mem::replace(&mut first_event_seen[event.process], true)
+                && event.kind == LifecycleEventKind::Join
+            {
+                initially_absent.push(event.process);
+            }
+        }
+        initially_absent.sort_unstable();
+        Self {
+            capacity,
+            initially_absent,
+            events,
+        }
+    }
+
+    /// Lets a scheduled-**crash** plan participate in the initial-absence
+    /// derivation: a process that crashes *before* its first join was
+    /// evidently a member at round zero (the schedule describes a
+    /// crash-then-rejoin, not a late newcomer), so it is removed from the
+    /// initially-absent set.  Crashes still do not appear in the lifecycle
+    /// [`events`](Self::events) — they are a fault model, not membership —
+    /// and same-round ties resolve in the engine's join < leave < crash
+    /// order, so a crash at the join's own round does not keep the process
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any crash index is out of range for the capacity.
+    pub fn with_fault_schedule(mut self, crashes: &[(u64, usize)]) -> Self {
+        for &(_, process) in crashes {
+            assert!(
+                process < self.capacity,
+                "crash index {process} out of range for a capacity of {}",
+                self.capacity
+            );
+        }
+        let events = &self.events;
+        self.initially_absent.retain(|&process| {
+            let first_join = events
+                .iter()
+                .find(|e| e.process == process)
+                .expect("an initially absent process has a join event");
+            // Keep the process absent unless some crash strictly precedes
+            // its first join (a same-round crash applies *after* the join,
+            // so it does not prove earlier membership).
+            !crashes
+                .iter()
+                .any(|&(round, crashed)| crashed == process && round < first_join.round)
+        });
+        self
+    }
+
+    /// The number of addresses of the underlying space (`a^d`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` if the population never changes (no scheduled events
+    /// and nobody absent) — the fully populated regular tree of the paper's
+    /// analysis.
+    pub fn is_static(&self) -> bool {
+        self.events.is_empty() && self.initially_absent.is_empty()
+    }
+
+    /// The sorted dense indices absent at round zero.
+    pub fn initially_absent(&self) -> &[usize] {
+        &self.initially_absent
+    }
+
+    /// The sorted lifecycle schedule.
+    pub fn events(&self) -> &[LifecycleEvent] {
+        &self.events
+    }
+
+    /// Occupancy flags at round zero (`true` = member).
+    pub fn occupied_at_start(&self) -> Vec<bool> {
+        let mut occupied = vec![true; self.capacity];
+        for &absent in &self.initially_absent {
+            occupied[absent] = false;
+        }
+        occupied
+    }
+
+    /// Occupancy flags *during* the given round: the start-of-trial state
+    /// with every event scheduled at or before `round` applied (the engine
+    /// applies lifecycle events at the beginning of their round).
+    pub fn occupancy_at(&self, round: u64) -> Vec<bool> {
+        let mut occupied = self.occupied_at_start();
+        for event in self.events.iter().take_while(|e| e.round <= round) {
+            occupied[event.process] = event.kind == LifecycleEventKind::Join;
+        }
+        occupied
+    }
+
+    /// The initial, peak and final population sizes of the schedule.
+    pub fn sizes(&self) -> PopulationSizes {
+        let mut occupied = self.occupied_at_start();
+        let mut size = self.capacity - self.initially_absent.len();
+        let initial = size;
+        let mut peak = size;
+        for event in &self.events {
+            match event.kind {
+                LifecycleEventKind::Join => {
+                    if !std::mem::replace(&mut occupied[event.process], true) {
+                        size += 1;
+                    }
+                }
+                LifecycleEventKind::Leave => {
+                    if std::mem::replace(&mut occupied[event.process], false) {
+                        size -= 1;
+                    }
+                }
+            }
+            peak = peak.max(size);
+        }
+        PopulationSizes {
+            initial,
+            peak,
+            end: size,
+        }
+    }
+
+    /// Materialises the explicit sparse [`GroupTree`] snapshot of the given
+    /// round: every occupied address joins with a clone of `filter`.  This
+    /// is the bridge from the dense-index scheduling world to the
+    /// address/subscription world of Section 2 — the structure a bootstrap
+    /// service would hold for handing view tables to joiners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space capacity does not match the population capacity.
+    pub fn group_tree_at(&self, space: &AddressSpace, round: u64, filter: &Filter) -> GroupTree {
+        assert_eq!(
+            space.capacity() as usize,
+            self.capacity,
+            "address space capacity must match the population capacity"
+        );
+        let occupied = self.occupancy_at(round);
+        let mut tree = GroupTree::new(space.clone());
+        for (index, _) in occupied.iter().enumerate().filter(|(_, &o)| o) {
+            tree.join(space.address_of_index(index as u128), filter.clone())
+                .expect("occupied addresses are valid and unique");
+        }
+        tree
+    }
+}
+
+/// The nearest occupied index strictly after `q`, cyclically; falls back to
+/// the plain ring successor when nothing (else) is occupied.  Shared by the
+/// sparse provider bootstraps (`PartialView` / `DelegateView`), which pin
+/// their ring contacts with exactly this rule.
+pub(crate) fn next_occupied_after(occupied: &[bool], q: usize) -> u32 {
+    let n = occupied.len();
+    (1..n)
+        .map(|offset| (q + offset) % n)
+        .find(|&j| occupied[j])
+        .unwrap_or((q + 1) % n.max(1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcast_addr::Prefix;
+    use crate::TreeTopology;
+
+    #[test]
+    fn static_population_has_no_schedule() {
+        let population = Population::new(27, &[], &[]);
+        assert!(population.is_static());
+        assert_eq!(population.capacity(), 27);
+        let sizes = population.sizes();
+        assert_eq!((sizes.initial, sizes.peak, sizes.end), (27, 27, 27));
+        assert!(population.occupied_at_start().iter().all(|&o| o));
+    }
+
+    #[test]
+    fn earliest_event_decides_initial_absence() {
+        // 3 joins fresh; 5 leaves then re-joins; 7 only leaves.
+        let population = Population::new(16, &[(4, 3), (6, 5)], &[(2, 5), (3, 7)]);
+        assert_eq!(population.initially_absent(), &[3]);
+        let sizes = population.sizes();
+        assert_eq!(sizes.initial, 15);
+        assert_eq!(sizes.end, 15); // 3 joined, 7 left, 5 round-tripped
+        assert!(!population.occupancy_at(2)[5]);
+        assert!(population.occupancy_at(6)[5]);
+        assert!(!population.occupancy_at(10)[7]);
+    }
+
+    #[test]
+    fn peak_tracks_the_largest_membership() {
+        // Flash crowd: two joins before anyone leaves.
+        let population = Population::new(8, &[(1, 6), (1, 7)], &[(4, 0), (4, 1), (4, 2)]);
+        let sizes = population.sizes();
+        assert_eq!((sizes.initial, sizes.peak, sizes.end), (6, 8, 5));
+    }
+
+    #[test]
+    fn duplicate_events_are_idempotent_in_sizes() {
+        let population = Population::new(4, &[(1, 3), (2, 3)], &[(5, 3), (6, 3)]);
+        let sizes = population.sizes();
+        assert_eq!((sizes.initial, sizes.peak, sizes.end), (3, 4, 3));
+    }
+
+    #[test]
+    fn same_round_join_applies_before_leave() {
+        let population = Population::new(4, &[(2, 1)], &[(2, 1)]);
+        // Earliest event at round 2 is the join (kind order), so process 1
+        // starts absent, joins and immediately leaves again.
+        assert_eq!(population.initially_absent(), &[1]);
+        assert!(!population.occupancy_at(2)[1]);
+        assert_eq!(population.sizes().peak, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_indices_are_rejected() {
+        let _ = Population::new(4, &[(0, 9)], &[]);
+    }
+
+    #[test]
+    fn a_crash_before_the_first_join_proves_initial_membership() {
+        // crash(6) then join(12) is a crash-then-rejoin: the process was a
+        // member at round zero, so the fault schedule removes it from the
+        // initially-absent set.
+        let population = Population::new(16, &[(12, 5)], &[]).with_fault_schedule(&[(6, 5)]);
+        assert!(population.initially_absent().is_empty());
+        assert_eq!(population.sizes().initial, 16);
+        // A crash at (or after) the join round proves nothing: the join
+        // still marks a newcomer (same-round ties apply join first).
+        let newcomer = Population::new(16, &[(6, 5)], &[]).with_fault_schedule(&[(6, 5)]);
+        assert_eq!(newcomer.initially_absent(), &[5]);
+        let late_crash = Population::new(16, &[(6, 5)], &[]).with_fault_schedule(&[(9, 5)]);
+        assert_eq!(late_crash.initially_absent(), &[5]);
+        // Crashes of other processes change nothing.
+        let unrelated = Population::new(16, &[(6, 5)], &[]).with_fault_schedule(&[(1, 3)]);
+        assert_eq!(unrelated.initially_absent(), &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash index")]
+    fn out_of_range_fault_indices_are_rejected() {
+        let _ = Population::new(4, &[], &[]).with_fault_schedule(&[(0, 9)]);
+    }
+
+    #[test]
+    fn next_occupied_wraps_over_gaps() {
+        let occupied = [true, false, false, true, false];
+        assert_eq!(next_occupied_after(&occupied, 0), 3);
+        assert_eq!(next_occupied_after(&occupied, 3), 0);
+        assert_eq!(next_occupied_after(&occupied, 4), 0);
+        // Nothing else occupied: fall back to the plain ring successor.
+        assert_eq!(next_occupied_after(&[false, false], 0), 1);
+        assert_eq!(next_occupied_after(&[true], 0), 0, "lone process wraps to itself");
+    }
+
+    #[test]
+    fn group_tree_snapshots_follow_the_schedule() {
+        let space = AddressSpace::regular(2, 4).unwrap();
+        // Subgroup 3 (indices 12..16) starts empty and fills at round 5 —
+        // the join-into-an-empty-subgroup case.
+        let joins: Vec<(u64, usize)> = (12..16).map(|p| (5, p)).collect();
+        let population = Population::new(16, &joins, &[]);
+        let filter = Filter::match_all();
+        let before = population.group_tree_at(&space, 0, &filter);
+        assert_eq!(before.member_count(), 12);
+        assert_eq!(
+            before.populated_children(&Prefix::root()),
+            vec![0, 1, 2],
+            "subgroup 3 starts empty"
+        );
+        assert!(before.delegates(&Prefix::from_components(vec![3]), 3).is_empty());
+        let after = population.group_tree_at(&space, 5, &filter);
+        assert_eq!(after.member_count(), 16);
+        assert_eq!(after.populated_children(&Prefix::root()), vec![0, 1, 2, 3]);
+        assert_eq!(
+            after.delegates(&Prefix::from_components(vec![3]), 2).len(),
+            2,
+            "delegates electable once the subgroup fills"
+        );
+    }
+}

@@ -277,33 +277,60 @@ pub struct PartialView {
 }
 
 impl PartialView {
-    /// Bootstraps the views of a group of `member_count` processes; all
-    /// provider randomness (exchange picks, evictions) flows from `seed`.
+    /// Bootstraps the views of a fully populated group of `member_count`
+    /// processes; all provider randomness (exchange picks, evictions) flows
+    /// from `seed`.
     ///
     /// # Panics
     ///
     /// Panics if `view_size` or `gossip_fanout` is zero.
     pub fn bootstrap(member_count: usize, config: PartialViewConfig, seed: u64) -> Self {
+        Self::bootstrap_sparse(&vec![true; member_count], config, seed)
+    }
+
+    /// Bootstraps over a **sparse** population: `occupied[i]` says whether
+    /// dense index `i` is a member at round zero.  Occupied processes seed
+    /// their views with their nearest occupied ring successors (the first
+    /// of which becomes the pinned contact, so the initial overlay is the
+    /// ring over the *occupied* subset); absent processes start with empty
+    /// views and re-enter through [`observe_join`](MembershipView::observe_join).
+    ///
+    /// With every slot occupied this is exactly [`bootstrap`](Self::bootstrap)
+    /// — same views, same untouched RNG stream — so static scenarios are
+    /// unaffected.  Sparse bootstrap itself consumes **no** randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view_size` or `gossip_fanout` is zero.
+    pub fn bootstrap_sparse(occupied: &[bool], config: PartialViewConfig, seed: u64) -> Self {
         assert!(config.view_size > 0, "view_size must be positive");
         assert!(config.gossip_fanout > 0, "gossip_fanout must be positive");
-        let initial = config.view_size.min(member_count.saturating_sub(1));
+        let member_count = occupied.len();
+        let live = occupied.iter().filter(|&&o| o).count();
+        let initial = config.view_size.min(live.saturating_sub(1));
         let views = (0..member_count)
             .map(|i| {
-                (1..=initial)
-                    .map(|offset| ((i + offset) % member_count) as u32)
+                if !occupied[i] {
+                    return Vec::new();
+                }
+                (1..member_count)
+                    .map(|offset| (i + offset) % member_count)
+                    .filter(|&j| occupied[j])
+                    .take(initial)
+                    .map(|j| j as u32)
                     .collect()
             })
             .collect();
         let contact = (0..member_count)
-            .map(|i| ((i + 1) % member_count.max(1)) as u32)
+            .map(|i| crate::population::next_occupied_after(occupied, i))
             .collect();
         Self {
             config,
             state: RwLock::new(PartialViewState {
                 views,
                 contact,
-                alive: vec![true; member_count],
-                live: member_count,
+                alive: occupied.to_vec(),
+                live,
                 rng: ChaCha8Rng::seed_from_u64(seed),
                 digest: Vec::new(),
             }),
@@ -616,6 +643,50 @@ mod tests {
             live.len(),
             "every live process stays reachable after churn"
         );
+    }
+
+    #[test]
+    fn sparse_bootstrap_rings_over_the_occupied_subset() {
+        let mut occupied = vec![true; 20];
+        for absent in [3, 4, 5, 11, 19] {
+            occupied[absent] = false;
+        }
+        let config = PartialViewConfig::default().with_view_size(4);
+        let view = PartialView::bootstrap_sparse(&occupied, config, 7);
+        assert_eq!(view.estimated_size(), 15);
+        for process in 0..20 {
+            if !occupied[process] {
+                assert_eq!(view.peer_count(process), 0, "absent views start empty");
+                assert!(!view.is_live(process));
+                continue;
+            }
+            assert_eq!(view.peer_count(process), 4);
+            for k in 0..view.peer_count(process) {
+                let peer = view.peer_at(process, k);
+                assert!(occupied[peer], "bootstrap never seats an absent peer");
+                assert_ne!(peer, process);
+            }
+        }
+        // The pinned contact skips the occupancy gap: 2's ring successor is 6.
+        assert!(view.knows(2, 6));
+        // The live overlay is connected from the start.
+        assert_eq!(reachable_live(&view, 20, 0), 15);
+        // A gap process joining mid-run re-enters through the ring.
+        view.observe_join(4);
+        assert_eq!(view.estimated_size(), 16);
+        assert!(view.knows(4, 6), "joiner pins its occupied ring successor");
+        assert!(view.knows(2, 4), "ring predecessor re-pins onto the joiner");
+        // Sparse bootstrap over a fully occupied group is the plain
+        // bootstrap, state for state.
+        let full = PartialView::bootstrap(9, PartialViewConfig::default(), 3);
+        let sparse_full =
+            PartialView::bootstrap_sparse(&[true; 9], PartialViewConfig::default(), 3);
+        for p in 0..9 {
+            let peers = |v: &PartialView| -> Vec<usize> {
+                (0..v.peer_count(p)).map(|k| v.peer_at(p, k)).collect()
+            };
+            assert_eq!(peers(&full), peers(&sparse_full));
+        }
     }
 
     #[test]

@@ -55,6 +55,19 @@
 //!    by an [`Publisher::Interested`] draw — reproducing the historical
 //!    one-event-one-sender trial stream bit for bit.
 //!
+//! **Lifecycle schedules consume no randomness.**  A scenario's
+//! [`Scenario`] join/leave schedules (`join_at` / `leave_at`) are applied
+//! deterministically by the engine at the start of their round — joins,
+//! then leaves, then scheduled crashes on same-round ties — and touch none
+//! of the three streams: the interest assignment always samples all `a^d`
+//! addresses in address order regardless of occupancy (so a joiner's
+//! interest is the same bits a static trial would have drawn for it),
+//! publisher draws are unchanged, and the gossip membership providers
+//! bootstrap sparse populations (`bootstrap_sparse`) without any extra
+//! draws from the membership stream.  Scenarios without lifecycle
+//! schedules therefore reproduce the historical streams bit for bit, and
+//! lifecycle scenarios stay bit-identical under the parallel runner.
+//!
 //! Because nothing is drawn from state shared between trials, the parallel
 //! runner [`run_trials_parallel`] is bit-identical to the sequential
 //! [`run_trials`] (asserted by the test suite).
@@ -68,7 +81,9 @@ use pmcast_core::{
 };
 use pmcast_interest::{Event, EventId};
 use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, TreeTopology};
-use pmcast_simnet::{CrashPlan, NetworkConfig, ProcessId, Simulation};
+use pmcast_simnet::{
+    CrashPlan, LifecycleKind, LifecyclePlan, NetworkConfig, ProcessId, Simulation,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -373,18 +388,24 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
         scenario.matching_rate,
         &mut workload_rng,
     ));
-    for &(_, process) in &scenario.crash_schedule {
-        assert!(
-            process < topology.member_count(),
-            "crash-schedule index {process} out of range for a group of {}",
-            topology.member_count()
-        );
-    }
     let network = NetworkConfig {
         loss_probability: scenario.loss_probability,
         crash_plan: crash_plan(scenario),
         seed,
     };
+    // The trial's population: occupancy gaps and their deterministic
+    // join/leave transitions.  `Population::new` / `with_fault_schedule`
+    // also validate every scheduled index (so hand-constructed scenarios
+    // fail with a diagnostic) and derive which processes start absent
+    // (earliest event is a join), shared between the engine's lifecycle
+    // plan and the providers' sparse bootstrap.
+    let population = scenario.population();
+    // Sparse bootstrap is only needed when somebody actually starts
+    // absent; a leave/rejoin-only schedule begins fully populated, and the
+    // plain bootstrap path skips the occupancy scans (the two are proven
+    // bit-identical for full occupancy).
+    let occupied_at_start =
+        (!population.initially_absent().is_empty()).then(|| population.occupied_at_start());
 
     // The default workload: one event, one interested sender, round 0.
     let default_publication;
@@ -418,20 +439,33 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
 
     // The membership provider: global knowledge (bit-identical to the
     // historical construction), a per-trial gossip-bootstrapped flat
-    // partial view, or the hierarchical delegate tables — fed by the
-    // engine's crash plan through the crash observer and advanced once per
-    // simulation round.  Gossip providers draw from the membership stream
-    // (rule 3 of the module-level seed contract).
+    // partial view, or the hierarchical delegate tables — bootstrapped
+    // sparse when the population starts with gaps, fed every lifecycle
+    // transition (join/leave/crash) through the engine's lifecycle
+    // observer, and advanced once per simulation round.  Gossip providers
+    // draw from the membership stream (rule 3 of the module-level seed
+    // contract); lifecycle events consume no randomness at all.
     let membership = scenario.membership.instantiate(
         scenario.arity,
         scenario.depth,
         seed.wrapping_mul(0xC2B2_AE35).wrapping_add(17),
+        occupied_at_start.as_deref(),
     );
     let group = F::build(&topology, oracle.clone(), Arc::clone(&membership), &scenario.protocol);
+    let lifecycle = LifecyclePlan {
+        initially_absent: population.initially_absent().to_vec(),
+        joins: scenario.join_schedule.clone(),
+        leaves: scenario.leave_schedule.clone(),
+    };
     let observer_view = Arc::clone(&membership);
-    let mut sim = Simulation::with_crash_observer(group.processes, network, move |id| {
-        observer_view.observe_crash(id.0)
-    });
+    let mut sim =
+        Simulation::with_lifecycle_observer(group.processes, network, lifecycle, move |t| {
+            match t.kind {
+                LifecycleKind::Join => observer_view.observe_join(t.process.0),
+                LifecycleKind::Leave => observer_view.observe_leave(t.process.0),
+                LifecycleKind::Crash => observer_view.observe_crash(t.process.0),
+            }
+        });
     let mut injected = 0;
     let mut rounds = 0;
     while rounds < scenario.max_rounds {
@@ -446,7 +480,15 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
         membership.round_elapsed();
         sim.step();
         rounds += 1;
-        if injected == injection_order.len() && sim.is_quiescent() {
+        // Stop once nothing can change any more: every publication is in,
+        // the declared lifecycle schedule has fully applied (a trial must
+        // never end with a validated join/leave/crash silently pending —
+        // the reports and `Scenario::population_sizes` would disagree),
+        // and the dissemination is quiescent.
+        if injected == injection_order.len()
+            && sim.pending_lifecycle() == 0
+            && sim.is_quiescent()
+        {
             break;
         }
     }
@@ -837,6 +879,170 @@ mod tests {
                 <= healthy_outcome.report.delivered_interested
         );
         assert!(crashed_outcome.messages_sent < healthy_outcome.messages_sent);
+    }
+
+    #[test]
+    fn joiners_receive_publications_made_after_their_join() {
+        // Process 15 starts absent and joins at round 2; an event published
+        // at round 5 must reach it, while one published at round 0 into a
+        // trial where it never joins cannot.
+        let joined = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .join_at(2, 15)
+            .publish_at(5, Publisher::Process(0), Event::builder(8).build())
+            .seed(4)
+            .build();
+        assert_eq!(joined.group_size(), 15, "the joiner starts absent");
+        let outcome = &joined.run(Protocol::FloodBroadcast)[0];
+        assert_eq!(
+            outcome.report.delivered_interested, 16,
+            "the joiner catches the post-join publication: {:?}",
+            outcome.report
+        );
+
+        // Same trial without the join: only 15 processes can deliver.
+        let absent_forever = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .join_at(350, 15) // joins long after the flood has quiesced
+            .publish_at(5, Publisher::Process(0), Event::builder(8).build())
+            .seed(4)
+            .build();
+        let missed = &absent_forever.run(Protocol::FloodBroadcast)[0];
+        assert_eq!(
+            missed.report.delivered_interested, 15,
+            "a process absent during dissemination cannot deliver: {:?}",
+            missed.report
+        );
+        // Lifecycle trials stay bit-identical under the parallel runner.
+        assert_eq!(joined.run(Protocol::Pmcast), joined.run_parallel(Protocol::Pmcast));
+    }
+
+    #[test]
+    fn trials_run_until_the_declared_lifecycle_schedule_has_applied() {
+        // The flood quiesces long before round 50, but the scenario
+        // declares a leave there: the trial must keep stepping (empty
+        // rounds) until the whole validated schedule has applied, so the
+        // outcome never disagrees with `population_sizes()`.
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .publish(Publisher::Process(0), Event::builder(6).build())
+            .leave_at(50, 3)
+            .seed(2)
+            .build();
+        let outcome = &scenario.run(Protocol::FloodBroadcast)[0];
+        assert!(
+            outcome.rounds > 50,
+            "the trial ended at round {} with the round-50 leave still pending",
+            outcome.rounds
+        );
+        // Without the late event the same trial stops at quiescence.
+        let static_scenario = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .publish(Publisher::Process(0), Event::builder(6).build())
+            .seed(2)
+            .build();
+        let static_outcome = &static_scenario.run(Protocol::FloodBroadcast)[0];
+        assert!(static_outcome.rounds < 50);
+        assert_eq!(
+            static_outcome.report, outcome.report,
+            "idle rounds after quiescence change nothing but the round count"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "crash scheduled at round")]
+    fn unreachable_crash_rounds_are_rejected() {
+        let _ = Scenario::builder().max_rounds(10).crash_at(10, 0).build();
+    }
+
+    #[test]
+    fn crash_then_rejoin_schedules_keep_the_process_present_at_round_zero() {
+        // crash_at(6) + join_at(12) describes a crash-then-rejoin, not a
+        // late newcomer: the process must be up for the round-0 publish and
+        // deliver exactly as in the crash-only scenario.
+        let with_rejoin = |rejoin: bool| {
+            let builder = Scenario::builder()
+                .group(4, 2)
+                .matching_rate(1.0)
+                .crash_at(6, 5)
+                .publish(Publisher::Process(0), Event::builder(2).build())
+                .seed(17);
+            let builder = if rejoin { builder.join_at(12, 5) } else { builder };
+            builder.build()
+        };
+        let rejoin = with_rejoin(true);
+        assert!(rejoin.population().initially_absent().is_empty());
+        assert_eq!(rejoin.group_size(), 16);
+        let crash_only = &with_rejoin(false).run(Protocol::GenuineMulticast)[0];
+        let rejoined = &rejoin.run(Protocol::GenuineMulticast)[0];
+        assert_eq!(crash_only.report.delivered_interested, 16);
+        assert_eq!(
+            rejoined.report.delivered_interested, 16,
+            "adding the rejoin must not retroactively unseat the process: {:?}",
+            rejoined.report
+        );
+    }
+
+    #[test]
+    fn graceful_leave_equals_crash_under_global_membership() {
+        // `GlobalOracleView` ignores lifecycle notifications and the
+        // network treats a leaver exactly like a crashed process, so under
+        // global membership the two schedules must produce bit-identical
+        // outcomes — the stream-neutrality invariant extended to leaves.
+        let with = |crash: bool| {
+            let builder = Scenario::builder()
+                .group(4, 2)
+                .matching_rate(1.0)
+                .loss(0.05)
+                .publish(Publisher::Process(0), Event::builder(3).build())
+                .seed(21);
+            let builder = if crash {
+                builder.crash_at(2, 7)
+            } else {
+                builder.leave_at(2, 7)
+            };
+            builder.build()
+        };
+        for protocol in [
+            Protocol::Pmcast,
+            Protocol::FloodBroadcast,
+            Protocol::GenuineMulticast,
+        ] {
+            assert_eq!(
+                with(false).run(protocol),
+                with(true).run(protocol),
+                "{protocol:?}: leave and crash must be indistinguishable to a \
+                 stream-neutral provider"
+            );
+        }
+    }
+
+    #[test]
+    fn leavers_stop_participating_in_the_dissemination() {
+        // Half the group unsubscribes right after the publish: delivery
+        // drops below the full audience but the trial completes cleanly.
+        let mut churn = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .publish(Publisher::Process(0), Event::builder(5).build())
+            .seed(8);
+        for victim in 8..16 {
+            churn = churn.leave_at(1, victim);
+        }
+        let scenario = churn.build();
+        let sizes = scenario.population_sizes();
+        assert_eq!((sizes.initial, sizes.end), (16, 8));
+        let outcome = &scenario.run(Protocol::FloodBroadcast)[0];
+        assert!(outcome.report.delivered_interested >= 8, "{:?}", outcome.report);
+        assert!(
+            outcome.report.delivered_interested < 16,
+            "leavers at round 1 cannot all have delivered: {:?}",
+            outcome.report
+        );
     }
 
     #[test]

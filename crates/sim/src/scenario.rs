@@ -35,7 +35,7 @@ use pmcast_core::PmcastConfig;
 use pmcast_interest::Event;
 use pmcast_membership::{
     DelegateView, DelegateViewConfig, GlobalOracleView, MembershipView, PartialView,
-    PartialViewConfig,
+    PartialViewConfig, Population, PopulationSizes,
 };
 use serde::{Deserialize, Serialize};
 
@@ -138,11 +138,21 @@ impl MembershipSpec {
     /// shared by the [`Partial`](Self::Partial) and
     /// [`Delegate`](Self::Delegate) providers) so parallel trials stay
     /// bit-identical to sequential ones.
+    ///
+    /// `occupied` carries the trial's initial population (see
+    /// [`Population::occupied_at_start`]): `None` for the fully populated
+    /// static tree (the historical path, bit-identical streams), `Some`
+    /// for a sparse start — the gossip providers then bootstrap gap-aware
+    /// (`bootstrap_sparse`, which consumes no randomness beyond the same
+    /// seed), while [`Global`](Self::Global) stays the omniscient static
+    /// directory it has always been (stream-neutral by contract: it knows
+    /// every address and ignores lifecycle notifications).
     pub fn instantiate(
         &self,
         arity: u32,
         depth: usize,
         membership_seed: u64,
+        occupied: Option<&[bool]>,
     ) -> Arc<dyn MembershipView> {
         let n = (arity as usize).pow(depth as u32);
         match *self {
@@ -151,29 +161,40 @@ impl MembershipSpec {
                 view_size,
                 gossip_fanout,
                 digest_size,
-            } => Arc::new(PartialView::bootstrap(
-                n,
-                PartialViewConfig {
+            } => {
+                let config = PartialViewConfig {
                     view_size,
                     gossip_fanout,
                     digest_size,
-                },
-                membership_seed,
-            )),
+                };
+                Arc::new(match occupied {
+                    Some(occupied) => {
+                        PartialView::bootstrap_sparse(occupied, config, membership_seed)
+                    }
+                    None => PartialView::bootstrap(n, config, membership_seed),
+                })
+            }
             MembershipSpec::Delegate {
                 slots,
                 gossip_fanout,
                 digest_size,
-            } => Arc::new(DelegateView::bootstrap(
-                arity,
-                depth,
-                DelegateViewConfig {
+            } => {
+                let config = DelegateViewConfig {
                     slots,
                     gossip_fanout,
                     digest_size,
-                },
-                membership_seed,
-            )),
+                };
+                Arc::new(match occupied {
+                    Some(occupied) => DelegateView::bootstrap_sparse(
+                        arity,
+                        depth,
+                        config,
+                        membership_seed,
+                        occupied,
+                    ),
+                    None => DelegateView::bootstrap(arity, depth, config, membership_seed),
+                })
+            }
         }
     }
 }
@@ -235,6 +256,17 @@ pub struct Scenario {
     /// Processes crashed at fixed rounds (`(round, process index)`), on top
     /// of `crash_fraction`.
     pub crash_schedule: Vec<(u64, usize)>,
+    /// Processes joining (subscribing) at fixed rounds.  A process whose
+    /// earliest lifecycle event is a join starts the trial **absent** — its
+    /// address is unoccupied until the join round — so join schedules turn
+    /// the fixed full tree into a sparse, growing population (see
+    /// [`Scenario::population`]).
+    pub join_schedule: Vec<(u64, usize)>,
+    /// Processes leaving **gracefully** (unsubscribing) at fixed rounds —
+    /// distinct from [`crash_schedule`](Self::crash_schedule): a leave is
+    /// announced, so membership providers evict the leaver eagerly, while
+    /// a crash is only detectable by missed contact.
+    pub leave_schedule: Vec<(u64, usize)>,
     /// The publish schedule; empty means the default workload (see type
     /// docs).
     pub publications: Vec<Publication>,
@@ -289,6 +321,8 @@ impl Scenario {
                 loss_probability: 0.0,
                 crash_fraction: 0.0,
                 crash_schedule: Vec::new(),
+                join_schedule: Vec::new(),
+                leave_schedule: Vec::new(),
                 publications: Vec::new(),
                 membership: MembershipSpec::Global,
                 trials: 1,
@@ -311,6 +345,8 @@ impl Scenario {
             loss_probability: config.loss_probability,
             crash_fraction: config.crash_fraction,
             crash_schedule: Vec::new(),
+            join_schedule: Vec::new(),
+            leave_schedule: Vec::new(),
             publications: Vec::new(),
             membership: MembershipSpec::Global,
             trials: config.trials,
@@ -319,9 +355,41 @@ impl Scenario {
         }
     }
 
-    /// Group size `n = a^d`.
-    pub fn group_size(&self) -> usize {
+    /// The number of addresses of the scenario's tree, `a^d` — the upper
+    /// bound any population can grow to, and the range every process index
+    /// (publishers, crash/join/leave schedules) is validated against.
+    pub fn capacity(&self) -> usize {
         (self.arity as usize).pow(self.depth as u32)
+    }
+
+    /// The **initial** population size: `a^d` minus the processes whose
+    /// earliest lifecycle event is a join (they start absent).
+    ///
+    /// For static scenarios (no join/leave schedule) this is the familiar
+    /// `n = a^d`.  Callers that need the address-space bound regardless of
+    /// the schedule — index validation, per-process allocation — should use
+    /// [`capacity`](Self::capacity); callers tracking how the membership
+    /// evolves get the initial/peak/final triple from
+    /// [`population_sizes`](Self::population_sizes).
+    pub fn group_size(&self) -> usize {
+        self.population_sizes().initial
+    }
+
+    /// The sparse, time-varying population this scenario's join/leave
+    /// schedules describe (capacity, initial occupancy, sorted lifecycle
+    /// events — see [`Population`]).  The crash schedule participates only
+    /// in the initial-absence derivation
+    /// ([`Population::with_fault_schedule`]): a process that crashes before
+    /// its first join was a member at round zero — the schedule describes a
+    /// crash-then-rejoin, not a late newcomer.
+    pub fn population(&self) -> Population {
+        Population::new(self.capacity(), &self.join_schedule, &self.leave_schedule)
+            .with_fault_schedule(&self.crash_schedule)
+    }
+
+    /// The initial, peak and final population sizes of the scenario.
+    pub fn population_sizes(&self) -> PopulationSizes {
+        self.population().sizes()
     }
 
     /// Runs all trials sequentially with the given protocol.
@@ -383,6 +451,32 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Schedules a process to **join** (subscribe) at a fixed round.  A
+    /// process whose earliest lifecycle event is a join starts the trial
+    /// absent — its address is an occupancy gap until the join round — so
+    /// repeated `join_at` calls describe flash-crowd and gradual-growth
+    /// workloads.  Re-joining after a [`leave_at`](Self::leave_at) models
+    /// resubscription churn.
+    ///
+    /// Joiners draw their interest from the same sampled assignment as
+    /// everybody else (the workload stream samples all `a^d` addresses in
+    /// address order regardless of occupancy), so lifecycle schedules
+    /// consume **no randomness** and static scenarios stay bit-identical —
+    /// see the seed contract in [`crate::runner`].
+    pub fn join_at(mut self, round: u64, process: usize) -> Self {
+        self.scenario.join_schedule.push((round, process));
+        self
+    }
+
+    /// Schedules a process to **leave gracefully** (unsubscribe) at a fixed
+    /// round — distinct from [`crash_at`](Self::crash_at): the departure is
+    /// announced, so membership providers evict the leaver eagerly instead
+    /// of discovering the silence by missed contact.
+    pub fn leave_at(mut self, round: u64, process: usize) -> Self {
+        self.scenario.leave_schedule.push((round, process));
+        self
+    }
+
     /// Selects the membership provider (see [`MembershipSpec`]); e.g.
     /// `.membership(MembershipSpec::partial(15))` runs the trial over
     /// lpbcast-style bounded partial views instead of global knowledge,
@@ -432,11 +526,15 @@ impl ScenarioBuilder {
     ///
     /// Panics if the protocol configuration is invalid (see
     /// [`PmcastConfig::validate`]), the loss probability or crash fraction
-    /// lies outside `[0, 1]`, a [`Publisher::Process`] index is out of
-    /// range for the group size, or a publication is scheduled at a round
-    /// the trial can never reach (`round >= max_rounds`) — such a
-    /// publication would otherwise be silently dropped while still being
-    /// counted as undelivered in the reports.
+    /// lies outside `[0, 1]`, a [`Publisher::Process`] index or a
+    /// crash/join/leave schedule index is out of range for the address
+    /// space, a [`Publisher::Process`] publication fires at a round its
+    /// publisher is not a member (absent before its join, or already
+    /// departed — crashing is a legitimate fault experiment and is not
+    /// rejected), or a publication or lifecycle event is scheduled at a
+    /// round the trial can never reach (`round >= max_rounds`) — such an
+    /// entry would otherwise be silently inert while still shaping the
+    /// reports.
     pub fn build(self) -> Scenario {
         self.scenario.protocol.validate();
         assert!(
@@ -449,12 +547,43 @@ impl ScenarioBuilder {
             "crash fraction {} must lie in [0, 1]",
             self.scenario.crash_fraction
         );
-        let n = self.scenario.group_size();
+        // Index validation is against the address space (`a^d`), not the
+        // possibly sparse initial population: a publisher or crash target
+        // may well be a process that only joins mid-trial.
+        let n = self.scenario.capacity();
+        for (label, schedule) in [
+            ("crash", &self.scenario.crash_schedule),
+            ("join", &self.scenario.join_schedule),
+            ("leave", &self.scenario.leave_schedule),
+        ] {
+            for &(round, process) in schedule {
+                assert!(
+                    process < n,
+                    "{label}-schedule index {process} out of range for a group of {n}"
+                );
+                assert!(
+                    round < self.scenario.max_rounds,
+                    "{label} scheduled at round {round} can never happen (max_rounds = {})",
+                    self.scenario.max_rounds
+                );
+            }
+        }
+        // Membership occupancy per round, for checking that a designated
+        // publisher is actually a member when its publication fires.  Only
+        // the join/leave schedule matters here: publishing from a process
+        // that *crashes* is a legitimate fault experiment.
+        let population = self.scenario.population();
         for publication in &self.scenario.publications {
             if let Publisher::Process(index) = publication.publisher {
                 assert!(
                     index < n,
                     "publisher index {index} out of range for a group of {n}"
+                );
+                assert!(
+                    population.occupancy_at(publication.round)[index],
+                    "publisher {index} is not a member at round {} (absent or departed); \
+                     its publication would be silently inert",
+                    publication.round
                 );
             }
             assert!(
@@ -462,12 +591,6 @@ impl ScenarioBuilder {
                 "publication scheduled at round {} can never run (max_rounds = {})",
                 publication.round,
                 self.scenario.max_rounds
-            );
-        }
-        for &(_, process) in &self.scenario.crash_schedule {
-            assert!(
-                process < n,
-                "crash-schedule index {process} out of range for a group of {n}"
             );
         }
         match self.scenario.membership {
@@ -506,6 +629,8 @@ mod tests {
             .loss(0.05)
             .crash_fraction(0.01)
             .crash_at(4, 2)
+            .join_at(3, 15)
+            .leave_at(6, 5)
             .publish(Publisher::Process(1), Event::builder(9).build())
             .publish_at(2, Publisher::Uniform, Event::builder(10).build())
             .trials(3)
@@ -514,12 +639,20 @@ mod tests {
             .build();
         assert_eq!(scenario.arity, 4);
         assert_eq!(scenario.depth, 2);
-        assert_eq!(scenario.group_size(), 16);
+        assert_eq!(scenario.capacity(), 16);
+        // Population-aware sizes: 15 joins mid-trial (absent at start) and
+        // 5 leaves, so the group starts at 15, peaks at 16 and ends at 15.
+        assert_eq!(scenario.group_size(), 15);
+        let sizes = scenario.population_sizes();
+        assert_eq!((sizes.initial, sizes.peak, sizes.end), (15, 16, 15));
+        assert_eq!(scenario.population().initially_absent(), &[15]);
         assert_eq!(scenario.protocol.fanout, 3);
         assert_eq!(scenario.matching_rate, 0.25);
         assert_eq!(scenario.loss_probability, 0.05);
         assert_eq!(scenario.crash_fraction, 0.01);
         assert_eq!(scenario.crash_schedule, vec![(4, 2)]);
+        assert_eq!(scenario.join_schedule, vec![(3, 15)]);
+        assert_eq!(scenario.leave_schedule, vec![(6, 5)]);
         assert_eq!(scenario.publications.len(), 2);
         assert_eq!(scenario.publications[0].round, 0);
         assert_eq!(scenario.publications[1].round, 2);
@@ -544,6 +677,53 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "join-schedule index")]
+    fn out_of_range_join_is_rejected() {
+        let _ = Scenario::builder().group(2, 2).join_at(1, 99).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member at round")]
+    fn publications_from_absent_publishers_are_rejected() {
+        // Process 7 only joins at round 5; publishing from it at round 2
+        // would be silently inert.
+        let _ = Scenario::builder()
+            .group(4, 2)
+            .join_at(5, 7)
+            .publish_at(2, Publisher::Process(7), Event::builder(1).build())
+            .build();
+    }
+
+    #[test]
+    fn publications_within_the_membership_interval_are_accepted() {
+        // Joining at 5 and publishing at 5 is fine (joins apply first);
+        // publishing from a process that later crashes is fine too.
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .join_at(5, 7)
+            .publish_at(5, Publisher::Process(7), Event::builder(1).build())
+            .crash_at(3, 2)
+            .publish(Publisher::Process(2), Event::builder(2).build())
+            .build();
+        assert_eq!(scenario.publications.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave scheduled at round")]
+    fn unreachable_leave_round_is_rejected() {
+        let _ = Scenario::builder().max_rounds(10).leave_at(10, 0).build();
+    }
+
+    #[test]
+    fn static_scenarios_report_the_full_tree() {
+        let scenario = Scenario::builder().group(4, 2).build();
+        assert!(scenario.population().is_static());
+        assert_eq!(scenario.group_size(), scenario.capacity());
+        let sizes = scenario.population_sizes();
+        assert_eq!((sizes.initial, sizes.peak, sizes.end), (16, 16, 16));
+    }
+
+    #[test]
     fn from_experiment_mirrors_the_point() {
         let config = ExperimentConfig::quick().with_matching_rate(0.3).with_seed(9);
         let scenario = Scenario::from_experiment(&config);
@@ -558,6 +738,8 @@ mod tests {
     fn serde_round_trip() {
         let scenario = Scenario::builder()
             .publish(Publisher::Interested, Event::builder(4).int("b", 2).build())
+            .join_at(3, 7)
+            .leave_at(5, 2)
             .build();
         let json = serde_json::to_string(&scenario).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();

@@ -110,6 +110,61 @@ impl<M> RoundContext<'_, M> {
     }
 }
 
+/// The kind of a membership lifecycle transition the engine applies and
+/// reports: a process coming up, leaving gracefully, or failing.
+///
+/// The variant order is meaningful: transitions scheduled for the same
+/// round apply joins first, then leaves, then crashes (the sort order of
+/// the merged lifecycle schedule), so mixed schedules stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LifecycleKind {
+    /// The process activates (an initial join or a re-join): it starts
+    /// taking part in rounds and receiving messages sent from now on.
+    Join,
+    /// The process deactivates gracefully (an unsubscribe): it announces
+    /// its departure, so membership layers may evict it eagerly.
+    Leave,
+    /// The process fails: it goes silent without announcement, so
+    /// membership layers can only detect it by missed contact.
+    Crash,
+}
+
+/// One membership lifecycle transition, reported to the observer installed
+/// with [`Simulation::with_lifecycle_observer`] at the moment it happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleTransition {
+    /// The process making the transition.
+    pub process: ProcessId,
+    /// What happened to it.
+    pub kind: LifecycleKind,
+}
+
+/// A trial's membership lifecycle: which processes start outside the group
+/// and which join/leave at which rounds.  Scheduled crashes stay on
+/// [`crate::CrashPlan`] (the fault model); this plan is the *membership*
+/// model — graceful, announced transitions.  Both schedules merge into one
+/// deterministic queue applied at the start of each round, ordered by
+/// `(round, kind, process)` with [`LifecycleKind`]'s `Join < Leave < Crash`
+/// order breaking same-round ties.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecyclePlan {
+    /// Processes that are not members when the simulation starts (they are
+    /// expected to appear in `joins`); marked down silently — no observer
+    /// notification, because no transition happened yet.
+    pub initially_absent: Vec<usize>,
+    /// `(round, process)` pairs joining during the run.
+    pub joins: Vec<(u64, usize)>,
+    /// `(round, process)` pairs leaving gracefully during the run.
+    pub leaves: Vec<(u64, usize)>,
+}
+
+impl LifecyclePlan {
+    /// Returns `true` if the plan contains no lifecycle activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.initially_absent.is_empty() && self.joins.is_empty() && self.leaves.is_empty()
+    }
+}
+
 /// Drives a set of [`RoundProcess`] state machines over a [`RoundNetwork`].
 ///
 /// The round loop is allocation-free after warm-up: the inbox and outbox
@@ -120,18 +175,21 @@ pub struct Simulation<P: RoundProcess> {
     processes: Vec<P>,
     network: RoundNetwork<P::Message>,
     protocol_rng: ChaCha8Rng,
-    scheduled_crashes: VecDeque<(u64, usize)>,
+    /// The merged lifecycle schedule (scheduled crashes from the
+    /// [`CrashPlan`] plus the [`LifecyclePlan`] joins/leaves), sorted by
+    /// `(round, kind, process)` and drained through a deque cursor.
+    scheduled_lifecycle: VecDeque<(u64, LifecycleKind, usize)>,
     round: u64,
     /// Reused across rounds: messages delivered at the current boundary.
     inbox: Vec<Envelope<P::Message>>,
     /// Reused across rounds: messages emitted by the process being driven.
     outbox: Vec<(ProcessId, P::Message, usize)>,
-    /// Invoked exactly once per crash, at the moment the process goes down
-    /// (initial [`CrashPlan`] fraction, scheduled crashes and manual
-    /// [`crash`](Self::crash) calls alike).  Lets layers living outside the
-    /// engine — e.g. a gossip membership provider — observe churn without
-    /// re-deriving the crash plan's random stream.
-    crash_observer: Option<Box<dyn FnMut(ProcessId)>>,
+    /// Invoked exactly once per lifecycle transition, at the moment it
+    /// happens (initial [`CrashPlan`] fraction, scheduled joins/leaves/
+    /// crashes and manual [`crash`](Self::crash) calls alike).  Lets layers
+    /// living outside the engine — e.g. a gossip membership provider —
+    /// observe churn without re-deriving the crash plan's random stream.
+    lifecycle_observer: Option<Box<dyn FnMut(LifecycleTransition)>>,
 }
 
 impl<P: RoundProcess> std::fmt::Debug for Simulation<P> {
@@ -147,7 +205,7 @@ impl<P: RoundProcess> Simulation<P> {
     /// Creates a simulation over the given processes and network
     /// configuration, applying any initial crash plan.
     pub fn new(processes: Vec<P>, config: NetworkConfig) -> Self {
-        Self::build(processes, config, None)
+        Self::build(processes, config, LifecyclePlan::default(), None)
     }
 
     /// Like [`new`](Self::new), but with a crash observer: `observer` is
@@ -156,34 +214,69 @@ impl<P: RoundProcess> Simulation<P> {
     /// very call.  The observer must not touch the simulation (it runs
     /// while the engine holds it mutably); it is meant for notifying
     /// co-simulated layers such as a gossip membership provider.
+    ///
+    /// This is the crash-only convenience over
+    /// [`with_lifecycle_observer`](Self::with_lifecycle_observer), which
+    /// additionally schedules joins and graceful leaves.
     pub fn with_crash_observer(
         processes: Vec<P>,
         config: NetworkConfig,
-        observer: impl FnMut(ProcessId) + 'static,
+        mut observer: impl FnMut(ProcessId) + 'static,
     ) -> Self {
-        Self::build(processes, config, Some(Box::new(observer)))
+        Self::build(
+            processes,
+            config,
+            LifecyclePlan::default(),
+            Some(Box::new(move |transition: LifecycleTransition| {
+                if transition.kind == LifecycleKind::Crash {
+                    observer(transition.process);
+                }
+            })),
+        )
+    }
+
+    /// Creates a simulation with a full membership lifecycle: the plan's
+    /// `initially_absent` processes start off the network (silently — no
+    /// transition happened yet), its joins activate them mid-run, its
+    /// leaves deactivate members gracefully, and the [`CrashPlan`] injects
+    /// failures as before.  `observer` is invoked exactly once per
+    /// transition — join, leave or crash — at the moment it happens, so a
+    /// co-simulated membership layer can mirror the population without
+    /// re-deriving any schedule.  Same-round transitions apply in
+    /// join-then-leave-then-crash order (see [`LifecycleKind`]).
+    pub fn with_lifecycle_observer(
+        processes: Vec<P>,
+        config: NetworkConfig,
+        lifecycle: LifecyclePlan,
+        observer: impl FnMut(LifecycleTransition) + 'static,
+    ) -> Self {
+        Self::build(processes, config, lifecycle, Some(Box::new(observer)))
     }
 
     fn build(
         processes: Vec<P>,
         config: NetworkConfig,
-        mut crash_observer: Option<Box<dyn FnMut(ProcessId)>>,
+        lifecycle: LifecyclePlan,
+        mut lifecycle_observer: Option<Box<dyn FnMut(LifecycleTransition)>>,
     ) -> Self {
         let mut seed_rng = ChaCha8Rng::seed_from_u64(config.seed);
         let network_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
         let protocol_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
         let mut network = RoundNetwork::new(processes.len(), config.loss_probability, network_rng);
-        let mut scheduled_crashes = VecDeque::new();
+        let mut schedule: Vec<(u64, LifecycleKind, usize)> = Vec::new();
         let crash_fraction = |network: &mut RoundNetwork<P::Message>,
                                   seed_rng: &mut ChaCha8Rng,
-                                  observer: &mut Option<Box<dyn FnMut(ProcessId)>>,
+                                  observer: &mut Option<Box<dyn FnMut(LifecycleTransition)>>,
                                   fraction: f64| {
             let mut crash_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
             for index in 0..processes.len() {
                 if crash_rng.gen_bool(fraction.clamp(0.0, 1.0)) {
                     network.crash(ProcessId(index));
                     if let Some(observer) = observer {
-                        observer(ProcessId(index));
+                        observer(LifecycleTransition {
+                            process: ProcessId(index),
+                            kind: LifecycleKind::Crash,
+                        });
                     }
                 }
             }
@@ -191,42 +284,70 @@ impl<P: RoundProcess> Simulation<P> {
         match &config.crash_plan {
             CrashPlan::None => {}
             CrashPlan::InitialFraction(fraction) => {
-                crash_fraction(&mut network, &mut seed_rng, &mut crash_observer, *fraction);
+                crash_fraction(&mut network, &mut seed_rng, &mut lifecycle_observer, *fraction);
             }
-            CrashPlan::Scheduled(schedule) => {
-                let mut sorted = schedule.clone();
-                sorted.sort();
-                scheduled_crashes = sorted.into();
+            CrashPlan::Scheduled(crashes) => {
+                schedule.extend(crashes.iter().map(|&(r, p)| (r, LifecycleKind::Crash, p)));
             }
-            CrashPlan::Mixed { fraction, schedule } => {
-                crash_fraction(&mut network, &mut seed_rng, &mut crash_observer, *fraction);
-                let mut sorted = schedule.clone();
-                sorted.sort();
-                scheduled_crashes = sorted.into();
+            CrashPlan::Mixed { fraction, schedule: crashes } => {
+                crash_fraction(&mut network, &mut seed_rng, &mut lifecycle_observer, *fraction);
+                schedule.extend(crashes.iter().map(|&(r, p)| (r, LifecycleKind::Crash, p)));
             }
+        }
+        schedule.extend(lifecycle.joins.iter().map(|&(r, p)| (r, LifecycleKind::Join, p)));
+        schedule.extend(lifecycle.leaves.iter().map(|&(r, p)| (r, LifecycleKind::Leave, p)));
+        schedule.sort();
+        // Initial absence is state, not a transition: the processes were
+        // never members, so the observer is not notified.
+        for &absent in &lifecycle.initially_absent {
+            network.crash(ProcessId(absent));
         }
         Self {
             processes,
             network,
             protocol_rng,
-            scheduled_crashes,
+            scheduled_lifecycle: schedule.into(),
             round: 0,
             inbox: Vec::new(),
             outbox: Vec::new(),
-            crash_observer,
+            lifecycle_observer,
+        }
+    }
+
+    fn notify(&mut self, id: ProcessId, kind: LifecycleKind) {
+        if let Some(observer) = &mut self.lifecycle_observer {
+            observer(LifecycleTransition { process: id, kind });
         }
     }
 
     /// Crashes a process (if it is not already down) and notifies the
-    /// crash observer on the transition.
+    /// lifecycle observer on the transition.
     fn crash_and_notify(&mut self, id: ProcessId) {
         if self.network.is_crashed(id) {
             return;
         }
         self.network.crash(id);
-        if let Some(observer) = &mut self.crash_observer {
-            observer(id);
+        self.notify(id, LifecycleKind::Crash);
+    }
+
+    /// Deactivates a process gracefully (if it is up) and notifies the
+    /// lifecycle observer of the leave.
+    fn leave_and_notify(&mut self, id: ProcessId) {
+        if self.network.is_crashed(id) {
+            return;
         }
+        self.network.crash(id);
+        self.notify(id, LifecycleKind::Leave);
+    }
+
+    /// Activates a process (if it is down) and notifies the lifecycle
+    /// observer of the join.
+    fn join_and_notify(&mut self, id: ProcessId) {
+        if !self.network.is_crashed(id) {
+            return;
+        }
+        self.network.activate(id);
+        self.notify(id, LifecycleKind::Join);
     }
 
     /// Number of simulated processes.
@@ -260,7 +381,8 @@ impl<P: RoundProcess> Simulation<P> {
         self.network.stats()
     }
 
-    /// Returns `true` if the given process has crashed.
+    /// Returns `true` if the given process is down — crashed, gracefully
+    /// departed, or not yet joined.
     pub fn is_crashed(&self, id: ProcessId) -> bool {
         self.network.is_crashed(id)
     }
@@ -270,23 +392,37 @@ impl<P: RoundProcess> Simulation<P> {
         self.crash_and_notify(id);
     }
 
-    /// Number of crashed processes.
+    /// Number of down processes (crashed, departed or not yet joined).
     pub fn crashed_count(&self) -> usize {
         self.network.crashed_count()
+    }
+
+    /// Number of scheduled lifecycle transitions (joins, leaves, scheduled
+    /// crashes) that have not been applied yet.  Callers stopping a run
+    /// early on quiescence should also wait for this to reach zero, so a
+    /// trial never ends with part of its declared schedule silently
+    /// unapplied.
+    pub fn pending_lifecycle(&self) -> usize {
+        self.scheduled_lifecycle.len()
     }
 
     /// Executes one synchronous round: deliver last round's messages, then
     /// let every live process act.  Reuses the simulation-owned inbox and
     /// outbox buffers, so steady-state rounds allocate nothing.
     pub fn step(&mut self) {
-        // Apply scheduled crashes for this round (O(1) per crash thanks to
-        // the deque cursor).
-        while let Some(&(when, index)) = self.scheduled_crashes.front() {
+        // Apply this round's lifecycle transitions (joins, then leaves,
+        // then crashes — the schedule's sort order; O(1) per transition
+        // thanks to the deque cursor).
+        while let Some(&(when, kind, index)) = self.scheduled_lifecycle.front() {
             if when > self.round {
                 break;
             }
-            self.crash_and_notify(ProcessId(index));
-            self.scheduled_crashes.pop_front();
+            match kind {
+                LifecycleKind::Join => self.join_and_notify(ProcessId(index)),
+                LifecycleKind::Leave => self.leave_and_notify(ProcessId(index)),
+                LifecycleKind::Crash => self.crash_and_notify(ProcessId(index)),
+            }
+            self.scheduled_lifecycle.pop_front();
         }
 
         let mut inbox = std::mem::take(&mut self.inbox);
@@ -585,6 +721,115 @@ mod tests {
         unique.sort();
         unique.dedup();
         assert_eq!(unique.len(), sim.crashed_count(), "no duplicate notifications");
+    }
+
+    #[test]
+    fn lifecycle_plan_activates_joiners_and_departs_leavers() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(usize, LifecycleKind)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let everyone: Vec<ProcessId> = (0..6).map(ProcessId).collect();
+        let processes: Vec<Flood> = (0..6)
+            .map(|i| Flood::new(everyone.clone(), i == 0))
+            .collect();
+        let plan = LifecyclePlan {
+            initially_absent: vec![5],
+            joins: vec![(2, 5)],
+            leaves: vec![(3, 1)],
+        };
+        assert!(!plan.is_empty());
+        assert!(LifecyclePlan::default().is_empty());
+        let mut sim = Simulation::with_lifecycle_observer(
+            processes,
+            NetworkConfig::reliable(4),
+            plan,
+            move |t| sink.borrow_mut().push((t.process.0, t.kind)),
+        );
+        // Initial absence is silent and keeps the process off the network.
+        assert!(sim.is_crashed(ProcessId(5)));
+        assert!(seen.borrow().is_empty());
+        sim.step(); // round 0: seed floods to everyone; 5 is down, misses it
+        sim.step(); // round 1: deliveries
+        assert!(!sim.process(ProcessId(5)).has_token, "absent process missed the flood");
+        sim.step(); // round 2: 5 joins
+        assert!(!sim.is_crashed(ProcessId(5)));
+        sim.step(); // round 3: 1 leaves
+        assert!(sim.is_crashed(ProcessId(1)));
+        assert!(sim.process(ProcessId(1)).has_token, "the leaver was a member before");
+        assert_eq!(
+            *seen.borrow(),
+            vec![(5, LifecycleKind::Join), (1, LifecycleKind::Leave)]
+        );
+    }
+
+    #[test]
+    fn same_round_lifecycle_transitions_apply_join_leave_crash() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(usize, LifecycleKind)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let everyone: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let processes: Vec<Flood> = (0..4)
+            .map(|i| Flood::new(everyone.clone(), i == 0))
+            .collect();
+        let config = NetworkConfig::reliable(7)
+            .with_crash_plan(CrashPlan::Scheduled(vec![(1, 2)]));
+        let plan = LifecyclePlan {
+            initially_absent: vec![3],
+            joins: vec![(1, 3)],
+            leaves: vec![(1, 1)],
+        };
+        let mut sim = Simulation::with_lifecycle_observer(processes, config, plan, move |t| {
+            sink.borrow_mut().push((t.process.0, t.kind))
+        });
+        sim.step(); // round 0
+        sim.step(); // round 1: join(3), leave(1), crash(2) in that order
+        assert_eq!(
+            *seen.borrow(),
+            vec![
+                (3, LifecycleKind::Join),
+                (1, LifecycleKind::Leave),
+                (2, LifecycleKind::Crash)
+            ]
+        );
+        // A joiner can re-join the dissemination: give 3 the token and it
+        // floods like any live process.
+        sim.process_mut(ProcessId(3)).has_token = true;
+        let before = sim.stats().messages_sent;
+        sim.step();
+        assert!(sim.stats().messages_sent > before, "re-activated process sends");
+    }
+
+    #[test]
+    fn rejoin_after_leave_is_notified_once_each() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(usize, LifecycleKind)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let everyone: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        let processes: Vec<Flood> = (0..3)
+            .map(|i| Flood::new(everyone.clone(), i == 0))
+            .collect();
+        let plan = LifecyclePlan {
+            initially_absent: Vec::new(),
+            joins: vec![(2, 1), (2, 1)], // duplicate join is idempotent
+            leaves: vec![(1, 1)],
+        };
+        let mut sim = Simulation::with_lifecycle_observer(
+            processes,
+            NetworkConfig::reliable(2),
+            plan,
+            move |t| sink.borrow_mut().push((t.process.0, t.kind)),
+        );
+        sim.step(); // round 0
+        sim.step(); // round 1: leave
+        sim.step(); // round 2: re-join (second join is a no-op)
+        assert_eq!(
+            *seen.borrow(),
+            vec![(1, LifecycleKind::Leave), (1, LifecycleKind::Join)]
+        );
+        assert!(!sim.is_crashed(ProcessId(1)));
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   state machine per process and advances them in lockstep rounds;
 //! * [`CrashPlan`] — failure injection: crash chosen processes at chosen
 //!   rounds, or a random fraction of the group;
+//! * [`LifecyclePlan`] — the membership lifecycle: processes that start
+//!   outside the group, join mid-run, or leave gracefully, with every
+//!   transition reported to a [`Simulation::with_lifecycle_observer`]
+//!   callback as a [`LifecycleTransition`];
 //! * [`TrafficStats`] — messages sent / delivered / lost / suppressed, used
 //!   by the evaluation to compare pmcast against flooding baselines.
 //!
@@ -67,6 +71,8 @@ mod network;
 mod stats;
 
 pub use config::{CrashPlan, NetworkConfig};
-pub use engine::{RoundContext, RoundProcess, Simulation};
+pub use engine::{
+    LifecycleKind, LifecyclePlan, LifecycleTransition, RoundContext, RoundProcess, Simulation,
+};
 pub use network::{Envelope, ProcessId, RoundNetwork};
 pub use stats::TrafficStats;

@@ -100,10 +100,22 @@ impl<M> RoundNetwork<M> {
         &self.stats
     }
 
-    /// Marks a process as crashed; it no longer sends or receives anything.
+    /// Marks a process as down; it no longer sends or receives anything.
+    /// The flag covers every way of being off the network — a crash, a
+    /// graceful leave, or not having joined yet; the [`crate::Simulation`]
+    /// layer distinguishes the transitions.
     pub fn crash(&mut self, process: ProcessId) {
         if let Some(flag) = self.crashed.get_mut(process.0) {
             *flag = true;
+        }
+    }
+
+    /// Re-activates a process previously marked down (a join or re-join).
+    /// Messages addressed to it while it was down stay dropped: a joiner
+    /// only sees traffic sent after its activation.
+    pub fn activate(&mut self, process: ProcessId) {
+        if let Some(flag) = self.crashed.get_mut(process.0) {
+            *flag = false;
         }
     }
 
@@ -252,6 +264,25 @@ mod tests {
         let delivered = net.deliver_round();
         assert!(delivered.is_empty());
         assert_eq!(net.stats().messages_to_crashed, 1);
+    }
+
+    #[test]
+    fn activation_brings_a_process_back_on_the_network() {
+        let mut net = network(3, 0.0);
+        net.crash(ProcessId(1));
+        // Traffic addressed to the down process is dropped …
+        net.send(ProcessId(0), ProcessId(1), 1, 0);
+        assert!(net.deliver_round().is_empty());
+        net.activate(ProcessId(1));
+        assert!(!net.is_crashed(ProcessId(1)));
+        // … and only messages sent after activation arrive.
+        net.send(ProcessId(0), ProcessId(1), 2, 0);
+        let delivered = net.deliver_round();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].message, 2);
+        // Out-of-range activation is a no-op.
+        net.activate(ProcessId(9));
+        assert!(net.is_crashed(ProcessId(9)));
     }
 
     #[test]

@@ -35,9 +35,20 @@
 //! tables (per-depth delegate slots that contain pmcast's tree delegates
 //! by construction).  Workloads
 //! are described declaratively with the [`Scenario`] builder — including a
-//! [`MembershipSpec`] axis — and executed by one generic trial loop
+//! [`MembershipSpec`] axis and `join_at` / `leave_at` lifecycle schedules
+//! over a sparse [`Population`] — and executed by one generic trial loop
 //! ([`sim::runner`]), so comparing protocols or adding workloads never
 //! duplicates simulation code.
+//!
+//! Two lifecycle vocabularies coexist at this root, one per layer:
+//! [`LifecycleEvent`] / [`LifecycleEventKind`] (from `pmcast-membership`)
+//! describe a [`Population`]'s *scheduled membership events* — joins and
+//! graceful leaves only, since crashes are a fault model, not membership —
+//! while [`LifecycleTransition`] / [`LifecycleKind`] (from
+//! `pmcast-simnet`) are the *applied engine transitions* the
+//! [`Simulation`] reports to its lifecycle observer, which do include
+//! `Crash`.  Schedules are written in the former; observers receive the
+//! latter.
 //!
 //! ## Quick start
 //!
@@ -142,7 +153,11 @@ pub use pmcast_interest::{
 };
 pub use pmcast_membership::{
     AssignmentOracle, DelegateView, DelegateViewConfig, GlobalOracleView, GroupTree,
-    ImplicitRegularTree, InterestOracle, MembershipManager, MembershipView, PartialView,
-    PartialViewConfig, SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
+    ImplicitRegularTree, InterestOracle, LifecycleEvent, LifecycleEventKind, MembershipManager,
+    MembershipView, PartialView, PartialViewConfig, Population, PopulationSizes,
+    SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
 };
-pub use pmcast_simnet::{NetworkConfig, ProcessId, Simulation, TrafficStats};
+pub use pmcast_simnet::{
+    LifecycleKind, LifecyclePlan, LifecycleTransition, NetworkConfig, ProcessId, Simulation,
+    TrafficStats,
+};

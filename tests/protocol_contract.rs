@@ -20,12 +20,16 @@
 //! full-knowledge bounds (every peer discoverable), which must preserve the
 //! exact guarantees; smaller views trade delivery for knowledge — that
 //! regime is covered by the scenario-level tests at the bottom and by
-//! `examples/partial_view_sweep.rs`.  Two deterministic proptests assert
-//! the membership layer's own invariants: a [`PartialView`] under the
-//! default churn-free scenario converges to (and never leaves) a connected
-//! overlay with every live process reachable, and a [`DelegateView`] under
-//! crash/unsubscribe churn re-elects delegates so that every occupied
-//! subtree keeps at least one live seated delegate.
+//! `examples/partial_view_sweep.rs`.  A scenario-level lifecycle test runs
+//! the three-protocol × three-provider matrix under a **mixed
+//! join/leave/crash schedule** (including joins into a subgroup that
+//! starts empty).  Three deterministic proptests assert the membership
+//! layer's own invariants: a [`PartialView`] under the default churn-free
+//! scenario converges to (and never leaves) a connected overlay with every
+//! live process reachable, and a [`DelegateView`] under crash/unsubscribe
+//! churn — bootstrapped over the full tree *or* a sparse population —
+//! re-elects delegates so that every occupied subtree keeps at least one
+//! live seated delegate.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -405,6 +409,74 @@ fn delegate_views_restore_pmcast_reliability_at_bounded_size() {
     }
 }
 
+#[test]
+fn conformance_holds_under_mixed_join_leave_crash_schedules() {
+    // The dynamic-lifecycle acceptance bar for the conformance suite: one
+    // scenario mixing joins (including into a subgroup that starts empty),
+    // graceful leaves and crashes runs on all three protocols under all
+    // three membership providers — through the single generic trial loop,
+    // deterministically in parallel — and the protocols keep disseminating
+    // to the processes that are actually there.
+    let scenario_with = |membership: MembershipSpec| {
+        Scenario::builder()
+            .group(4, 3) // 64 addresses
+            .matching_rate(1.0)
+            // Leaf subgroup 15 (indices 60..64) starts empty and fills at
+            // round 2 — the flash-crowd corner the sparse bootstrap exists
+            // for.
+            .join_at(2, 60)
+            .join_at(2, 61)
+            .join_at(2, 62)
+            .join_at(2, 63)
+            // Graceful unsubscribes and a crash, spread over early rounds.
+            .leave_at(3, 1)
+            .leave_at(4, 17)
+            .leave_at(5, 33)
+            .crash_at(4, 9)
+            // One event before the churn, one after the joins.
+            .publish(Publisher::Process(0), Event::builder(1).int("b", 1).build())
+            .publish_at(6, Publisher::Process(5), Event::builder(2).int("b", 2).build())
+            .membership(membership)
+            .trials(2)
+            .seed(13)
+            .build()
+    };
+    for membership in [
+        MembershipSpec::Global,
+        MembershipSpec::partial(31),
+        MembershipSpec::delegate(4),
+    ] {
+        let scenario = scenario_with(membership);
+        let sizes = scenario.population_sizes();
+        assert_eq!((sizes.initial, sizes.peak, sizes.end), (60, 64, 61));
+        for protocol in [
+            Protocol::Pmcast,
+            Protocol::FloodBroadcast,
+            Protocol::GenuineMulticast,
+        ] {
+            let outcomes = scenario.run(protocol);
+            for outcome in &outcomes {
+                assert!(outcome.messages_sent > 0, "{protocol:?}/{membership:?}");
+                assert_eq!(outcome.per_event.len(), 2, "{protocol:?}/{membership:?}");
+                // The round-6 event starts after the churn settles: the
+                // joiners are up, and the audience that is actually present
+                // is reached in bulk by every protocol under every provider.
+                let late = &outcome.per_event[1];
+                assert!(
+                    late.delivery_ratio() > 0.5,
+                    "{protocol:?}/{membership:?}: post-churn event collapsed: {late:?}"
+                );
+            }
+            assert_eq!(
+                outcomes,
+                scenario.run_parallel(protocol),
+                "{protocol:?}/{membership:?}: lifecycle trials must stay deterministic \
+                 in parallel"
+            );
+        }
+    }
+}
+
 /// Live-to-live reachability from process 0 over the view edges.
 fn reachable_live(view: &PartialView, n: usize) -> usize {
     let start = (0..n).find(|&p| view.is_live(p)).expect("somebody is live");
@@ -461,38 +533,81 @@ proptest! {
         seed in 0u64..1_000_000,
         churn in proptest::collection::vec((0usize..27, any::<bool>()), 0..8),
     ) {
-        const ARITY: usize = 3;
-        const DEPTH: usize = 3;
-        let n = ARITY.pow(DEPTH as u32); // 27
-        let config = DelegateViewConfig::default().with_slots(2);
-        let view = DelegateView::bootstrap(ARITY as u32, DEPTH, config, seed);
-        for (victim, is_crash) in churn {
-            if is_crash {
-                view.observe_crash(victim);
-            } else {
-                view.observe_leave(victim);
-            }
-            view.round_elapsed();
+        let view = DelegateView::bootstrap(
+            3,
+            3,
+            DelegateViewConfig::default().with_slots(2),
+            seed,
+        );
+        assert_delegate_cover_after_churn(&view, churn, 27 - 8);
+    }
+
+    /// The same invariant on **sparse** populations: bootstrap over a
+    /// partially occupied tree (gap-aware seating), churn it, and every
+    /// occupied subtree still keeps at least one live seated delegate in
+    /// every live process's slot groups.
+    #[test]
+    fn gap_aware_re_election_keeps_live_delegates_on_sparse_populations(
+        seed in 0u64..1_000_000,
+        absent in proptest::collection::vec(0usize..27, 0..8),
+        churn in proptest::collection::vec((0usize..27, any::<bool>()), 0..6),
+    ) {
+        // Punch at most 7 distinct occupancy gaps so a clear majority of
+        // the 27 addresses stays occupied through bootstrap *and* churn.
+        let mut occupied = vec![true; 27];
+        for gap in absent {
+            occupied[gap] = false;
         }
-        // Settle: let gossip spread re-election candidates.
-        for _ in 0..40 {
-            view.round_elapsed();
+        let live_start = occupied.iter().filter(|&&o| o).count();
+        let view = DelegateView::bootstrap_sparse(
+            3,
+            3,
+            DelegateViewConfig::default().with_slots(2),
+            seed,
+            &occupied,
+        );
+        assert_delegate_cover_after_churn(&view, churn, live_start.saturating_sub(6));
+    }
+}
+
+/// Applies a churn sequence (crash/leave per round), settles gossip, and
+/// asserts that every live process still seats ≥ 1 live delegate for every
+/// *occupied* subtree of every depth — the re-election invariant shared by
+/// the full-population and sparse-population proptests (3-ary, depth 3).
+fn assert_delegate_cover_after_churn(
+    view: &DelegateView,
+    churn: Vec<(usize, bool)>,
+    min_live: usize,
+) {
+    const ARITY: usize = 3;
+    const DEPTH: usize = 3;
+    let n = ARITY.pow(DEPTH as u32); // 27
+    for (victim, is_crash) in churn {
+        if is_crash {
+            view.observe_crash(victim);
+        } else {
+            view.observe_leave(victim);
         }
-        let alive = |p: usize| view.is_live(p);
-        prop_assert!((0..n).filter(|&p| alive(p)).count() >= n - 8);
-        for q in (0..n).filter(|&p| alive(p)) {
-            for depth in 1..=DEPTH {
-                let span = ARITY.pow((DEPTH - depth + 1) as u32);
-                let sub = ARITY.pow((DEPTH - depth) as u32);
-                for g in 0..ARITY {
-                    let base = (q / span) * span + g * sub;
-                    let occupied = (base..base + sub).any(|m| m != q && alive(m));
-                    if occupied {
-                        prop_assert!(
-                            !view.live_delegates_of(q, depth, g).is_empty(),
-                            "process {q} lost all live delegates of depth-{depth} subgroup {g}"
-                        );
-                    }
+        view.round_elapsed();
+    }
+    // Settle: let gossip spread re-election candidates.
+    for _ in 0..40 {
+        view.round_elapsed();
+    }
+    let alive = |p: usize| view.is_live(p);
+    assert!((0..n).filter(|&p| alive(p)).count() >= min_live);
+    for q in (0..n).filter(|&p| alive(p)) {
+        for depth in 1..=DEPTH {
+            let span = ARITY.pow((DEPTH - depth + 1) as u32);
+            let sub = ARITY.pow((DEPTH - depth) as u32);
+            for g in 0..ARITY {
+                let base = (q / span) * span + g * sub;
+                let occupied = (base..base + sub).any(|m| m != q && alive(m));
+                if occupied {
+                    assert!(
+                        !view.live_delegates_of(q, depth, g).is_empty(),
+                        "process {q} lost all live delegates of depth-{depth} subgroup {g}"
+                    );
                 }
             }
         }
