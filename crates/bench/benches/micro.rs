@@ -15,7 +15,7 @@ use pmcast_membership::{
     AssignmentOracle, DelegateView, DelegateViewConfig, GlobalOracleView, ImplicitRegularTree,
     InterestOracle, MembershipView,
 };
-use pmcast_simnet::{NetworkConfig, ProcessId, Simulation};
+use pmcast_simnet::{FaultPlan, NetworkConfig, ProcessId, Simulation};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -199,6 +199,25 @@ fn bench(c: &mut Criterion) {
             let built =
                 PmcastFactory::build(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
             let mut sim = Simulation::new(built.processes, NetworkConfig::reliable(1));
+            sim.process_mut(ProcessId(0)).pmcast(Event::builder(4).build());
+            sim.run_rounds(5);
+            sim.stats().messages_sent
+        })
+    });
+    // The same workload through the timing-wheel delay queue: every link
+    // carries 0–2 rounds of extra jitter, so each send is classified
+    // (hash the link, pick the wheel slot) and each boundary drains the
+    // wheel alongside `in_flight`.  The gap to `gossip_rounds_n512` is the
+    // whole cost of the delay axis; it must stay a small constant factor,
+    // and the axis must stay free when absent (that case IS
+    // `gossip_rounds_n512`).
+    group.bench_function("delayed_delivery_n512", |b| {
+        b.iter(|| {
+            let built =
+                PmcastFactory::build(&topology, oracle.clone(), global_view(), &PmcastConfig::default());
+            let config = NetworkConfig::reliable(1)
+                .with_fault_plan(FaultPlan::default().with_link_delay(0, 2));
+            let mut sim = Simulation::new(built.processes, config);
             sim.process_mut(ProcessId(0)).pmcast(Event::builder(4).build());
             sim.run_rounds(5);
             sim.stats().messages_sent

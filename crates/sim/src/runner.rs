@@ -68,6 +68,32 @@
 //! schedules therefore reproduce the historical streams bit for bit, and
 //! lifecycle scenarios stay bit-identical under the parallel runner.
 //!
+//! **Fault axes are stream-neutral when inactive.**  The adversarial fault
+//! plan a scenario compiles ([`Scenario::fault_plan`], executed by
+//! [`pmcast_simnet::FaultPlan`]) draws randomness only from the network
+//! stream (rule 2), and only when an axis is genuinely active:
+//!
+//! * **Per-link delay** consumes exactly one `u64` (the per-trial link
+//!   salt) from the network's message stream at construction time, *iff*
+//!   `min_extra < max_extra` — a constant-delay axis (`min == max`),
+//!   including the neutral `(0, 0)`, consumes nothing.  Each link's jitter
+//!   is then a pure hash of `(salt, from, to)`, so no further draws happen
+//!   during the run.
+//! * **Partitions** and **stragglers** are fully deterministic round
+//!   schedules and consume no randomness at all; a partition drop is
+//!   checked *before* the loss draw, so a partitioned message does not
+//!   consume the `gen_bool` a delivered one would.
+//! * **Subtree loss overrides** replace the message's single
+//!   `gen_bool(ε)` with a single `gen_bool` at the composed probability —
+//!   same one draw, so the loss stream stays aligned for messages outside
+//!   every override range.
+//!
+//! Declared-but-inactive axes (`link_delay(0, 0)`, partitions with fewer
+//! than two cells or an empty window, overrides with zero probability,
+//! stragglers with period ≤ 1) are filtered out at network construction
+//! and consume nothing, so a scenario declaring only neutral axes is
+//! **bit-identical** to one declaring none — the golden tests assert this.
+//!
 //! Because nothing is drawn from state shared between trials, the parallel
 //! runner [`run_trials_parallel`] is bit-identical to the sequential
 //! [`run_trials`] (asserted by the test suite).
@@ -235,6 +261,78 @@ impl ExperimentConfig {
     }
 }
 
+/// Per-event delivery-latency histogram of one trial: how many rounds
+/// after its publication each process **first delivered** the event.
+///
+/// The publisher itself records latency 0 (it delivers locally in its
+/// publish round); a process that never delivers appears in no bucket, so
+/// [`delivered`](Self::delivered) matches the event's
+/// `delivered_interested` count.  Recorded by the generic trial loop for
+/// every protocol via [`MulticastProtocol::has_delivered`] — protocol state
+/// is scanned between rounds, so tracking changes no random stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryLatency {
+    /// The event this histogram describes.
+    pub event: EventId,
+    /// The round of the event's first publication.
+    pub publish_round: u64,
+    /// `counts[l]` = processes that first delivered the event `l` rounds
+    /// after `publish_round`.
+    pub counts: Vec<u64>,
+}
+
+impl DeliveryLatency {
+    /// Total processes that delivered the event.
+    pub fn delivered(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean delivery latency in rounds (0 when nobody delivered).
+    pub fn mean(&self) -> f64 {
+        let total = self.delivered();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(latency, &count)| latency as u64 * count)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// The smallest latency by which at least `q` (in `[0, 1]`) of the
+    /// deliveries had happened (0 when nobody delivered) — e.g.
+    /// `quantile(1.0)` is the worst-case latency-to-deliver.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.delivered();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut cumulative = 0;
+        for (latency, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= threshold {
+                return latency as u64;
+            }
+        }
+        (self.counts.len() as u64).saturating_sub(1)
+    }
+
+    /// Adds another histogram of the **same event shape** bucket-wise
+    /// (aggregating the same scenario across trials).
+    pub fn merge(&mut self, other: &DeliveryLatency) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (bucket, &count) in other.counts.iter().enumerate() {
+            self.counts[bucket] += count;
+        }
+    }
+}
+
 /// Outcome of one multicast trial.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrialOutcome {
@@ -246,6 +344,9 @@ pub struct TrialOutcome {
     /// schedule order (publishing the same event from several processes is
     /// one dissemination and yields one report).
     pub per_event: Vec<MulticastReport>,
+    /// One delivery-latency histogram per distinct event, in the same
+    /// order as [`per_event`](Self::per_event).
+    pub latency: Vec<DeliveryLatency>,
     /// Gossip messages handed to the network.
     pub messages_sent: u64,
     /// Rounds executed before quiescence (or the cap).
@@ -391,6 +492,7 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
     let network = NetworkConfig {
         loss_probability: scenario.loss_probability,
         crash_plan: crash_plan(scenario),
+        fault_plan: scenario.fault_plan(),
         seed,
     };
     // The trial's population: occupancy gaps and their deterministic
@@ -437,6 +539,29 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
     let mut injection_order: Vec<usize> = (0..schedule.len()).collect();
     injection_order.sort_by_key(|&index| schedule[index].0);
 
+    // One latency tracker per distinct event id, in first-publication
+    // schedule order (matching `per_event`); a redundant publisher of the
+    // same id keeps the earliest publish round as the latency origin.
+    struct LatencyTracker {
+        event: EventId,
+        publish_round: u64,
+        recorded: Vec<bool>,
+        counts: Vec<u64>,
+    }
+    let process_count = topology.member_count();
+    let mut trackers: Vec<LatencyTracker> = Vec::with_capacity(schedule.len());
+    for (round, _, event) in &schedule {
+        match trackers.iter_mut().find(|t| t.event == event.id()) {
+            Some(tracker) => tracker.publish_round = tracker.publish_round.min(*round),
+            None => trackers.push(LatencyTracker {
+                event: event.id(),
+                publish_round: *round,
+                recorded: vec![false; process_count],
+                counts: Vec::new(),
+            }),
+        }
+    }
+
     // The membership provider: global knowledge (bit-identical to the
     // historical construction), a per-trial gossip-bootstrapped flat
     // partial view, or the hierarchical delegate tables — bootstrapped
@@ -480,6 +605,25 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
         membership.round_elapsed();
         sim.step();
         rounds += 1;
+        // Record first deliveries of the round just executed (`rounds - 1`)
+        // by scanning protocol state — reads only, so the scan is invisible
+        // to every random stream of the seed contract.
+        let executed = rounds - 1;
+        for tracker in &mut trackers {
+            if tracker.publish_round > executed {
+                continue;
+            }
+            let latency = (executed - tracker.publish_round) as usize;
+            for (index, process) in sim.processes().enumerate() {
+                if !tracker.recorded[index] && process.has_delivered(tracker.event) {
+                    tracker.recorded[index] = true;
+                    if tracker.counts.len() <= latency {
+                        tracker.counts.resize(latency + 1, 0);
+                    }
+                    tracker.counts[latency] += 1;
+                }
+            }
+        }
         // Stop once nothing can change any more: every publication is in,
         // the declared lifecycle schedule has fully applied (a trial must
         // never end with a validated join/leave/crash silently pending —
@@ -520,9 +664,21 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
     for event_report in &per_event {
         report.merge(event_report);
     }
+    // Trackers were created in the same first-publication schedule order
+    // as `seen_ids`, so `latency` lines up with `per_event` index-wise.
+    let latency: Vec<DeliveryLatency> = trackers
+        .into_iter()
+        .map(|tracker| DeliveryLatency {
+            event: tracker.event,
+            publish_round: tracker.publish_round,
+            counts: tracker.counts,
+        })
+        .collect();
+    debug_assert_eq!(latency.len(), per_event.len());
     TrialOutcome {
         report,
         per_event,
+        latency,
         messages_sent: sim.stats().messages_sent,
         rounds,
     }
@@ -598,6 +754,7 @@ pub fn run_experiment_parallel(config: &ExperimentConfig) -> AggregateOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmcast_simnet::FaultPlan;
 
     #[test]
     fn quick_profile_shape() {
@@ -663,12 +820,14 @@ mod tests {
             TrialOutcome {
                 report: report_a,
                 per_event: vec![report_a],
+                latency: Vec::new(),
                 messages_sent: 100,
                 rounds: 10,
             },
             TrialOutcome {
                 report: report_b,
                 per_event: vec![report_b],
+                latency: Vec::new(),
                 messages_sent: 200,
                 rounds: 20,
             },
@@ -1089,6 +1248,176 @@ mod tests {
             event: Event::builder(2).build(),
         });
         let _ = run_scenario_trial_with(&scenario, Protocol::Pmcast, 0);
+    }
+
+    #[test]
+    fn latency_histograms_account_for_every_delivery() {
+        let config = ExperimentConfig::quick().with_trials(1);
+        let outcome = run_trial(&config, 0);
+        assert_eq!(outcome.latency.len(), outcome.per_event.len());
+        let histogram = &outcome.latency[0];
+        assert_eq!(
+            histogram.delivered(),
+            outcome.report.delivered_interested as u64,
+            "every delivery lands in exactly one latency bucket"
+        );
+        assert_eq!(histogram.publish_round, 0);
+        assert_eq!(histogram.counts[0], 1, "the publisher delivers at latency 0");
+        assert!(histogram.mean() > 0.0);
+        assert!(histogram.quantile(0.5) <= histogram.quantile(1.0));
+        assert!((histogram.quantile(1.0) as usize) < histogram.counts.len());
+    }
+
+    #[test]
+    fn latency_origin_is_the_publish_round() {
+        // An event published at round 4 must measure latency from round 4,
+        // not from the start of the trial.
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .publish_at(4, Publisher::Process(0), Event::builder(7).build())
+            .seed(6)
+            .build();
+        let outcome = &scenario.run(Protocol::FloodBroadcast)[0];
+        let histogram = &outcome.latency[0];
+        assert_eq!(histogram.publish_round, 4);
+        assert_eq!(histogram.counts[0], 1);
+        assert_eq!(histogram.delivered(), 16);
+        // A reliable flood over 16 processes finishes within a few hops.
+        assert!(histogram.quantile(1.0) <= 4, "{:?}", histogram.counts);
+    }
+
+    #[test]
+    fn delivery_latency_helpers_compute_mean_quantile_and_merge() {
+        let mut histogram = DeliveryLatency {
+            event: Event::builder(1).build().id(),
+            publish_round: 0,
+            counts: vec![1, 0, 3],
+        };
+        assert_eq!(histogram.delivered(), 4);
+        assert!((histogram.mean() - 1.5).abs() < 1e-12);
+        assert_eq!(histogram.quantile(0.25), 0);
+        assert_eq!(histogram.quantile(1.0), 2);
+        let other = DeliveryLatency {
+            event: histogram.event,
+            publish_round: 0,
+            counts: vec![0, 2, 0, 5],
+        };
+        histogram.merge(&other);
+        assert_eq!(histogram.counts, vec![1, 2, 3, 5]);
+        let empty = DeliveryLatency {
+            event: histogram.event,
+            publish_round: 0,
+            counts: Vec::new(),
+        };
+        assert_eq!(empty.delivered(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn link_delay_stretches_latency_without_losing_deliveries() {
+        let base = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .publish(Publisher::Process(0), Event::builder(5).build())
+            .seed(9);
+        let fast = base.clone().build();
+        let slow = base.link_delay(1, 3).build();
+        let fast_outcome = &fast.run(Protocol::FloodBroadcast)[0];
+        let slow_outcome = &slow.run(Protocol::FloodBroadcast)[0];
+        assert_eq!(fast_outcome.report.delivered_interested, 16);
+        assert_eq!(
+            slow_outcome.report.delivered_interested, 16,
+            "delay postpones but never destroys messages"
+        );
+        assert!(
+            slow_outcome.latency[0].mean() > fast_outcome.latency[0].mean(),
+            "slow {:?} vs fast {:?}",
+            slow_outcome.latency[0].counts,
+            fast_outcome.latency[0].counts
+        );
+        assert!(slow_outcome.rounds > fast_outcome.rounds);
+    }
+
+    #[test]
+    fn healing_partition_delays_the_other_cell_until_heal() {
+        // Publisher in cell 0; the partition [0, 6) cuts the group in two
+        // cells, so cell 1 (processes 8..16) can only deliver after the
+        // heal at round 6.
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .partition(0, 6, 2)
+            .publish(Publisher::Process(0), Event::builder(5).build())
+            .seed(9)
+            .build();
+        let outcome = &scenario.run(Protocol::FloodBroadcast)[0];
+        assert_eq!(
+            outcome.report.delivered_interested, 16,
+            "the partition heals, so everybody eventually delivers: {:?}",
+            outcome.report
+        );
+        let histogram = &outcome.latency[0];
+        // Nobody in the other cell can deliver before round 6, so at most
+        // the 8 processes of cell 0 appear in buckets 0..6.
+        let early: u64 = histogram.counts.iter().take(6).sum();
+        assert!(early <= 8, "{:?}", histogram.counts);
+        assert!(histogram.quantile(1.0) >= 6, "{:?}", histogram.counts);
+    }
+
+    #[test]
+    fn subtree_loss_degrades_only_the_lossy_subtree() {
+        // Subtree [3] (processes 12..16) suffers heavy extra loss; the other
+        // twelve processes stay on the reliable network.
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .matching_rate(1.0)
+            .subtree_loss(&[3], 0.9)
+            .publish(Publisher::Process(0), Event::builder(5).build())
+            .trials(4)
+            .seed(9)
+            .max_rounds(30)
+            .build();
+        for outcome in scenario.run(Protocol::FloodBroadcast) {
+            assert!(
+                outcome.report.delivered_interested >= 12,
+                "the healthy subtrees must not be affected: {:?}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn declared_but_inactive_fault_axes_are_bit_identical_to_no_plan() {
+        // Every axis declared with its neutral value must leave all three
+        // random streams untouched — outcome equality is exact, including
+        // latency histograms.
+        let base = || {
+            Scenario::builder()
+                .group(4, 3)
+                .matching_rate(0.6)
+                .loss(0.05)
+                .crash_fraction(0.05)
+                .trials(2)
+                .seed(31)
+        };
+        let plain = base().build();
+        let neutral = base()
+            .link_delay(0, 0)
+            .partition(3, 3, 4) // empty window
+            .partition(2, 9, 1) // single cell
+            .subtree_loss(&[1], 0.0)
+            .straggler(5, 1)
+            .build();
+        assert!(neutral.fault_plan() != FaultPlan::default(), "axes are declared");
+        for protocol in [
+            Protocol::Pmcast,
+            Protocol::FloodBroadcast,
+            Protocol::GenuineMulticast,
+        ] {
+            assert_eq!(plain.run(protocol), neutral.run(protocol), "{protocol:?}");
+        }
     }
 
     #[test]

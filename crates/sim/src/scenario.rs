@@ -37,6 +37,7 @@ use pmcast_membership::{
     DelegateView, DelegateViewConfig, GlobalOracleView, MembershipView, PartialView,
     PartialViewConfig, Population, PopulationSizes,
 };
+use pmcast_simnet::{FaultPlan, LinkDelay, PartitionWindow, Straggler};
 use serde::{Deserialize, Serialize};
 
 use crate::runner::{
@@ -224,6 +225,22 @@ pub struct Publication {
     pub event: Event,
 }
 
+/// Correlated loss over one subtree of the scenario's `arity^depth` group:
+/// every message **to or from** a process under `prefix` suffers an extra
+/// independent loss probability on top of the global `ε` (the two loss
+/// sources compose multiplicatively).  This is the scenario-level face of a
+/// [`pmcast_simnet::LossOverride`] — the builder translates the tree prefix
+/// into the subtree's contiguous dense-index range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubtreeLoss {
+    /// Tree coordinates of the lossy subtree, most significant level first
+    /// (e.g. `[2, 0]` is subgroup 0 within top-level subgroup 2); the empty
+    /// prefix covers the whole group.
+    pub prefix: Vec<u32>,
+    /// Extra loss probability applied to the subtree's links.
+    pub loss_probability: f64,
+}
+
 /// Everything that happens in one Monte-Carlo trial, independent of the
 /// protocol disseminating it: group shape, protocol parameters, interest
 /// workload, fault model and publish schedule.
@@ -267,6 +284,18 @@ pub struct Scenario {
     /// announced, so membership providers evict the leaver eagerly, while
     /// a crash is only detectable by missed contact.
     pub leave_schedule: Vec<(u64, usize)>,
+    /// Per-link extra delivery latency (`None` keeps every message at the
+    /// classic one-round latency); see [`ScenarioBuilder::link_delay`].
+    pub link_delay: Option<LinkDelay>,
+    /// Transient healing partitions: round-ranged splits of the group into
+    /// equal contiguous cells; see [`ScenarioBuilder::partition`].
+    pub partition_schedule: Vec<PartitionWindow>,
+    /// Correlated extra loss per subtree, layered multiplicatively on the
+    /// global `ε`; see [`ScenarioBuilder::subtree_loss`].
+    pub subtree_loss: Vec<SubtreeLoss>,
+    /// Slow processes whose outbox flushes only every `period`-th round;
+    /// see [`ScenarioBuilder::straggler`].
+    pub straggler_schedule: Vec<Straggler>,
     /// The publish schedule; empty means the default workload (see type
     /// docs).
     pub publications: Vec<Publication>,
@@ -323,6 +352,10 @@ impl Scenario {
                 crash_schedule: Vec::new(),
                 join_schedule: Vec::new(),
                 leave_schedule: Vec::new(),
+                link_delay: None,
+                partition_schedule: Vec::new(),
+                subtree_loss: Vec::new(),
+                straggler_schedule: Vec::new(),
                 publications: Vec::new(),
                 membership: MembershipSpec::Global,
                 trials: 1,
@@ -347,6 +380,10 @@ impl Scenario {
             crash_schedule: Vec::new(),
             join_schedule: Vec::new(),
             leave_schedule: Vec::new(),
+            link_delay: None,
+            partition_schedule: Vec::new(),
+            subtree_loss: Vec::new(),
+            straggler_schedule: Vec::new(),
             publications: Vec::new(),
             membership: MembershipSpec::Global,
             trials: config.trials,
@@ -390,6 +427,37 @@ impl Scenario {
     /// The initial, peak and final population sizes of the scenario.
     pub fn population_sizes(&self) -> PopulationSizes {
         self.population().sizes()
+    }
+
+    /// The dense-index range `[start, end)` of the subtree below a tree
+    /// prefix — the same contiguous layout as
+    /// `pmcast_membership::ImplicitRegularTree::index_range`.
+    fn subtree_range(&self, prefix: &[u32]) -> (usize, usize) {
+        let arity = self.arity as usize;
+        let span = arity.pow((self.depth - prefix.len()) as u32);
+        let base: usize = prefix
+            .iter()
+            .fold(0, |acc, &component| acc * arity + component as usize);
+        (base * span, base * span + span)
+    }
+
+    /// Compiles the scenario's fault axes into the [`FaultPlan`] the
+    /// simulation network executes, translating each [`SubtreeLoss`] tree
+    /// prefix into its contiguous dense-index range.  A scenario that sets
+    /// no fault axis compiles to the neutral default plan, which the
+    /// network layer treats as exactly absent (bit-identical streams).
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan {
+            link_delay: self.link_delay,
+            partitions: self.partition_schedule.clone(),
+            stragglers: self.straggler_schedule.clone(),
+            ..FaultPlan::default()
+        };
+        for subtree in &self.subtree_loss {
+            let (start, end) = self.subtree_range(&subtree.prefix);
+            plan = plan.with_loss_override(start, end, subtree.loss_probability);
+        }
+        plan
     }
 
     /// Runs all trials sequentially with the given protocol.
@@ -477,6 +545,60 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Gives every link an extra delivery latency of `min_extra..=max_extra`
+    /// rounds on top of the classic one-round hop.  The extra is constant
+    /// per ordered link (drawn once per trial from a single salt off the
+    /// network stream), so per-link FIFO order is preserved;
+    /// `link_delay(0, 0)` is exactly a no-op.  Models heterogeneous WAN
+    /// latencies against which the paper's analysis assumes a uniform
+    /// gossip period.
+    pub fn link_delay(mut self, min_extra: u64, max_extra: u64) -> Self {
+        self.scenario.link_delay = Some(LinkDelay {
+            min_extra,
+            max_extra,
+        });
+        self
+    }
+
+    /// Splits the group into `cells` equal contiguous cells for rounds
+    /// `from_round..until_round`: cross-cell messages are dropped while the
+    /// window is active, and the partition **heals** at `until_round`.
+    /// Cells are contiguous in dense-index order, so they are subtree
+    /// aligned whenever `cells` divides a level's subgroup count.  May be
+    /// called repeatedly for repeated outages.
+    pub fn partition(mut self, from_round: u64, until_round: u64, cells: usize) -> Self {
+        self.scenario.partition_schedule.push(PartitionWindow {
+            from_round,
+            until_round,
+            cells,
+        });
+        self
+    }
+
+    /// Adds correlated loss: every message to or from a process in the
+    /// subtree below `prefix` (tree coordinates, most significant level
+    /// first; empty = the whole group) is lost with the extra probability
+    /// `loss_probability`, composing multiplicatively with the global
+    /// [`loss`](Self::loss) `ε` and with any other overlapping override.
+    pub fn subtree_loss(mut self, prefix: &[u32], loss_probability: f64) -> Self {
+        self.scenario.subtree_loss.push(SubtreeLoss {
+            prefix: prefix.to_vec(),
+            loss_probability,
+        });
+        self
+    }
+
+    /// Makes one process a straggler: its outbox is held back and flushed
+    /// to the network only every `period`-th round (rounds `period`,
+    /// `2·period`, …), modelling a slow or overloaded node that batches
+    /// its gossip.  `period` 1 is exactly a no-op.
+    pub fn straggler(mut self, process: usize, period: u64) -> Self {
+        self.scenario
+            .straggler_schedule
+            .push(Straggler { process, period });
+        self
+    }
+
     /// Selects the membership provider (see [`MembershipSpec`]); e.g.
     /// `.membership(MembershipSpec::partial(15))` runs the trial over
     /// lpbcast-style bounded partial views instead of global knowledge,
@@ -535,6 +657,15 @@ impl ScenarioBuilder {
     /// round the trial can never reach (`round >= max_rounds`) — such an
     /// entry would otherwise be silently inert while still shaping the
     /// reports.
+    ///
+    /// The fault axes are validated the same way: a
+    /// [`partition`](Self::partition) starting at or beyond `max_rounds`, a
+    /// window healing before it starts, an inverted
+    /// [`link_delay`](Self::link_delay) span, a
+    /// [`subtree_loss`](Self::subtree_loss) prefix outside the tree or with
+    /// a probability outside `[0, 1]`, and a
+    /// [`straggler`](Self::straggler) with a zero period, an out-of-range
+    /// process or a duplicate process are all rejected here.
     pub fn build(self) -> Scenario {
         self.scenario.protocol.validate();
         assert!(
@@ -612,6 +743,35 @@ impl ScenarioBuilder {
                 assert!(gossip_fanout > 0, "membership gossip fanout must be positive");
             }
         }
+        // Fault axes: reject windows the trial can never reach and subtree
+        // prefixes outside the tree, then let the compiled plan check its
+        // own numeric invariants (delay span, probabilities, straggler
+        // indices and duplicates) against the address space.
+        for window in &self.scenario.partition_schedule {
+            assert!(
+                window.from_round < self.scenario.max_rounds,
+                "partition starting at round {} lies beyond the trial horizon (max_rounds = {})",
+                window.from_round,
+                self.scenario.max_rounds
+            );
+        }
+        for subtree in &self.scenario.subtree_loss {
+            assert!(
+                subtree.prefix.len() <= self.scenario.depth,
+                "subtree-loss prefix {:?} is deeper than the tree (depth {})",
+                subtree.prefix,
+                self.scenario.depth
+            );
+            for &component in &subtree.prefix {
+                assert!(
+                    component < self.scenario.arity,
+                    "subtree-loss prefix {:?} has component {component} out of range for arity {}",
+                    subtree.prefix,
+                    self.scenario.arity
+                );
+            }
+        }
+        self.scenario.fault_plan().validate_for(n);
         self.scenario
     }
 }
@@ -715,6 +875,101 @@ mod tests {
     }
 
     #[test]
+    fn fault_axes_chain_and_compile_into_a_plan() {
+        let scenario = Scenario::builder()
+            .group(4, 3) // 64 addresses
+            .link_delay(0, 2)
+            .partition(2, 6, 4)
+            .subtree_loss(&[1], 0.3)
+            .subtree_loss(&[2, 0], 0.5)
+            .straggler(7, 3)
+            .build();
+        assert_eq!(
+            scenario.link_delay,
+            Some(LinkDelay {
+                min_extra: 0,
+                max_extra: 2
+            })
+        );
+        let plan = scenario.fault_plan();
+        assert!(!plan.is_neutral());
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.partitions[0].cells, 4);
+        // Prefix [1] at depth 3, arity 4 → indices [16, 32); prefix [2, 0]
+        // → [32, 36).
+        assert_eq!(plan.loss_overrides.len(), 2);
+        assert_eq!(
+            (plan.loss_overrides[0].start, plan.loss_overrides[0].end),
+            (16, 32)
+        );
+        assert_eq!(
+            (plan.loss_overrides[1].start, plan.loss_overrides[1].end),
+            (32, 36)
+        );
+        assert_eq!(plan.stragglers, vec![Straggler { process: 7, period: 3 }]);
+        // The empty prefix covers the whole group.
+        let whole = Scenario::builder().group(4, 3).subtree_loss(&[], 0.1).build();
+        let plan = whole.fault_plan();
+        assert_eq!(
+            (plan.loss_overrides[0].start, plan.loss_overrides[0].end),
+            (0, 64)
+        );
+    }
+
+    #[test]
+    fn faultless_scenarios_compile_to_the_neutral_plan() {
+        assert!(Scenario::builder().build().fault_plan().is_neutral());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the trial horizon")]
+    fn partition_beyond_the_horizon_is_rejected() {
+        let _ = Scenario::builder().max_rounds(10).partition(10, 20, 2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must heal at or after")]
+    fn inverted_partition_window_is_rejected() {
+        let _ = Scenario::builder().partition(6, 2, 2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper than the tree")]
+    fn too_deep_subtree_loss_prefix_is_rejected() {
+        let _ = Scenario::builder().group(4, 2).subtree_loss(&[1, 2, 3], 0.1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for arity")]
+    fn subtree_loss_component_beyond_arity_is_rejected() {
+        let _ = Scenario::builder().group(4, 2).subtree_loss(&[4], 0.1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss-override probability")]
+    fn subtree_loss_probability_above_one_is_rejected() {
+        let _ = Scenario::builder().subtree_loss(&[0], 1.2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "link-delay")]
+    fn inverted_link_delay_span_is_rejected() {
+        let _ = Scenario::builder().link_delay(3, 1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a group")]
+    fn out_of_range_straggler_is_rejected() {
+        let _ = Scenario::builder().group(2, 2).straggler(99, 3).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler period")]
+    fn zero_straggler_period_is_rejected() {
+        let _ = Scenario::builder().straggler(0, 0).build();
+    }
+
+    #[test]
     fn static_scenarios_report_the_full_tree() {
         let scenario = Scenario::builder().group(4, 2).build();
         assert!(scenario.population().is_static());
@@ -740,6 +995,10 @@ mod tests {
             .publish(Publisher::Interested, Event::builder(4).int("b", 2).build())
             .join_at(3, 7)
             .leave_at(5, 2)
+            .link_delay(1, 2)
+            .partition(2, 4, 2)
+            .subtree_loss(&[1], 0.2)
+            .straggler(3, 2)
             .build();
         let json = serde_json::to_string(&scenario).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();

@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use crate::FaultPlan;
+
 /// Failure injection plan: which processes crash, and when.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -34,6 +36,10 @@ pub struct NetworkConfig {
     pub loss_probability: f64,
     /// Failure injection plan.
     pub crash_plan: CrashPlan,
+    /// Adversarial structured faults layered on the uniform `ε`/`τ` model
+    /// (the empty default plan reproduces it exactly; see
+    /// [`FaultPlan`]).
+    pub fault_plan: FaultPlan,
     /// PRNG seed making the run reproducible.
     pub seed: u64,
 }
@@ -46,6 +52,7 @@ impl NetworkConfig {
         Self {
             loss_probability: 0.0,
             crash_plan: CrashPlan::None,
+            fault_plan: FaultPlan::default(),
             seed,
         }
     }
@@ -60,6 +67,7 @@ impl NetworkConfig {
             } else {
                 CrashPlan::None
             },
+            fault_plan: FaultPlan::default(),
             seed,
         }
     }
@@ -80,6 +88,36 @@ impl NetworkConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the structured fault plan, returning the config for chaining.
+    pub fn with_fault_plan(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Checks every numeric field for validity, panicking with a
+    /// descriptive message on the first violation.
+    ///
+    /// [`crate::Simulation`] calls this before constructing the network, so
+    /// a bad configuration fails fast at build time instead of producing a
+    /// silently meaningless run.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss_probability),
+            "loss_probability must lie in [0, 1], got {}",
+            self.loss_probability
+        );
+        match &self.crash_plan {
+            CrashPlan::InitialFraction(fraction) | CrashPlan::Mixed { fraction, .. } => {
+                assert!(
+                    (0.0..=1.0).contains(fraction),
+                    "crash fraction must lie in [0, 1], got {fraction}"
+                );
+            }
+            CrashPlan::None | CrashPlan::Scheduled(_) => {}
+        }
+        self.fault_plan.validate();
     }
 }
 
@@ -123,5 +161,56 @@ mod tests {
         let json = serde_json::to_string(&config).unwrap();
         let back: NetworkConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(config, back);
+    }
+
+    #[test]
+    fn validate_accepts_boundary_probabilities() {
+        NetworkConfig::faulty(0.0, 0.0, 1).validate();
+        NetworkConfig::faulty(1.0, 1.0, 1).validate();
+        NetworkConfig::default()
+            .with_crash_plan(CrashPlan::Mixed {
+                fraction: 0.5,
+                schedule: vec![(2, 0)],
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_probability must lie in [0, 1]")]
+    fn validate_rejects_loss_probability_above_one() {
+        NetworkConfig::default().with_loss(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_probability must lie in [0, 1]")]
+    fn validate_rejects_negative_loss_probability() {
+        NetworkConfig::default().with_loss(-0.1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "crash fraction must lie in [0, 1]")]
+    fn validate_rejects_crash_fraction_above_one() {
+        NetworkConfig::default()
+            .with_crash_plan(CrashPlan::InitialFraction(1.01))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "crash fraction must lie in [0, 1]")]
+    fn validate_rejects_negative_mixed_crash_fraction() {
+        NetworkConfig::default()
+            .with_crash_plan(CrashPlan::Mixed {
+                fraction: -0.2,
+                schedule: Vec::new(),
+            })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss-override probability")]
+    fn validate_checks_the_fault_plan_too() {
+        NetworkConfig::default()
+            .with_fault_plan(FaultPlan::default().with_loss_override(0, 4, 1.5))
+            .validate();
     }
 }

@@ -165,6 +165,22 @@ impl LifecyclePlan {
     }
 }
 
+/// Holdback state of one straggling process (the engine-level half of the
+/// [`crate::FaultPlan`]): messages its outbox emitted on non-flush rounds,
+/// waiting for the next flush round.
+struct StragglerState<M> {
+    process: usize,
+    period: u64,
+    holdback: Vec<(ProcessId, M, usize)>,
+}
+
+/// A straggler with period `k` flushes its outbox only on rounds `k`, `2k`,
+/// `3k`, … — round 0 is never a flush round, so even traffic emitted at the
+/// very start of a run is slowed down.
+fn is_flush_round(round: u64, period: u64) -> bool {
+    round != 0 && round.is_multiple_of(period)
+}
+
 /// Drives a set of [`RoundProcess`] state machines over a [`RoundNetwork`].
 ///
 /// The round loop is allocation-free after warm-up: the inbox and outbox
@@ -175,6 +191,12 @@ pub struct Simulation<P: RoundProcess> {
     processes: Vec<P>,
     network: RoundNetwork<P::Message>,
     protocol_rng: ChaCha8Rng,
+    /// Active stragglers from the [`crate::FaultPlan`] (neutral declarations
+    /// are dropped at construction, so an empty vector is the no-fault hot
+    /// path).  Flushed holdbacks send during the flush round in emission
+    /// order, before the round's fresh traffic; a crash or leave discards
+    /// the process's held messages.
+    stragglers: Vec<StragglerState<P::Message>>,
     /// The merged lifecycle schedule (scheduled crashes from the
     /// [`CrashPlan`] plus the [`LifecyclePlan`] joins/leaves), sorted by
     /// `(round, kind, process)` and drained through a deque cursor.
@@ -259,10 +281,31 @@ impl<P: RoundProcess> Simulation<P> {
         lifecycle: LifecyclePlan,
         mut lifecycle_observer: Option<Box<dyn FnMut(LifecycleTransition)>>,
     ) -> Self {
+        config.validate();
+        config.fault_plan.validate_for(processes.len());
         let mut seed_rng = ChaCha8Rng::seed_from_u64(config.seed);
         let network_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
         let protocol_rng = ChaCha8Rng::seed_from_u64(seed_rng.gen());
-        let mut network = RoundNetwork::new(processes.len(), config.loss_probability, network_rng);
+        let mut network = RoundNetwork::with_faults(
+            processes.len(),
+            config.loss_probability,
+            network_rng,
+            &config.fault_plan,
+        );
+        // The engine-level fault axis: only non-neutral stragglers become
+        // state, so a declared-but-inactive straggler (period <= 1) leaves
+        // the round loop on its historical path.
+        let stragglers: Vec<StragglerState<P::Message>> = config
+            .fault_plan
+            .stragglers
+            .iter()
+            .filter(|s| !s.is_neutral())
+            .map(|s| StragglerState {
+                process: s.process,
+                period: s.period,
+                holdback: Vec::new(),
+            })
+            .collect();
         let mut schedule: Vec<(u64, LifecycleKind, usize)> = Vec::new();
         let crash_fraction = |network: &mut RoundNetwork<P::Message>,
                                   seed_rng: &mut ChaCha8Rng,
@@ -306,12 +349,64 @@ impl<P: RoundProcess> Simulation<P> {
             processes,
             network,
             protocol_rng,
+            stragglers,
             scheduled_lifecycle: schedule.into(),
             round: 0,
             inbox: Vec::new(),
             outbox: Vec::new(),
             lifecycle_observer,
         }
+    }
+
+    /// Discards a departing process's held-back messages (its unsent queue
+    /// dies with it) so a crashed straggler can never block quiescence.
+    fn drop_holdback(&mut self, id: ProcessId) {
+        if !self.stragglers.is_empty() {
+            for state in &mut self.stragglers {
+                if state.process == id.0 {
+                    state.holdback.clear();
+                }
+            }
+        }
+    }
+
+    /// Routes a drained outbox to the network — or into the sender's
+    /// holdback buffer when the sender is a straggler off its flush round.
+    fn dispatch_outbox(
+        &mut self,
+        from: ProcessId,
+        outbox: &mut Vec<(ProcessId, P::Message, usize)>,
+    ) {
+        if !self.stragglers.is_empty() {
+            let round = self.round;
+            if let Some(state) = self.stragglers.iter_mut().find(|s| s.process == from.0) {
+                if !is_flush_round(round, state.period) {
+                    state.holdback.append(outbox);
+                    return;
+                }
+            }
+        }
+        for (to, message, size) in outbox.drain(..) {
+            self.network.send(from, to, message, size);
+        }
+    }
+
+    /// Sends every straggler's held-back messages whose flush round has
+    /// arrived, in emission order, before the round's fresh traffic.
+    fn flush_stragglers(&mut self) {
+        if self.stragglers.is_empty() {
+            return;
+        }
+        let mut stragglers = std::mem::take(&mut self.stragglers);
+        for state in &mut stragglers {
+            if is_flush_round(self.round, state.period) && !state.holdback.is_empty() {
+                let from = ProcessId(state.process);
+                for (to, message, size) in state.holdback.drain(..) {
+                    self.network.send(from, to, message, size);
+                }
+            }
+        }
+        self.stragglers = stragglers;
     }
 
     fn notify(&mut self, id: ProcessId, kind: LifecycleKind) {
@@ -327,6 +422,7 @@ impl<P: RoundProcess> Simulation<P> {
             return;
         }
         self.network.crash(id);
+        self.drop_holdback(id);
         self.notify(id, LifecycleKind::Crash);
     }
 
@@ -337,6 +433,7 @@ impl<P: RoundProcess> Simulation<P> {
             return;
         }
         self.network.crash(id);
+        self.drop_holdback(id);
         self.notify(id, LifecycleKind::Leave);
     }
 
@@ -428,6 +525,9 @@ impl<P: RoundProcess> Simulation<P> {
         let mut inbox = std::mem::take(&mut self.inbox);
         let mut outbox = std::mem::take(&mut self.outbox);
         self.network.deliver_round_into(&mut inbox);
+        // Stragglers whose flush round has arrived send their backlog
+        // before the round's fresh traffic (a no-op without stragglers).
+        self.flush_stragglers();
 
         for envelope in inbox.drain(..) {
             if self.network.is_crashed(envelope.to) {
@@ -443,9 +543,7 @@ impl<P: RoundProcess> Simulation<P> {
             let from = envelope.from;
             process.on_message(from, envelope.message, &mut ctx);
             // Messages emitted while handling are sent from the receiver.
-            for (to, message, size) in outbox.drain(..) {
-                self.network.send(envelope.to, to, message, size);
-            }
+            self.dispatch_outbox(envelope.to, &mut outbox);
         }
 
         for index in 0..self.processes.len() {
@@ -460,9 +558,7 @@ impl<P: RoundProcess> Simulation<P> {
                 rng: &mut self.protocol_rng,
             };
             self.processes[index].on_round(&mut ctx);
-            for (to, message, size) in outbox.drain(..) {
-                self.network.send(id, to, message, size);
-            }
+            self.dispatch_outbox(id, &mut outbox);
         }
         self.inbox = inbox;
         self.outbox = outbox;
@@ -487,6 +583,10 @@ impl<P: RoundProcess> Simulation<P> {
             .enumerate()
             .all(|(index, p)| self.network.is_crashed(ProcessId(index)) || p.is_quiescent())
             && self.network.is_idle()
+            // A straggler's held-back backlog is in-flight traffic the
+            // network cannot see yet; the run keeps stepping until the
+            // flush round sends it (or the straggler departs).
+            && self.stragglers.iter().all(|s| s.holdback.is_empty())
     }
 
     /// Runs until every process is quiescent and no messages are in flight,
@@ -514,6 +614,7 @@ impl<P: RoundProcess> Simulation<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultPlan;
 
     /// A process that floods a token to everybody once it has seen it.
     struct Flood {
@@ -847,5 +948,86 @@ mod tests {
         assert_eq!(ctx.choose_targets(&candidates, 10).len(), 5);
         assert!(ctx.choose_targets::<i32>(&[], 3).is_empty());
         assert!(!format!("{ctx:?}").is_empty());
+    }
+
+    #[test]
+    fn straggler_holds_back_sends_until_its_flush_round() {
+        // Process 0 (the seed) flushes only every 3rd round: its announce
+        // in round 0 is held until round 3, so nobody has the token after
+        // two full rounds.
+        let plan = FaultPlan::default().with_straggler(0, 3);
+        let config = NetworkConfig::reliable(3).with_fault_plan(plan);
+        let mut sim = flood_simulation(10, config);
+        sim.run_rounds(3);
+        let reached = sim.processes().filter(|p| p.has_token).count();
+        assert_eq!(reached, 1, "held-back announce must not be delivered yet");
+        assert_eq!(sim.stats().messages_sent, 0, "holdback precedes the network");
+        // Round 3 flushes the holdback; the boundary of round 4 delivers it.
+        sim.run_rounds(2);
+        let reached = sim.processes().filter(|p| p.has_token).count();
+        assert_eq!(reached, 10);
+    }
+
+    #[test]
+    fn straggler_delays_but_does_not_change_outcomes() {
+        let plan = FaultPlan::default().with_straggler(0, 4);
+        let mut slow = flood_simulation(10, NetworkConfig::reliable(3).with_fault_plan(plan));
+        let mut fast = flood_simulation(10, NetworkConfig::reliable(3));
+        let slow_rounds = slow.run_until_quiescent(50);
+        let fast_rounds = fast.run_until_quiescent(50);
+        assert!(slow_rounds > fast_rounds, "{slow_rounds} vs {fast_rounds}");
+        assert_eq!(slow.stats().messages_sent, fast.stats().messages_sent);
+        assert_eq!(slow.processes().filter(|p| p.has_token).count(), 10);
+    }
+
+    #[test]
+    fn quiescence_waits_for_straggler_holdbacks() {
+        let plan = FaultPlan::default().with_straggler(0, 5);
+        let config = NetworkConfig::reliable(3).with_fault_plan(plan);
+        let mut sim = flood_simulation(4, config);
+        sim.run_rounds(2);
+        // The seed announced (protocol-quiescent, network idle) but its
+        // messages still sit in the holdback queue.
+        assert!(!sim.is_quiescent(), "holdback must block quiescence");
+        sim.run_until_quiescent(20);
+        assert_eq!(sim.processes().filter(|p| p.has_token).count(), 4);
+    }
+
+    #[test]
+    fn crashing_a_straggler_drops_its_holdback() {
+        let plan = FaultPlan::default().with_straggler(0, 10);
+        let config = NetworkConfig::reliable(3)
+            .with_fault_plan(plan)
+            .with_crash_plan(CrashPlan::Scheduled(vec![(2, 0)]));
+        let mut sim = flood_simulation(4, config);
+        let rounds = sim.run_until_quiescent(30);
+        assert!(rounds < 30, "dropped holdback must not wedge quiescence");
+        assert_eq!(sim.stats().messages_sent, 0);
+        assert_eq!(sim.processes().filter(|p| p.has_token).count(), 1);
+    }
+
+    #[test]
+    fn neutral_stragglers_are_ignored() {
+        let plan = FaultPlan::default().with_straggler(0, 1);
+        let mut with_plan = flood_simulation(10, NetworkConfig::reliable(3).with_fault_plan(plan));
+        let mut without = flood_simulation(10, NetworkConfig::reliable(3));
+        assert_eq!(
+            with_plan.run_until_quiescent(50),
+            without.run_until_quiescent(50)
+        );
+        assert_eq!(with_plan.stats(), without.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_rejects_fault_plans_referencing_missing_processes() {
+        let plan = FaultPlan::default().with_straggler(10, 2);
+        flood_simulation(4, NetworkConfig::reliable(3).with_fault_plan(plan));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_probability must lie in [0, 1]")]
+    fn build_validates_the_network_config() {
+        flood_simulation(4, NetworkConfig::reliable(3).with_loss(2.0));
     }
 }

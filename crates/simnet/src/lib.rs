@@ -17,8 +17,13 @@
 //!   outside the group, join mid-run, or leave gracefully, with every
 //!   transition reported to a [`Simulation::with_lifecycle_observer`]
 //!   callback as a [`LifecycleTransition`];
-//! * [`TrafficStats`] — messages sent / delivered / lost / suppressed, used
-//!   by the evaluation to compare pmcast against flooding baselines.
+//! * [`FaultPlan`] — adversarial structured faults layered on the paper's
+//!   uniform `ε`/`τ` model: per-link extra latency ([`LinkDelay`]), healing
+//!   partitions ([`PartitionWindow`]), correlated per-range loss
+//!   ([`LossOverride`]) and slow-node stragglers ([`Straggler`]);
+//! * [`TrafficStats`] — messages sent / delivered / lost / suppressed /
+//!   partitioned / delayed, used by the evaluation to compare pmcast against
+//!   flooding baselines.
 //!
 //! Determinism: all randomness flows from a single [`rand_chacha`] PRNG
 //! seeded by the caller, so any run can be replayed bit-for-bit.
@@ -67,6 +72,7 @@
 
 mod config;
 mod engine;
+mod fault;
 mod network;
 mod stats;
 
@@ -74,5 +80,6 @@ pub use config::{CrashPlan, NetworkConfig};
 pub use engine::{
     LifecycleKind, LifecyclePlan, LifecycleTransition, RoundContext, RoundProcess, Simulation,
 };
+pub use fault::{FaultPlan, LinkDelay, LossOverride, PartitionWindow, Straggler};
 pub use network::{Envelope, ProcessId, RoundNetwork};
 pub use stats::TrafficStats;

@@ -1,10 +1,12 @@
+use std::collections::VecDeque;
 use std::fmt;
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::TrafficStats;
+use crate::fault::splitmix64;
+use crate::{FaultPlan, LinkDelay, LossOverride, PartitionWindow, TrafficStats};
 
 /// Dense identifier of a simulated process (an index into the simulation's
 /// process table).  The mapping to a pmcast `Address` is kept
@@ -44,10 +46,34 @@ pub struct Envelope<M> {
 /// period).  Each message is lost independently with probability `ε`;
 /// messages to or from crashed processes are dropped and accounted
 /// separately.
+///
+/// A [`FaultPlan`] (see [`with_faults`](Self::with_faults)) layers the
+/// adversarial axes on top: per-link extra latency routes messages through
+/// a timing wheel instead of the next-round buffer, active
+/// [`PartitionWindow`]s drop cross-cell sends (before the loss draw, so
+/// partition drops consume no randomness), and [`LossOverride`]s compose
+/// extra correlated loss onto `ε`.  A neutral plan leaves every code path
+/// and every random draw bit-identical to a plan-free network.
 pub struct RoundNetwork<M> {
     loss_probability: f64,
     crashed: Vec<bool>,
     in_flight: Vec<Envelope<M>>,
+    /// Timing wheel for per-link extra latency: a message with `extra` more
+    /// rounds to wait sits at `delayed[extra]`; every round boundary pops
+    /// the front slot into the deliveries and the emptied `Vec` is recycled
+    /// through `spare_slots`, so steady-state delayed traffic allocates
+    /// nothing.  Empty whenever the delay axis is inactive.
+    delayed: VecDeque<Vec<Envelope<M>>>,
+    /// Messages currently sitting in the wheel (`is_idle` must see them).
+    delayed_count: usize,
+    /// Emptied wheel slots kept for reuse.
+    spare_slots: Vec<Vec<Envelope<M>>>,
+    link_delay: Option<LinkDelay>,
+    /// One salt drawn from the network stream iff the delay span has jitter
+    /// (`min_extra < max_extra`); a constant or inactive span draws nothing.
+    delay_salt: u64,
+    partitions: Vec<PartitionWindow>,
+    loss_overrides: Vec<LossOverride>,
     stats: TrafficStats,
     round: u64,
     rng: ChaCha8Rng,
@@ -71,14 +97,58 @@ impl<M> RoundNetwork<M> {
     ///
     /// Panics if the loss probability is not within `[0, 1]`.
     pub fn new(process_count: usize, loss_probability: f64, rng: ChaCha8Rng) -> Self {
+        Self::with_faults(process_count, loss_probability, rng, &FaultPlan::default())
+    }
+
+    /// Creates a network with an adversarial [`FaultPlan`] applied: link
+    /// delays, healing partitions and correlated loss overrides (the plan's
+    /// stragglers are an engine-level axis and are ignored here — the
+    /// [`crate::Simulation`] holds back their outboxes before messages ever
+    /// reach the network).
+    ///
+    /// Draws exactly one `u64` salt from `rng` iff the delay span has
+    /// jitter (`min_extra < max_extra`); every other axis consumes no
+    /// randomness at construction, so a neutral plan leaves the stream
+    /// untouched and the run bit-identical to [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loss probability is not within `[0, 1]` or the plan
+    /// fails [`FaultPlan::validate_for`] the process count.
+    pub fn with_faults(
+        process_count: usize,
+        loss_probability: f64,
+        mut rng: ChaCha8Rng,
+        faults: &FaultPlan,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&loss_probability),
             "loss probability {loss_probability} must lie in [0, 1]"
         );
+        faults.validate_for(process_count);
+        // Drop neutral declarations up front so the hot path only ever
+        // iterates over axes that can actually change something.
+        let link_delay = faults.link_delay.filter(|d| !d.is_neutral());
+        let delay_salt = match link_delay {
+            Some(d) if d.min_extra < d.max_extra => rng.gen(),
+            _ => 0,
+        };
         Self {
             loss_probability,
             crashed: vec![false; process_count],
             in_flight: Vec::new(),
+            delayed: VecDeque::new(),
+            delayed_count: 0,
+            spare_slots: Vec::new(),
+            link_delay,
+            delay_salt,
+            partitions: faults.partitions.iter().copied().filter(|w| !w.is_neutral()).collect(),
+            loss_overrides: faults
+                .loss_overrides
+                .iter()
+                .copied()
+                .filter(|o| !o.is_neutral())
+                .collect(),
             stats: TrafficStats::new(),
             round: 0,
             rng,
@@ -129,8 +199,14 @@ impl<M> RoundNetwork<M> {
         self.crashed.iter().filter(|&&c| c).count()
     }
 
-    /// Sends a message, to be delivered at the next round boundary.
+    /// Sends a message, to be delivered at the next round boundary (or
+    /// `extra` boundaries later under an active [`LinkDelay`]).
     /// `payload_size` feeds the byte accounting (pass 0 when irrelevant).
+    ///
+    /// The fault checks run in a fixed order — crashed sender, crashed
+    /// receiver, active partition, loss draw, delay routing — and only the
+    /// loss draw consumes randomness, so inactive fault axes cannot shift
+    /// the network stream.
     pub fn send(&mut self, from: ProcessId, to: ProcessId, message: M, payload_size: usize) {
         self.stats.messages_sent += 1;
         self.stats.payload_bytes += payload_size as u64;
@@ -142,11 +218,82 @@ impl<M> RoundNetwork<M> {
             self.stats.messages_to_crashed += 1;
             return;
         }
-        if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+        if !self.partitions.is_empty() && self.is_partitioned(from, to) {
+            self.stats.messages_partitioned += 1;
+            return;
+        }
+        let loss = self.effective_loss(from, to);
+        if loss > 0.0 && self.rng.gen_bool(loss) {
             self.stats.messages_lost += 1;
             return;
         }
-        self.in_flight.push(Envelope { from, to, message });
+        let extra = self.link_extra_delay(from, to);
+        if extra == 0 {
+            self.in_flight.push(Envelope { from, to, message });
+        } else {
+            self.stats.messages_delayed += 1;
+            self.schedule_delayed(extra, Envelope { from, to, message });
+        }
+    }
+
+    /// Returns `true` if any currently active partition window separates
+    /// the two endpoints.  Purely deterministic — no randomness consumed.
+    fn is_partitioned(&self, from: ProcessId, to: ProcessId) -> bool {
+        let n = self.crashed.len();
+        self.partitions.iter().any(|w| {
+            w.active_at(self.round) && w.cell_of(from.0, n) != w.cell_of(to.0, n)
+        })
+    }
+
+    /// The composed loss probability for a message on this link: the global
+    /// `ε` multiplied (as survival probabilities) with every override
+    /// covering the sender or the receiver.  Returns the global `ε`
+    /// *unchanged* — not merely an equal value — when no override matches,
+    /// so override-free links keep their historical bit-exact draws.
+    fn effective_loss(&self, from: ProcessId, to: ProcessId) -> f64 {
+        let mut keep = 1.0 - self.loss_probability;
+        let mut composed = false;
+        for o in &self.loss_overrides {
+            if o.covers(from.0) || o.covers(to.0) {
+                keep *= 1.0 - o.loss_probability;
+                composed = true;
+            }
+        }
+        if composed {
+            1.0 - keep
+        } else {
+            self.loss_probability
+        }
+    }
+
+    /// The fixed extra latency of the ordered link `(from, to)`: 0 without
+    /// an active delay axis, the constant `min_extra` for a zero-jitter
+    /// span, otherwise `min + mix(salt, from, to) % (span + 1)` — stable
+    /// per link for the whole run (links stay FIFO) and reproducible from
+    /// the seed via the one salt drawn at construction.
+    fn link_extra_delay(&self, from: ProcessId, to: ProcessId) -> u64 {
+        let Some(delay) = self.link_delay else {
+            return 0;
+        };
+        if delay.min_extra == delay.max_extra {
+            return delay.min_extra;
+        }
+        let span = delay.max_extra - delay.min_extra;
+        let mixed =
+            splitmix64(self.delay_salt ^ splitmix64(from.0 as u64 ^ splitmix64(to.0 as u64)));
+        delay.min_extra + mixed % (span + 1)
+    }
+
+    /// Parks an envelope in the timing wheel, `extra` boundaries beyond the
+    /// next one.  Wheel slots are recycled `Vec`s, so steady-state delayed
+    /// traffic does not allocate.
+    fn schedule_delayed(&mut self, extra: u64, envelope: Envelope<M>) {
+        let slot = extra as usize;
+        while self.delayed.len() <= slot {
+            self.delayed.push_back(self.spare_slots.pop().unwrap_or_default());
+        }
+        self.delayed[slot].push(envelope);
+        self.delayed_count += 1;
     }
 
     /// Closes the current round: returns every message sent during it and
@@ -173,11 +320,27 @@ impl<M> RoundNetwork<M> {
             self.stats.messages_delivered += 1;
             delivered.push(envelope);
         }
+        // Delayed messages whose extra latency has elapsed arrive at the
+        // same boundary, after the undelayed traffic; the wheel rotates one
+        // slot per boundary and emptied slots go back to the spare pool.
+        if let Some(mut due) = self.delayed.pop_front() {
+            self.delayed_count -= due.len();
+            for envelope in due.drain(..) {
+                if self.crashed.get(envelope.to.0).copied().unwrap_or(true) {
+                    self.stats.messages_to_crashed += 1;
+                    continue;
+                }
+                self.stats.messages_delivered += 1;
+                delivered.push(envelope);
+            }
+            self.spare_slots.push(due);
+        }
     }
 
-    /// Returns `true` if no messages are currently in flight.
+    /// Returns `true` if no messages are currently in flight (including
+    /// messages parked in the link-delay timing wheel).
     pub fn is_idle(&self) -> bool {
-        self.in_flight.is_empty()
+        self.in_flight.is_empty() && self.delayed_count == 0
     }
 
     /// Mutable access to the deterministic PRNG, so protocols can share the
@@ -318,5 +481,201 @@ mod tests {
         let p: ProcessId = 3usize.into();
         assert_eq!(p.to_string(), "p3");
         assert_eq!(ProcessId::default(), ProcessId(0));
+    }
+
+    fn faulty_network(count: usize, loss: f64, plan: &FaultPlan) -> RoundNetwork<u32> {
+        RoundNetwork::with_faults(count, loss, ChaCha8Rng::seed_from_u64(1), plan)
+    }
+
+    #[test]
+    fn constant_link_delay_postpones_delivery() {
+        let plan = FaultPlan::default().with_link_delay(2, 2);
+        let mut net = faulty_network(2, 0.0, &plan);
+        net.send(ProcessId(0), ProcessId(1), 7, 0);
+        assert!(!net.is_idle(), "the delayed message is still in flight");
+        assert!(net.deliver_round().is_empty(), "boundary 1: not yet");
+        assert!(net.deliver_round().is_empty(), "boundary 2: not yet");
+        let delivered = net.deliver_round();
+        assert_eq!(delivered.len(), 1, "boundary 3 = 1 normal + 2 extra rounds");
+        assert_eq!(delivered[0].message, 7);
+        assert!(net.is_idle());
+        assert_eq!(net.stats().messages_delayed, 1);
+        assert_eq!(net.stats().messages_delivered, 1);
+    }
+
+    #[test]
+    fn jittered_link_delay_is_stable_per_link_and_within_span() {
+        let plan = FaultPlan::default().with_link_delay(0, 3);
+        let mut net = faulty_network(8, 0.0, &plan);
+        // Send one message on every ordered link, then collect arrival
+        // boundaries; each link's latency must fall in 1..=4 rounds.
+        for from in 0..8 {
+            for to in 0..8 {
+                if from != to {
+                    net.send(ProcessId(from), ProcessId(to), (from * 8 + to) as u32, 0);
+                }
+            }
+        }
+        let mut arrivals = vec![0u64; 64];
+        for boundary in 1..=4 {
+            for envelope in net.deliver_round() {
+                arrivals[envelope.message as usize] = boundary;
+            }
+        }
+        assert!(net.is_idle(), "everything arrives within min+1..=max+1 boundaries");
+        for from in 0..8 {
+            for to in 0..8 {
+                if from != to {
+                    let a = arrivals[from * 8 + to];
+                    assert!((1..=4).contains(&a), "link ({from},{to}) arrived at {a}");
+                }
+            }
+        }
+        // The same plan and seed reproduce identical per-link delays, and
+        // the per-link hash actually spreads (not all links equal).
+        let mut rerun = faulty_network(8, 0.0, &plan);
+        for from in 0..8 {
+            for to in 0..8 {
+                if from != to {
+                    rerun.send(ProcessId(from), ProcessId(to), (from * 8 + to) as u32, 0);
+                }
+            }
+        }
+        let mut rerun_arrivals = vec![0u64; 64];
+        for boundary in 1..=4 {
+            for envelope in rerun.deliver_round() {
+                rerun_arrivals[envelope.message as usize] = boundary;
+            }
+        }
+        assert_eq!(arrivals, rerun_arrivals);
+        let distinct: std::collections::BTreeSet<u64> =
+            arrivals.iter().copied().filter(|&a| a > 0).collect();
+        assert!(distinct.len() > 1, "jittered delays must differ across links");
+    }
+
+    #[test]
+    fn delayed_messages_to_crashed_processes_are_dropped_at_delivery() {
+        let plan = FaultPlan::default().with_link_delay(2, 2);
+        let mut net = faulty_network(2, 0.0, &plan);
+        net.send(ProcessId(0), ProcessId(1), 7, 0);
+        net.deliver_round();
+        net.crash(ProcessId(1));
+        net.deliver_round();
+        assert!(net.deliver_round().is_empty());
+        assert!(net.is_idle());
+        assert_eq!(net.stats().messages_to_crashed, 1);
+    }
+
+    #[test]
+    fn partition_drops_cross_cell_sends_while_active() {
+        // 2 cells over 4 processes: {0,1} and {2,3}; active rounds 0..2.
+        let plan = FaultPlan::default().with_partition(0, 2, 2);
+        let mut net = faulty_network(4, 0.0, &plan);
+        net.send(ProcessId(0), ProcessId(1), 1, 0); // intra-cell: flows
+        net.send(ProcessId(0), ProcessId(2), 2, 0); // cross-cell: dropped
+        let delivered = net.deliver_round(); // boundary → round 1, still active
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].message, 1);
+        assert_eq!(net.stats().messages_partitioned, 1);
+        net.send(ProcessId(0), ProcessId(2), 3, 0); // round 1: still active
+        assert!(net.deliver_round().is_empty());
+        assert_eq!(net.stats().messages_partitioned, 2);
+        // Round 2: healed — cross-cell traffic flows again.
+        net.send(ProcessId(0), ProcessId(2), 4, 0);
+        let delivered = net.deliver_round();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].message, 4);
+        assert_eq!(net.stats().messages_partitioned, 2);
+    }
+
+    #[test]
+    fn partition_drops_consume_no_randomness() {
+        // Identical seeds; one network has an active partition.  After the
+        // partition heals, the loss draws must still agree bit for bit
+        // because partition drops happen before the loss draw.
+        let run = |plan: &FaultPlan| {
+            let mut net = RoundNetwork::<u32>::with_faults(
+                4,
+                0.5,
+                ChaCha8Rng::seed_from_u64(9),
+                plan,
+            );
+            // Round 0: one intra-cell send (same loss draw either way).
+            net.send(ProcessId(0), ProcessId(1), 1, 0);
+            net.deliver_round();
+            // Round 1 (healed for the partition plan): probe the stream.
+            let mut survived = Vec::new();
+            for i in 0..50 {
+                net.send(ProcessId(0), ProcessId(1), i, 0);
+            }
+            for envelope in net.deliver_round() {
+                survived.push(envelope.message);
+            }
+            survived
+        };
+        let partitioned = FaultPlan::default().with_partition(0, 1, 2);
+        assert_eq!(run(&FaultPlan::default()), run(&partitioned));
+    }
+
+    #[test]
+    fn loss_override_composes_with_global_loss() {
+        // Total override loss on the {0,1} range: nothing covered survives.
+        let plan = FaultPlan::default().with_loss_override(0, 2, 1.0);
+        let mut net = faulty_network(4, 0.0, &plan);
+        net.send(ProcessId(0), ProcessId(3), 1, 0); // sender covered
+        net.send(ProcessId(3), ProcessId(1), 2, 0); // receiver covered
+        net.send(ProcessId(2), ProcessId(3), 3, 0); // untouched
+        let delivered = net.deliver_round();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].message, 3);
+        assert_eq!(net.stats().messages_lost, 2);
+    }
+
+    #[test]
+    fn loss_override_rates_are_roughly_multiplicative() {
+        // Global 0.2 composed with an 0.5 override: survival 0.8·0.5 = 0.4.
+        let plan = FaultPlan::default().with_loss_override(0, 1, 0.5);
+        let mut net = faulty_network(2, 0.2, &plan);
+        for _ in 0..2_000 {
+            net.send(ProcessId(0), ProcessId(1), 1, 0);
+        }
+        let delivered = net.deliver_round().len() as f64;
+        assert!((600.0..1_000.0).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn neutral_fault_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<&FaultPlan>| {
+            let rng = ChaCha8Rng::seed_from_u64(33);
+            let mut net: RoundNetwork<u32> = match plan {
+                Some(plan) => RoundNetwork::with_faults(6, 0.4, rng, plan),
+                None => RoundNetwork::new(6, 0.4, rng),
+            };
+            let mut log = Vec::new();
+            for round in 0..6u64 {
+                for from in 0..6 {
+                    net.send(ProcessId(from), ProcessId((from + 1) % 6), round as u32, 0);
+                }
+                for envelope in net.deliver_round() {
+                    log.push((envelope.from, envelope.to, envelope.message));
+                }
+            }
+            (log, *net.stats())
+        };
+        // Every axis declared, all in their inactive forms.
+        let neutral = FaultPlan::default()
+            .with_link_delay(0, 0)
+            .with_partition(2, 2, 4)
+            .with_partition(0, 6, 1)
+            .with_loss_override(0, 6, 0.0)
+            .with_straggler(1, 1);
+        assert_eq!(run(None), run(Some(&neutral)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for a group of 2")]
+    fn network_rejects_out_of_range_fault_plan() {
+        let plan = FaultPlan::default().with_straggler(5, 3);
+        let _ = faulty_network(2, 0.0, &plan);
     }
 }

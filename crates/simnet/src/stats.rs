@@ -18,6 +18,13 @@ pub struct TrafficStats {
     pub messages_to_crashed: u64,
     /// Messages suppressed because the *sender* had crashed.
     pub messages_from_crashed: u64,
+    /// Messages dropped by an active [`crate::PartitionWindow`] because it
+    /// separated sender and receiver.
+    pub messages_partitioned: u64,
+    /// Messages routed through the [`crate::LinkDelay`] timing wheel (they
+    /// took more than one round to deliver; still counted in
+    /// `messages_delivered` when they arrive).
+    pub messages_delayed: u64,
     /// Cumulative payload bytes of sent messages (when reported by the
     /// protocol).
     pub payload_bytes: u64,
@@ -44,6 +51,8 @@ impl TrafficStats {
         self.messages_lost += other.messages_lost;
         self.messages_to_crashed += other.messages_to_crashed;
         self.messages_from_crashed += other.messages_from_crashed;
+        self.messages_partitioned += other.messages_partitioned;
+        self.messages_delayed += other.messages_delayed;
         self.payload_bytes += other.payload_bytes;
     }
 }
@@ -72,6 +81,8 @@ mod tests {
             messages_lost: 1,
             messages_to_crashed: 0,
             messages_from_crashed: 0,
+            messages_partitioned: 0,
+            messages_delayed: 1,
             payload_bytes: 100,
         };
         let b = TrafficStats {
@@ -80,6 +91,8 @@ mod tests {
             messages_lost: 1,
             messages_to_crashed: 1,
             messages_from_crashed: 2,
+            messages_partitioned: 3,
+            messages_delayed: 2,
             payload_bytes: 50,
         };
         a.merge(&b);
@@ -88,6 +101,8 @@ mod tests {
         assert_eq!(a.messages_lost, 2);
         assert_eq!(a.messages_to_crashed, 1);
         assert_eq!(a.messages_from_crashed, 2);
+        assert_eq!(a.messages_partitioned, 3);
+        assert_eq!(a.messages_delayed, 3);
         assert_eq!(a.payload_bytes, 150);
     }
 

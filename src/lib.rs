@@ -144,9 +144,9 @@ pub use pmcast_core::{
     MulticastProtocol, MulticastReport, PmcastConfig, PmcastFactory, PmcastGroup, PmcastProcess,
     ProtocolFactory, ProtocolGroup, TuningConfig,
 };
-pub use pmcast_sim::runner::{ExperimentConfig, Protocol, TrialOutcome};
+pub use pmcast_sim::runner::{DeliveryLatency, ExperimentConfig, Protocol, TrialOutcome};
 pub use pmcast_sim::scenario::{
-    MembershipSpec, Publication, Publisher, Scenario, ScenarioBuilder,
+    MembershipSpec, Publication, Publisher, Scenario, ScenarioBuilder, SubtreeLoss,
 };
 pub use pmcast_interest::{
     AttributeValue, Event, EventId, Filter, Interest, InterestSummary, Predicate,
@@ -158,6 +158,6 @@ pub use pmcast_membership::{
     SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
 };
 pub use pmcast_simnet::{
-    LifecycleKind, LifecyclePlan, LifecycleTransition, NetworkConfig, ProcessId, Simulation,
-    TrafficStats,
+    FaultPlan, LifecycleKind, LifecyclePlan, LifecycleTransition, LinkDelay, LossOverride,
+    NetworkConfig, PartitionWindow, ProcessId, Simulation, Straggler, TrafficStats,
 };

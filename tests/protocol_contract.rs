@@ -23,7 +23,11 @@
 //! `examples/partial_view_sweep.rs`.  A scenario-level lifecycle test runs
 //! the three-protocol × three-provider matrix under a **mixed
 //! join/leave/crash schedule** (including joins into a subgroup that
-//! starts empty).  Three deterministic proptests assert the membership
+//! starts empty), and an adversarial sibling runs the same matrix under
+//! **combined per-link delay, a healing partition and a straggler** (plus
+//! a golden asserting that declaring every fault axis with its neutral
+//! value stays bit-identical to declaring none).  Three deterministic
+//! proptests assert the membership
 //! layer's own invariants: a [`PartialView`] under the default churn-free
 //! scenario converges to (and never leaves) a connected overlay with every
 //! live process reachable, and a [`DelegateView`] under crash/unsubscribe
@@ -474,6 +478,107 @@ fn conformance_holds_under_mixed_join_leave_crash_schedules() {
                  in parallel"
             );
         }
+    }
+}
+
+#[test]
+fn conformance_holds_under_combined_adversarial_faults() {
+    // The adversarial-fault acceptance bar: one scenario combining jittered
+    // per-link delay, a healing partition and a straggling process runs on
+    // all three protocols under all three membership providers — through
+    // the single generic trial loop, deterministically in parallel — and
+    // dissemination recovers once the partition heals.
+    let scenario_with = |membership: MembershipSpec| {
+        Scenario::builder()
+            .group(4, 3) // 64 addresses
+            .matching_rate(1.0)
+            .link_delay(0, 1)
+            .partition(0, 6, 4) // four cells until the heal at round 6
+            .straggler(3, 2)
+            // One event into the partitioned network, one after the heal.
+            .publish(Publisher::Process(0), Event::builder(1).int("b", 1).build())
+            .publish_at(8, Publisher::Process(5), Event::builder(2).int("b", 2).build())
+            .membership(membership)
+            .trials(2)
+            .seed(23)
+            .build()
+    };
+    for membership in [
+        MembershipSpec::Global,
+        MembershipSpec::partial(31),
+        MembershipSpec::delegate(4),
+    ] {
+        let scenario = scenario_with(membership);
+        for protocol in [
+            Protocol::Pmcast,
+            Protocol::FloodBroadcast,
+            Protocol::GenuineMulticast,
+        ] {
+            let outcomes = scenario.run(protocol);
+            for outcome in &outcomes {
+                assert!(outcome.messages_sent > 0, "{protocol:?}/{membership:?}");
+                assert_eq!(outcome.per_event.len(), 2, "{protocol:?}/{membership:?}");
+                assert_eq!(outcome.latency.len(), 2, "{protocol:?}/{membership:?}");
+                // The post-heal event faces only delay + straggler: its
+                // audience is reached in bulk by every protocol under every
+                // provider.
+                let late = &outcome.per_event[1];
+                assert!(
+                    late.delivery_ratio() > 0.5,
+                    "{protocol:?}/{membership:?}: post-heal event collapsed: {late:?}"
+                );
+                // Jittered links keep the latency histogram honest: every
+                // delivery of the late event is accounted for.
+                assert_eq!(
+                    outcome.latency[1].delivered(),
+                    late.delivered_interested as u64,
+                    "{protocol:?}/{membership:?}"
+                );
+            }
+            assert_eq!(
+                outcomes,
+                scenario.run_parallel(protocol),
+                "{protocol:?}/{membership:?}: adversarial trials must stay \
+                 deterministic in parallel"
+            );
+        }
+    }
+}
+
+#[test]
+fn neutral_fault_plans_reproduce_the_faultless_engine_bit_for_bit() {
+    // The stream-neutrality golden: declaring every fault axis with its
+    // neutral value (zero delay, single-cell and empty-window partitions, a
+    // zero-probability loss override, a period-1 straggler) must produce
+    // outcomes bit-identical to a scenario declaring no fault plan at all —
+    // on every protocol, including the loss and crash streams.
+    let base = || {
+        Scenario::builder()
+            .group(4, 3)
+            .matching_rate(0.6)
+            .loss(0.05)
+            .crash_fraction(0.05)
+            .trials(2)
+            .seed(13)
+    };
+    let plain = base().build();
+    let neutral = base()
+        .link_delay(0, 0)
+        .partition(5, 5, 4)
+        .partition(2, 9, 1)
+        .subtree_loss(&[1], 0.0)
+        .straggler(2, 1)
+        .build();
+    for protocol in [
+        Protocol::Pmcast,
+        Protocol::FloodBroadcast,
+        Protocol::GenuineMulticast,
+    ] {
+        assert_eq!(
+            plain.run(protocol),
+            neutral.run(protocol),
+            "{protocol:?}: a neutral fault plan shifted a random stream"
+        );
     }
 }
 
