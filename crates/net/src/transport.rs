@@ -1,0 +1,352 @@
+//! The [`Transport`] abstraction and its in-process channel backend.
+//!
+//! A transport moves [`Frame`]s between process mailboxes.  Gossip frames
+//! use **fire-and-forget** semantics with drop-with-counter backpressure:
+//! a full or crashed destination mailbox drops the frame and bumps a
+//! counter, exactly like a UDP socket buffer would.  Publish commands, by
+//! contrast, travel through the same mailboxes with *waiting* semantics
+//! (the publisher awaits free capacity) — that path lives on
+//! [`crate::NetGroupHandle::publish`], not on the trait, because only the
+//! local control plane may block.
+//!
+//! [`ChannelTransport`] is the first backend: bounded in-process channels,
+//! optional seeded message loss (so lossy scenarios are reproducible), and
+//! in-flight accounting for quiescence detection.  A UDP backend is a
+//! documented follow-up (see ROADMAP.md) — it plugs in behind the same
+//! trait.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pmcast_core::Gossip;
+use pmcast_interest::Event;
+use pmcast_simnet::ProcessId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use smol::channel::{self, Receiver, Sender, TrySendError};
+
+/// A message in a process mailbox.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// A gossip-period tick from the process's ticker task (not counted as
+    /// in-flight work — it carries no dissemination state).
+    Tick,
+    /// An inbound gossip frame from a peer.
+    Gossip {
+        /// The sending process.
+        from: ProcessId,
+        /// The gossip payload (shared event handle — never copied).
+        gossip: Gossip,
+    },
+    /// A local publish command from the group handle.
+    Publish(Arc<Event>),
+    /// Graceful-shutdown request: drain and exit.
+    Shutdown,
+}
+
+/// Counters a transport accumulates over its lifetime (monotone except
+/// `in_flight`, which is the *current* number of unprocessed gossip and
+/// publish frames).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Gossip frames successfully enqueued.
+    pub frames_sent: u64,
+    /// Gossip frames dropped because the destination mailbox was full.
+    pub frames_dropped: u64,
+    /// Gossip frames dropped by the loss model.
+    pub frames_lost: u64,
+    /// Gossip frames addressed to a crashed process.
+    pub frames_to_crashed: u64,
+    /// Total payload bytes of successfully enqueued gossip frames.
+    pub payload_bytes: u64,
+    /// The highest number of simultaneously in-flight frames observed —
+    /// the memory high-water mark of the mailboxes.
+    pub peak_in_flight: u64,
+    /// Frames currently enqueued but not yet processed.
+    pub in_flight: u64,
+}
+
+/// Moves gossip frames between processes.
+///
+/// Implementations must be non-blocking: a send that cannot complete
+/// immediately is *dropped and counted*, never awaited (see the module
+/// docs for why the publish path is different).
+pub trait Transport: std::fmt::Debug {
+    /// Sends a gossip frame from `from` to `to`; returns whether the frame
+    /// was enqueued (`false` = dropped, lost or destination crashed).
+    fn send_gossip(&self, from: ProcessId, to: ProcessId, gossip: Gossip, payload_size: usize)
+        -> bool;
+
+    /// A snapshot of the transport's counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Frames currently enqueued but not yet processed — zero is the
+    /// transport's contribution to group quiescence.
+    fn in_flight(&self) -> u64;
+}
+
+/// Seeded Bernoulli loss applied before enqueue.
+#[derive(Debug)]
+struct LossModel {
+    probability: f64,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+#[derive(Debug)]
+struct ChannelShared {
+    mailboxes: Vec<Sender<Frame>>,
+    /// Unprocessed gossip + publish frames per destination; receivers
+    /// acknowledge with [`ChannelTransport::mark_processed`].
+    pending: Vec<AtomicU64>,
+    crashed: Vec<AtomicBool>,
+    total_pending: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_dropped: AtomicU64,
+    frames_lost: AtomicU64,
+    frames_to_crashed: AtomicU64,
+    payload_bytes: AtomicU64,
+    peak_in_flight: AtomicU64,
+    loss: Option<LossModel>,
+}
+
+/// The in-process channel backend: one bounded mailbox per process.
+///
+/// Cheaply cloneable (all clones share the same mailboxes and counters).
+/// Construction hands back the mailbox [`Receiver`]s — exactly one
+/// consumer per process.
+#[derive(Debug, Clone)]
+pub struct ChannelTransport {
+    shared: Arc<ChannelShared>,
+}
+
+impl ChannelTransport {
+    /// Creates mailboxes for `processes` processes, each holding at most
+    /// `mailbox_capacity` frames, with no loss.
+    pub fn new(mailbox_capacity: usize, processes: usize) -> (Self, Vec<Receiver<Frame>>) {
+        Self::build(mailbox_capacity, processes, None)
+    }
+
+    /// Like [`new`](Self::new), with seeded Bernoulli loss: each gossip
+    /// frame is dropped with probability `loss_probability`, drawn from a
+    /// ChaCha8 stream seeded with `loss_seed` — same seed, same losses.
+    pub fn with_loss(
+        mailbox_capacity: usize,
+        processes: usize,
+        loss_probability: f64,
+        loss_seed: u64,
+    ) -> (Self, Vec<Receiver<Frame>>) {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability must be within [0, 1], got {loss_probability}"
+        );
+        let loss = (loss_probability > 0.0).then(|| LossModel {
+            probability: loss_probability,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(loss_seed)),
+        });
+        Self::build(mailbox_capacity, processes, loss)
+    }
+
+    fn build(
+        mailbox_capacity: usize,
+        processes: usize,
+        loss: Option<LossModel>,
+    ) -> (Self, Vec<Receiver<Frame>>) {
+        assert!(processes > 0, "a transport needs at least one process");
+        let mut mailboxes = Vec::with_capacity(processes);
+        let mut receivers = Vec::with_capacity(processes);
+        for _ in 0..processes {
+            let (sender, receiver) = channel::bounded(mailbox_capacity);
+            mailboxes.push(sender);
+            receivers.push(receiver);
+        }
+        let transport = ChannelTransport {
+            shared: Arc::new(ChannelShared {
+                mailboxes,
+                pending: (0..processes).map(|_| AtomicU64::new(0)).collect(),
+                crashed: (0..processes).map(|_| AtomicBool::new(false)).collect(),
+                total_pending: AtomicU64::new(0),
+                frames_sent: AtomicU64::new(0),
+                frames_dropped: AtomicU64::new(0),
+                frames_lost: AtomicU64::new(0),
+                frames_to_crashed: AtomicU64::new(0),
+                payload_bytes: AtomicU64::new(0),
+                peak_in_flight: AtomicU64::new(0),
+                loss,
+            }),
+        };
+        (transport, receivers)
+    }
+
+    /// Number of mailboxes.
+    pub fn process_count(&self) -> usize {
+        self.shared.mailboxes.len()
+    }
+
+    /// A cloneable sender for `process`'s mailbox — the group handle uses
+    /// these for the waiting publish/shutdown control plane.
+    pub(crate) fn sender(&self, process: usize) -> Sender<Frame> {
+        self.shared.mailboxes[process].clone()
+    }
+
+    /// Records that `process` finished handling one in-flight frame.
+    /// Receivers must call this once per [`Frame::Gossip`] /
+    /// [`Frame::Publish`] they process, *after* handling it, so
+    /// [`in_flight`](Transport::in_flight) conservatively covers frames
+    /// that are dequeued but still being worked on.
+    pub fn mark_processed(&self, process: usize) {
+        self.shared.pending[process].fetch_sub(1, Ordering::Relaxed);
+        self.shared.total_pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records an enqueued in-flight frame for `process` (the publish path
+    /// counts itself in before awaiting mailbox capacity).
+    pub(crate) fn mark_enqueued(&self, process: usize) {
+        self.shared.pending[process].fetch_add(1, Ordering::Relaxed);
+        let now = self.shared.total_pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Un-records a frame that failed to enqueue after all.
+    pub(crate) fn unmark_enqueued(&self, process: usize) {
+        self.shared.pending[process].fetch_sub(1, Ordering::Relaxed);
+        self.shared.total_pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Marks `process` crashed: its unprocessed frames are written off
+    /// (they will never be acknowledged) and subsequent gossip to it is
+    /// counted under `frames_to_crashed`.
+    pub(crate) fn mark_crashed(&self, process: usize) {
+        self.shared.crashed[process].store(true, Ordering::Relaxed);
+        let orphaned = self.shared.pending[process].swap(0, Ordering::Relaxed);
+        self.shared
+            .total_pending
+            .fetch_sub(orphaned, Ordering::Relaxed);
+    }
+
+    /// Whether `process` has been marked crashed.
+    pub fn is_crashed(&self, process: usize) -> bool {
+        self.shared.crashed[process].load(Ordering::Relaxed)
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send_gossip(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        gossip: Gossip,
+        payload_size: usize,
+    ) -> bool {
+        let shared = &self.shared;
+        if shared.crashed[to.0].load(Ordering::Relaxed) {
+            shared.frames_to_crashed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if let Some(loss) = &shared.loss {
+            let lost = loss
+                .rng
+                .lock()
+                .expect("loss stream poisoned")
+                .gen_bool(loss.probability);
+            if lost {
+                shared.frames_lost.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        match shared.mailboxes[to.0].try_send(Frame::Gossip { from, gossip }) {
+            Ok(()) => {
+                self.mark_enqueued(to.0);
+                shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .payload_bytes
+                    .fetch_add(payload_size as u64, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                shared.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(TrySendError::Closed(_)) => {
+                shared.frames_to_crashed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        let shared = &self.shared;
+        TransportStats {
+            frames_sent: shared.frames_sent.load(Ordering::Relaxed),
+            frames_dropped: shared.frames_dropped.load(Ordering::Relaxed),
+            frames_lost: shared.frames_lost.load(Ordering::Relaxed),
+            frames_to_crashed: shared.frames_to_crashed.load(Ordering::Relaxed),
+            payload_bytes: shared.payload_bytes.load(Ordering::Relaxed),
+            peak_in_flight: shared.peak_in_flight.load(Ordering::Relaxed),
+            in_flight: shared.total_pending.load(Ordering::Relaxed),
+        }
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.shared.total_pending.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn gossip(id: u64) -> Gossip {
+        Gossip::new(Event::builder(id).int("b", 1).build(), 1, 0.5, 0)
+    }
+
+    #[test]
+    fn full_mailbox_drops_with_counter() {
+        let (transport, _receivers) = ChannelTransport::new(2, 2);
+        assert!(transport.send_gossip(ProcessId(0), ProcessId(1), gossip(1), 10));
+        assert!(transport.send_gossip(ProcessId(0), ProcessId(1), gossip(2), 10));
+        assert!(!transport.send_gossip(ProcessId(0), ProcessId(1), gossip(3), 10));
+        let stats = transport.stats();
+        assert_eq!((stats.frames_sent, stats.frames_dropped), (2, 1));
+        assert_eq!(stats.in_flight, 2);
+        assert_eq!(stats.payload_bytes, 20);
+    }
+
+    #[test]
+    fn processing_acknowledges_in_flight() {
+        let (transport, receivers) = ChannelTransport::new(4, 2);
+        transport.send_gossip(ProcessId(0), ProcessId(1), gossip(1), 0);
+        assert_eq!(transport.in_flight(), 1);
+        receivers[1].try_recv().expect("frame queued");
+        transport.mark_processed(1);
+        assert_eq!(transport.in_flight(), 0);
+        assert_eq!(transport.stats().peak_in_flight, 1);
+    }
+
+    #[test]
+    fn crashed_destination_is_written_off() {
+        let (transport, receivers) = ChannelTransport::new(4, 2);
+        transport.send_gossip(ProcessId(0), ProcessId(1), gossip(1), 0);
+        transport.mark_crashed(1);
+        assert_eq!(transport.in_flight(), 0, "orphaned frames written off");
+        assert!(!transport.send_gossip(ProcessId(0), ProcessId(1), gossip(2), 0));
+        assert_eq!(transport.stats().frames_to_crashed, 1);
+        drop(receivers);
+        assert!(!transport.send_gossip(ProcessId(0), ProcessId(0), gossip(3), 0));
+        assert_eq!(transport.stats().frames_to_crashed, 2);
+    }
+
+    #[test]
+    fn seeded_loss_is_reproducible() {
+        let run = |seed: u64| {
+            let (transport, receivers) = ChannelTransport::with_loss(64, 2, 0.5, seed);
+            let mut delivered = Vec::new();
+            for n in 0..32 {
+                delivered.push(transport.send_gossip(ProcessId(0), ProcessId(1), gossip(n), 0));
+            }
+            drop(receivers);
+            delivered
+        };
+        assert_eq!(run(9), run(9), "same seed, same losses");
+        let pattern = run(9);
+        assert!(pattern.iter().any(|&d| d) && pattern.iter().any(|&d| !d));
+    }
+}

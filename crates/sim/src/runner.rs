@@ -106,7 +106,9 @@ use pmcast_core::{
     ProtocolFactory,
 };
 use pmcast_interest::{Event, EventId};
-use pmcast_membership::{AssignmentOracle, ImplicitRegularTree, TreeTopology};
+use pmcast_membership::{
+    AssignmentOracle, ImplicitRegularTree, MembershipView, Population, TreeTopology,
+};
 use pmcast_simnet::{
     CrashPlan, LifecycleKind, LifecyclePlan, NetworkConfig, ProcessId, Simulation,
 };
@@ -473,11 +475,54 @@ fn crash_plan(scenario: &Scenario) -> CrashPlan {
     }
 }
 
-/// Runs one trial of a scenario with the given protocol factory — **the**
-/// simulation loop: every protocol and every workload goes through this one
-/// function, monomorphized per factory (no trait objects anywhere near the
-/// hot path).
-pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize) -> TrialOutcome {
+/// The fully resolved, seed-contract-consuming part of a trial: the
+/// topology, the sampled interest assignment and the publisher-resolved
+/// publish schedule, plus the trial's population.
+///
+/// Extracted from the trial loop so that **both** execution engines — the
+/// round-synchronous [`run_scenario_trial`] and the asynchronous
+/// `pmcast-net` runtime — resolve the *identical* workload for a given
+/// `(scenario, trial)` pair: same trial seed, same interest bits, same
+/// publishers, same membership bootstrap.  Consumes the workload stream
+/// (rule 1 of the module-level seed contract) exactly as the historical
+/// inline code did, so all goldens are preserved bit for bit.
+#[derive(Debug)]
+pub struct TrialWorkload {
+    /// The trial seed `seed_t = scenario.seed + trial` every stream
+    /// derives from.
+    pub seed: u64,
+    /// The regular tree the group lives in.
+    pub topology: ImplicitRegularTree,
+    /// The sampled interest assignment.
+    pub oracle: Arc<AssignmentOracle>,
+    /// `(round, publisher process, event)` in schedule order, publishers
+    /// already resolved.
+    pub schedule: Vec<(u64, usize, Arc<Event>)>,
+    /// The trial's (possibly sparse, time-varying) population.
+    pub population: Population,
+    /// Initial occupancy, `Some` only when somebody starts absent (the
+    /// sparse-bootstrap path).
+    pub occupied_at_start: Option<Vec<bool>>,
+}
+
+impl TrialWorkload {
+    /// Instantiates the scenario's membership provider from the trial's
+    /// membership stream (rule 3 of the module-level seed contract) —
+    /// shared verbatim by both execution engines.
+    pub fn membership(&self, scenario: &Scenario) -> Arc<dyn MembershipView> {
+        scenario.membership.instantiate(
+            scenario.arity,
+            scenario.depth,
+            self.seed.wrapping_mul(0xC2B2_AE35).wrapping_add(17),
+            self.occupied_at_start.as_deref(),
+        )
+    }
+}
+
+/// Resolves trial `t` of a scenario into a [`TrialWorkload`], consuming
+/// the workload stream exactly as documented in the module-level seed
+/// contract.
+pub fn trial_workload(scenario: &Scenario, trial: usize) -> TrialWorkload {
     let seed = scenario.seed.wrapping_add(trial as u64);
     let topology = ImplicitRegularTree::new(
         AddressSpace::regular(scenario.depth, scenario.arity).expect("valid shape"),
@@ -489,12 +534,6 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
         scenario.matching_rate,
         &mut workload_rng,
     ));
-    let network = NetworkConfig {
-        loss_probability: scenario.loss_probability,
-        crash_plan: crash_plan(scenario),
-        fault_plan: scenario.fault_plan(),
-        seed,
-    };
     // The trial's population: occupancy gaps and their deterministic
     // join/leave transitions.  `Population::new` / `with_fault_schedule`
     // also validate every scheduled index (so hand-constructed scenarios
@@ -522,8 +561,7 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
         &scenario.publications
     };
 
-    // Resolve publishers in schedule order (the seed contract), then walk
-    // the schedule in round order during the run.
+    // Resolve publishers in schedule order (the seed contract).
     let schedule: Vec<(u64, usize, Arc<Event>)> = publications
         .iter()
         .map(|publication| {
@@ -536,6 +574,47 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
             )
         })
         .collect();
+    TrialWorkload {
+        seed,
+        topology,
+        oracle,
+        schedule,
+        population,
+        occupied_at_start,
+    }
+}
+
+/// Runs one trial of a scenario with the given protocol factory — **the**
+/// simulation loop: every protocol and every workload goes through this one
+/// function, monomorphized per factory (no trait objects anywhere near the
+/// hot path).
+pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize) -> TrialOutcome {
+    run_scenario_trial_states::<F>(scenario, trial).0
+}
+
+/// [`run_scenario_trial`] variant that also returns the final protocol
+/// states (in dense identifier order), so callers — most prominently the
+/// net-vs-sim conformance suite — can compare *which* processes delivered
+/// an event, not just how many.  `run_scenario_trial` is a thin wrapper
+/// that drops the states.
+pub fn run_scenario_trial_states<F: ProtocolFactory>(
+    scenario: &Scenario,
+    trial: usize,
+) -> (TrialOutcome, Vec<F::Process>) {
+    let TrialWorkload {
+        seed,
+        topology,
+        oracle,
+        schedule,
+        population,
+        occupied_at_start,
+    } = trial_workload(scenario, trial);
+    let network = NetworkConfig {
+        loss_probability: scenario.loss_probability,
+        crash_plan: crash_plan(scenario),
+        fault_plan: scenario.fault_plan(),
+        seed,
+    };
     let mut injection_order: Vec<usize> = (0..schedule.len()).collect();
     injection_order.sort_by_key(|&index| schedule[index].0);
 
@@ -675,13 +754,14 @@ pub fn run_scenario_trial<F: ProtocolFactory>(scenario: &Scenario, trial: usize)
         })
         .collect();
     debug_assert_eq!(latency.len(), per_event.len());
-    TrialOutcome {
+    let outcome = TrialOutcome {
         report,
         per_event,
         latency,
         messages_sent: sim.stats().messages_sent,
         rounds,
-    }
+    };
+    (outcome, sim.into_processes())
 }
 
 /// Runs one trial of a scenario with the protocol chosen at runtime: the

@@ -58,6 +58,29 @@ impl<M> std::fmt::Debug for RoundContext<'_, M> {
     }
 }
 
+impl<'a, M> RoundContext<'a, M> {
+    /// A context for driving a [`RoundProcess`] **outside** a
+    /// [`Simulation`] — the seam the asynchronous runtime (`pmcast-net`)
+    /// uses to fire gossip rounds off timers instead of lock-step rounds.
+    /// The caller owns the outbox and the RNG: sends accumulate in
+    /// `outbox` for the caller to flush through its own transport, and
+    /// `rng` is whatever stream the external driver's determinism story
+    /// prescribes (the simulator's own seed contract is untouched).
+    pub fn external(
+        process: ProcessId,
+        round: u64,
+        outbox: &'a mut Vec<(ProcessId, M, usize)>,
+        rng: &'a mut ChaCha8Rng,
+    ) -> Self {
+        RoundContext {
+            process,
+            round,
+            outbox,
+            rng,
+        }
+    }
+}
+
 impl<M> RoundContext<'_, M> {
     /// The process this context belongs to.
     pub fn process(&self) -> ProcessId {

@@ -6,9 +6,19 @@
 //! publishes a stream of trade events and pmcast routes each of them only
 //! towards the subtrees containing matching subscribers.
 //!
+//! Two modes:
+//!
 //! ```text
-//! cargo run --example pubsub_stock_ticker
+//! cargo run --example pubsub_stock_ticker              # one-shot simulator burst
+//! cargo run --example pubsub_stock_ticker -- --daemon  # long-running pmcast-net feed
 //! ```
+//!
+//! `--daemon` runs the same group as long-lived broker tasks on the
+//! `pmcast-net` async runtime: a sustained publish loop paces trades into
+//! the group through bounded mailboxes (publishers wait under
+//! backpressure; gossip overflow drops with a counter), until `--trades N`
+//! (default 2000) have been served or Ctrl-C asks for a graceful
+//! shutdown.  It ends with an events/sec summary line.
 
 use std::error::Error;
 use std::sync::Arc;
@@ -21,17 +31,80 @@ use pmcast::{
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Cooperative Ctrl-C: the handler flips a flag the daemon's publish loop
+/// polls between trades, so teardown always goes through the graceful
+/// `NetGroup::shutdown` path.
+mod ctrl_c {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    pub fn requested() -> bool {
+        STOP.load(Ordering::Relaxed)
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        extern "C" fn on_sigint(_signum: i32) {
+            STOP.store(true, Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
+    let mut daemon = false;
+    let mut trades: u64 = 2000;
+    let mut period_us: u64 = 200;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--daemon" => daemon = true,
+            "--trades" => trades = args.next().and_then(|v| v.parse().ok()).unwrap_or(trades),
+            "--period-us" => {
+                period_us = args.next().and_then(|v| v.parse().ok()).unwrap_or(period_us)
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: [--daemon] [--trades N] [--period-us N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if daemon {
+        run_daemon(trades, period_us)
+    } else {
+        run_simulated_burst()
+    }
+}
+
+/// Builds the 125-broker group with per-process ticker subscriptions; the
+/// [`GroupTree`] doubles as the interest oracle.
+fn build_feed(rng: &mut ChaCha8Rng) -> Result<Arc<GroupTree>, Box<dyn Error>> {
+    let space = AddressSpace::regular(3, 5)?;
+    let mut tree = GroupTree::new(space.clone());
+    for address in space.iter() {
+        tree.join(address, ticker_subscription(rng))?;
+    }
+    Ok(Arc::new(tree))
+}
+
+/// The original one-shot mode: a burst of trades through the
+/// round-synchronous simulator.
+fn run_simulated_burst() -> Result<(), Box<dyn Error>> {
     let mut rng = ChaCha8Rng::seed_from_u64(2026);
 
     // 1. Build an explicit membership: 125 brokers in a depth-3 tree, each
     //    with its own content-based subscription.
-    let space = AddressSpace::regular(3, 5)?;
-    let mut tree = GroupTree::new(space.clone());
-    for address in space.iter() {
-        tree.join(address, ticker_subscription(&mut rng))?;
-    }
-    let tree = Arc::new(tree);
+    let tree = build_feed(&mut rng)?;
     println!("{} brokers joined the feed", tree.member_count());
 
     // A look at one broker's view table (the Figure 2 structure).
@@ -84,5 +157,81 @@ fn main() -> Result<(), Box<dyn Error>> {
             }
         }
     }
+    Ok(())
+}
+
+/// The long-running broker mode: the same feed as live `pmcast-net` tasks,
+/// serving a sustained paced trade stream until `max_trades` or Ctrl-C.
+fn run_daemon(max_trades: u64, period_us: u64) -> Result<(), Box<dyn Error>> {
+    use std::time::{Duration, Instant};
+
+    use pmcast::net::{NetConfig, NetGroup};
+    use smol::{LocalExecutor, Timer};
+
+    ctrl_c::install();
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    let tree = build_feed(&mut rng)?;
+    let broker_count = tree.member_count();
+    println!("{broker_count} brokers serving the feed as pmcast-net tasks (Ctrl-C for graceful shutdown)");
+
+    let config = PmcastConfig::default().with_fanout(3);
+    let membership = Arc::new(GlobalOracleView::new(broker_count));
+    let group = PmcastFactory::build(tree.as_ref(), tree.clone(), membership.clone(), &config);
+    let net_config = NetConfig::default()
+        .with_gossip_period(Duration::from_millis(2))
+        .with_mailbox_capacity(256)
+        .with_seen_capacity(4096)
+        .with_seed(11);
+
+    // Wall clock on purpose: the daemon reports a real publish rate.
+    let executor = LocalExecutor::new();
+    let net = NetGroup::spawn(&executor, group.processes, membership, &net_config);
+    let handle = net.handle().clone();
+    let observer = handle.clone();
+    let period = Duration::from_micros(period_us.max(1));
+    let started = Instant::now();
+
+    let (published, reports) = executor.run(async move {
+        let mut published: u64 = 0;
+        let first_deadline = smol::now();
+        while published < max_trades && !ctrl_c::requested() {
+            // Drift-free pacing: trade k is due at `first + k * period`.
+            Timer::at(first_deadline + period * (published as u32)).await;
+            let trade = Arc::new(ticker_event(published, &mut rng));
+            let publisher = rng.gen_range(0..broker_count);
+            if handle.publish(publisher, trade).await.is_err() {
+                break;
+            }
+            published += 1;
+        }
+        // Let the last trades disseminate before tearing down.
+        while !handle.is_quiescent() && !ctrl_c::requested() {
+            Timer::after(Duration::from_millis(2)).await;
+        }
+        (published, net.shutdown().await)
+    });
+    let elapsed = started.elapsed();
+
+    assert_eq!(reports.len(), broker_count, "every broker reports on shutdown");
+    let (ticks, frames, deduped) = reports
+        .iter()
+        .fold((0u64, 0u64, 0u64), |(ticks, frames, deduped), report| {
+            (
+                ticks + report.stats.ticks,
+                frames + report.stats.frames_handled,
+                deduped + report.stats.frames_deduped,
+            )
+        });
+    let transport = observer.stats();
+    let events_per_sec = published as f64 / elapsed.as_secs_f64();
+    println!(
+        "served {published} trades in {:.2}s: {events_per_sec:.0} events/sec \
+         ({ticks} gossip ticks, {frames} frames handled, {deduped} deduped by the Seen ring)",
+        elapsed.as_secs_f64(),
+    );
+    println!(
+        "transport: {} frames sent, {} dropped at full mailboxes, peak {} in flight",
+        transport.frames_sent, transport.frames_dropped, transport.peak_in_flight
+    );
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | [`core`] | `pmcast-core` | the pmcast protocol and the baseline protocols |
 //! | [`analysis`] | `pmcast-analysis` | Pittel asymptote, infection Markov chains, reliability model |
 //! | [`sim`] | `pmcast-sim` | experiment harness and figure regenerators |
+//! | [`net`] | `pmcast-net` | event-driven async runtime, conformance-tested against [`sim`] |
 //!
 //! The most commonly used items are also re-exported at the crate root.
 //!
@@ -137,6 +138,13 @@ pub mod sim {
     pub use pmcast_sim::*;
 }
 
+/// Event-driven async runtime (`pmcast-net`): long-running broker tasks on
+/// timers and transports, conformance-tested against the round-synchronous
+/// simulator (which stays the oracle).
+pub mod net {
+    pub use pmcast_net::*;
+}
+
 pub use pmcast_addr::{AddrError, Address, AddressSpace, Prefix};
 pub use pmcast_analysis::{EnvParams, GroupParams};
 pub use pmcast_core::{
@@ -157,6 +165,7 @@ pub use pmcast_membership::{
     MembershipView, PartialView, PartialViewConfig, Population, PopulationSizes,
     SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
 };
+pub use pmcast_net::{NetConfig, NetGroup, NetGroupHandle, NetTrialOutcome, Seen};
 pub use pmcast_simnet::{
     FaultPlan, LifecycleKind, LifecyclePlan, LifecycleTransition, LinkDelay, LossOverride,
     NetworkConfig, PartitionWindow, ProcessId, Simulation, Straggler, TrafficStats,

@@ -1,0 +1,397 @@
+//! Async MPSC channels with bounded capacity and backpressure, mirroring
+//! the `smol::channel` (async-channel) API surface the workspace uses.
+//!
+//! Deviation from the real crate: the shim is **single-consumer** — the
+//! [`Receiver`] is not `Clone`, and only one `recv` may be pending at a
+//! time (a second concurrent `recv` on the same channel would overwrite
+//! the first one's waker).  `pmcast-net` gives every process exactly one
+//! mailbox consumer, so this is all the workspace needs.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+    recv_waker: Option<Waker>,
+    send_wakers: Vec<Waker>,
+}
+
+impl<T> Inner<T> {
+    fn wake_receiver(&mut self) {
+        if let Some(waker) = self.recv_waker.take() {
+            waker.wake();
+        }
+    }
+
+    fn wake_senders(&mut self) {
+        for waker in self.send_wakers.drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+fn lock<T>(inner: &Arc<Mutex<Inner<T>>>) -> MutexGuard<'_, Inner<T>> {
+    inner.lock().expect("channel poisoned")
+}
+
+/// Creates a bounded channel: `send` waits while `capacity` messages are
+/// queued (backpressure), `try_send` fails fast with [`TrySendError::Full`].
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (rendezvous channels are not supported).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be at least 1");
+    let inner = Arc::new(Mutex::new(Inner {
+        queue: VecDeque::with_capacity(capacity.min(1024)),
+        capacity,
+        senders: 1,
+        receiver_alive: true,
+        recv_waker: None,
+        send_wakers: Vec::new(),
+    }));
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+/// Creates an unbounded channel: `send` never waits.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (sender, receiver) = bounded(1);
+    lock(&sender.inner).capacity = usize::MAX;
+    (sender, receiver)
+}
+
+/// The sending half of a channel; cloneable (multi-producer).
+pub struct Sender<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = lock(&self.inner);
+        f.debug_struct("Sender")
+            .field("len", &inner.queue.len())
+            .field("capacity", &inner.capacity)
+            .finish()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.inner).senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = lock(&self.inner);
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // The receiver's pending recv must observe the closure.
+            inner.wake_receiver();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, waiting while the channel is full.  Fails only
+    /// when the receiver has been dropped.
+    pub fn send(&self, message: T) -> SendFuture<'_, T> {
+        SendFuture {
+            inner: &self.inner,
+            message: Some(message),
+        }
+    }
+
+    /// Sends without waiting; fails with the message when the channel is
+    /// full or the receiver has been dropped.
+    pub fn try_send(&self, message: T) -> Result<(), TrySendError<T>> {
+        let mut inner = lock(&self.inner);
+        if !inner.receiver_alive {
+            return Err(TrySendError::Closed(message));
+        }
+        if inner.queue.len() >= inner.capacity {
+            return Err(TrySendError::Full(message));
+        }
+        inner.queue.push_back(message);
+        inner.wake_receiver();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The future returned by [`Sender::send`].
+pub struct SendFuture<'a, T> {
+    inner: &'a Arc<Mutex<Inner<T>>>,
+    message: Option<T>,
+}
+
+impl<T> std::fmt::Debug for SendFuture<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SendFuture")
+            .field("queued", &self.message.is_none())
+            .finish()
+    }
+}
+
+impl<T: Unpin> Future for SendFuture<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut inner = lock(this.inner);
+        let message = this
+            .message
+            .take()
+            .expect("SendFuture polled after completion");
+        if !inner.receiver_alive {
+            return Poll::Ready(Err(SendError(message)));
+        }
+        if inner.queue.len() < inner.capacity {
+            inner.queue.push_back(message);
+            inner.wake_receiver();
+            return Poll::Ready(Ok(()));
+        }
+        this.message = Some(message);
+        inner.send_wakers.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// The receiving half of a channel; single-consumer (see module docs).
+pub struct Receiver<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = lock(&self.inner);
+        f.debug_struct("Receiver")
+            .field("len", &inner.queue.len())
+            .field("capacity", &inner.capacity)
+            .finish()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = lock(&self.inner);
+        inner.receiver_alive = false;
+        // Pending senders must observe the closure.
+        inner.wake_senders();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, waiting while the channel is empty.
+    /// Fails only when every sender has been dropped and the queue is
+    /// drained.
+    pub fn recv(&self) -> RecvFuture<'_, T> {
+        RecvFuture { inner: &self.inner }
+    }
+
+    /// Receives without waiting.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = lock(&self.inner);
+        match inner.queue.pop_front() {
+            Some(message) => {
+                inner.wake_senders();
+                Ok(message)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Closed),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The future returned by [`Receiver::recv`].
+pub struct RecvFuture<'a, T> {
+    inner: &'a Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> std::fmt::Debug for RecvFuture<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvFuture").finish()
+    }
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = lock(self.inner);
+        match inner.queue.pop_front() {
+            Some(message) => {
+                inner.wake_senders();
+                Poll::Ready(Ok(message))
+            }
+            None if inner.senders == 0 => Poll::Ready(Err(RecvError)),
+            None => {
+                inner.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// `send` failed because the receiver was dropped; carries the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending into a closed channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// `try_send` failed; carries the message back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// The receiver was dropped.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(message) | TrySendError::Closed(message) => message,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "channel is full"),
+            TrySendError::Closed(_) => write!(f, "channel is closed"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// `recv` failed because every sender was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving from an empty, closed channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// `try_recv` failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// Every sender was dropped and the queue is drained.
+    Closed,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel is empty"),
+            TryRecvError::Closed => write!(f, "channel is closed"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalExecutor, Timer};
+    use std::time::Duration;
+
+    #[test]
+    fn backpressure_waits_until_the_consumer_drains() {
+        let executor = LocalExecutor::deterministic(5);
+        let (sender, receiver) = bounded::<u64>(2);
+        let consumer = executor.spawn(async move {
+            let mut got = Vec::new();
+            loop {
+                Timer::after(Duration::from_millis(10)).await;
+                match receiver.recv().await {
+                    Ok(value) => got.push(value),
+                    Err(RecvError) => break,
+                }
+            }
+            got
+        });
+        let sent = executor.run(async move {
+            for value in 0..6u64 {
+                sender.send(value).await.expect("receiver alive");
+            }
+            drop(sender);
+            consumer.await
+        });
+        assert_eq!(sent, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_closed() {
+        let (sender, receiver) = bounded::<u32>(1);
+        sender.try_send(1).expect("fits");
+        assert!(matches!(sender.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(receiver.try_recv(), Ok(1));
+        drop(receiver);
+        assert!(matches!(sender.try_send(3), Err(TrySendError::Closed(3))));
+    }
+
+    #[test]
+    fn recv_observes_sender_closure() {
+        let executor = LocalExecutor::deterministic(6);
+        let (sender, receiver) = bounded::<u32>(4);
+        sender.try_send(7).expect("fits");
+        drop(sender);
+        let (first, second) = executor.run(async move {
+            let first = receiver.recv().await;
+            let second = receiver.recv().await;
+            (first, second)
+        });
+        assert_eq!(first, Ok(7));
+        assert_eq!(second, Err(RecvError));
+    }
+}

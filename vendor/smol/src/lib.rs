@@ -1,0 +1,596 @@
+//! Offline stand-in for the `smol` async runtime.
+//!
+//! Reimplements exactly the API surface the workspace uses — a
+//! single-threaded task executor ([`LocalExecutor`]), a timer future
+//! ([`Timer`]) backed by a timer wheel, and async MPSC [`channel`]s with
+//! bounded capacity and backpressure — with no external dependencies, so
+//! the build works fully offline (see `vendor/README.md`).  The shim only
+//! promises self-consistency, not behavioural equality with the real
+//! crate.
+//!
+//! Two deliberate deviations from the real `smol`, both documented shim
+//! extensions required by `pmcast-net`'s conformance story:
+//!
+//! 1. **Deterministic virtual time.**  [`LocalExecutor::deterministic`]
+//!    runs on a *virtual clock*: when no task is runnable, the clock jumps
+//!    straight to the earliest timer deadline instead of sleeping, so a
+//!    simulated minute of gossip executes in milliseconds and every run
+//!    with the same seed schedules identically.  [`LocalExecutor::new`]
+//!    keeps a monotonic wall clock (idle waits really sleep).
+//! 2. **Seeded timer ordering.**  Timers that expire at the same instant
+//!    fire in an order keyed by a hash of the executor seed and the
+//!    registration sequence number — deterministic, reproducible from the
+//!    seed, and with no accidental reliance on registration order.
+//!
+//! Timestamps are [`Duration`]s since the executor was created (the real
+//! crate uses [`std::time::Instant`]; a virtual clock has no meaningful
+//! `Instant`, so the shim exposes the monotonic offset directly).
+//!
+//! Everything is single-threaded: tasks are `!Send` futures, woken through
+//! the safe [`std::task::Wake`] machinery, and the executor never spawns
+//! threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+pub mod channel;
+
+/// SplitMix64: the tie-break hash for equal-deadline timers.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Task identifier; `usize::MAX` is reserved for the main future.
+type TaskId = usize;
+const MAIN_ID: TaskId = usize::MAX;
+
+/// The cross-task wake queue.  `Waker` must be `Send + Sync`, so this one
+/// shared piece of executor state sits behind a mutex even though the
+/// executor itself is single-threaded.
+#[derive(Default)]
+struct WakeQueue {
+    ready: Mutex<VecDeque<TaskId>>,
+}
+
+impl WakeQueue {
+    fn push(&self, id: TaskId) {
+        let mut ready = self.ready.lock().expect("wake queue poisoned");
+        if !ready.contains(&id) {
+            ready.push_back(id);
+        }
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.ready.lock().expect("wake queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.push(self.id);
+    }
+}
+
+/// How the reactor advances time when every task is blocked on a timer.
+enum ClockMode {
+    /// Jump straight to the earliest deadline (deterministic mode).
+    Virtual,
+    /// Sleep on the OS clock until the earliest deadline.
+    Monotonic { start: Instant },
+}
+
+/// Timer-wheel key: deadline first, then the seeded tie-break hash, then
+/// the registration sequence (which guarantees uniqueness).
+type TimerKey = (Duration, u64, u64);
+
+/// The executor's timer wheel and clock.
+struct Reactor {
+    clock: ClockMode,
+    now: Cell<Duration>,
+    timers: RefCell<BTreeMap<TimerKey, Waker>>,
+    timer_seq: Cell<u64>,
+    seed: u64,
+}
+
+impl Reactor {
+    /// Current time as an offset from executor creation.
+    fn now(&self) -> Duration {
+        if let ClockMode::Monotonic { start } = self.clock {
+            let elapsed = start.elapsed();
+            if elapsed > self.now.get() {
+                self.now.set(elapsed);
+            }
+        }
+        self.now.get()
+    }
+
+    fn register(&self, deadline: Duration, waker: Waker) -> TimerKey {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        let key = (deadline, splitmix64(self.seed ^ seq), seq);
+        self.timers.borrow_mut().insert(key, waker);
+        key
+    }
+
+    fn deregister(&self, key: TimerKey) {
+        self.timers.borrow_mut().remove(&key);
+    }
+
+    /// Advances the clock to the earliest pending deadline and wakes every
+    /// timer that is due.  Returns `false` when the wheel is empty.
+    fn fire_next(&self) -> bool {
+        let earliest = match self.timers.borrow().keys().next() {
+            Some(&key) => key.0,
+            None => return false,
+        };
+        match self.clock {
+            ClockMode::Virtual => {
+                if earliest > self.now.get() {
+                    self.now.set(earliest);
+                }
+            }
+            ClockMode::Monotonic { start } => {
+                let now = start.elapsed();
+                if now < earliest {
+                    std::thread::sleep(earliest - now);
+                }
+                self.now.set(start.elapsed().max(earliest));
+            }
+        }
+        let now = self.now.get();
+        let mut timers = self.timers.borrow_mut();
+        while let Some(&key) = timers.keys().next() {
+            if key.0 > now {
+                break;
+            }
+            if let Some(waker) = timers.remove(&key) {
+                waker.wake();
+            }
+        }
+        true
+    }
+}
+
+thread_local! {
+    /// The reactor of the executor currently inside [`LocalExecutor::run`]
+    /// on this thread; [`Timer`]s find their wheel through it.
+    static ACTIVE: RefCell<Option<Rc<Reactor>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously active reactor when `run` returns.
+struct ActiveGuard {
+    previous: Option<Rc<Reactor>>,
+}
+
+impl ActiveGuard {
+    fn install(reactor: Rc<Reactor>) -> Self {
+        let previous = ACTIVE.with(|active| active.borrow_mut().replace(reactor));
+        ActiveGuard { previous }
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|active| *active.borrow_mut() = self.previous.take());
+    }
+}
+
+fn active_reactor() -> Rc<Reactor> {
+    ACTIVE.with(|active| {
+        active.borrow().clone().expect(
+            "smol shim: Timer polled outside LocalExecutor::run \
+             (timers need the running executor's timer wheel)",
+        )
+    })
+}
+
+/// The current time as an offset from the running executor's creation —
+/// virtual time under [`LocalExecutor::deterministic`], monotonic wall
+/// time under [`LocalExecutor::new`].
+///
+/// # Panics
+///
+/// Panics when called outside [`LocalExecutor::run`].
+pub fn now() -> Duration {
+    active_reactor().now()
+}
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+struct ExecutorState {
+    tasks: RefCell<Vec<Option<TaskFuture>>>,
+    free: RefCell<Vec<TaskId>>,
+    queue: Arc<WakeQueue>,
+    reactor: Rc<Reactor>,
+}
+
+/// A single-threaded async task executor.
+///
+/// Spawned futures run on the thread that calls [`run`](Self::run); they
+/// do not need to be `Send`.  See the crate docs for the clock modes.
+pub struct LocalExecutor {
+    state: Rc<ExecutorState>,
+}
+
+impl std::fmt::Debug for LocalExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalExecutor")
+            .field("tasks", &self.state.tasks.borrow().len())
+            .field("seed", &self.state.reactor.seed)
+            .finish()
+    }
+}
+
+impl Default for LocalExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalExecutor {
+    fn with_clock(clock: ClockMode, seed: u64) -> Self {
+        LocalExecutor {
+            state: Rc::new(ExecutorState {
+                tasks: RefCell::new(Vec::new()),
+                free: RefCell::new(Vec::new()),
+                queue: Arc::new(WakeQueue::default()),
+                reactor: Rc::new(Reactor {
+                    clock,
+                    now: Cell::new(Duration::ZERO),
+                    timers: RefCell::new(BTreeMap::new()),
+                    timer_seq: Cell::new(0),
+                    seed,
+                }),
+            }),
+        }
+    }
+
+    /// An executor on the monotonic wall clock: idle waits really sleep.
+    pub fn new() -> Self {
+        Self::with_clock(ClockMode::Monotonic { start: Instant::now() }, 0)
+    }
+
+    /// A deterministic executor on a virtual clock (shim extension): idle
+    /// waits jump the clock to the next timer deadline, and equal-deadline
+    /// timers fire in an order seeded by `seed`.  Two runs of the same
+    /// task set with the same seed schedule identically.
+    pub fn deterministic(seed: u64) -> Self {
+        Self::with_clock(ClockMode::Virtual, seed)
+    }
+
+    /// Current time as an offset from executor creation.
+    pub fn now(&self) -> Duration {
+        self.state.reactor.now()
+    }
+
+    /// Spawns a task, returning a [`Task`] handle that can be awaited for
+    /// the task's output.  Dropping the handle cancels the task; call
+    /// [`Task::detach`] to let it run unsupervised.
+    pub fn spawn<T: 'static>(&self, future: impl Future<Output = T> + 'static) -> Task<T> {
+        let join = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waiter: None,
+        }));
+        let join_in_task = Rc::clone(&join);
+        let wrapped = async move {
+            let value = future.await;
+            let mut state = join_in_task.borrow_mut();
+            state.result = Some(value);
+            if let Some(waker) = state.waiter.take() {
+                waker.wake();
+            }
+        };
+        let mut tasks = self.state.tasks.borrow_mut();
+        let id = match self.state.free.borrow_mut().pop() {
+            Some(id) => {
+                tasks[id] = Some(Box::pin(wrapped));
+                id
+            }
+            None => {
+                tasks.push(Some(Box::pin(wrapped)));
+                tasks.len() - 1
+            }
+        };
+        drop(tasks);
+        self.state.queue.push(id);
+        Task {
+            id,
+            join,
+            executor: Rc::downgrade(&self.state),
+            detached: false,
+        }
+    }
+
+    /// Drives the executor until `future` completes, returning its output.
+    /// Spawned tasks run cooperatively alongside it; when everything is
+    /// blocked, the reactor advances the clock to the next timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every task (including `future`) is pending and no timer
+    /// is registered — a genuine deadlock — or when called re-entrantly
+    /// from inside a running task.
+    pub fn run<T>(&self, future: impl Future<Output = T>) -> T {
+        let _guard = ActiveGuard::install(Rc::clone(&self.state.reactor));
+        let mut main = Box::pin(future);
+        let main_waker = Waker::from(Arc::new(TaskWaker {
+            id: MAIN_ID,
+            queue: Arc::clone(&self.state.queue),
+        }));
+        self.state.queue.push(MAIN_ID);
+        loop {
+            while let Some(id) = self.state.queue.pop() {
+                if id == MAIN_ID {
+                    let mut cx = Context::from_waker(&main_waker);
+                    if let Poll::Ready(value) = main.as_mut().poll(&mut cx) {
+                        return value;
+                    }
+                } else {
+                    self.poll_task(id);
+                }
+            }
+            if !self.state.reactor.fire_next() {
+                panic!(
+                    "smol shim: executor deadlocked — every task is pending \
+                     and no timer is registered"
+                );
+            }
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out of the slab while polling it, so the task
+        // can spawn siblings (which re-borrows the slab) without panicking.
+        let future = self.state.tasks.borrow_mut().get_mut(id).and_then(Option::take);
+        let Some(mut future) = future else { return };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            queue: Arc::clone(&self.state.queue),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => self.state.free.borrow_mut().push(id),
+            Poll::Pending => self.state.tasks.borrow_mut()[id] = Some(future),
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waiter: Option<Waker>,
+}
+
+/// A handle to a spawned task.  Awaiting it yields the task's output;
+/// dropping it cancels the task unless [`detach`](Self::detach)ed.
+pub struct Task<T> {
+    id: TaskId,
+    join: Rc<RefCell<JoinState<T>>>,
+    executor: std::rc::Weak<ExecutorState>,
+    detached: bool,
+}
+
+impl<T> std::fmt::Debug for Task<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task").field("id", &self.id).finish()
+    }
+}
+
+impl<T> Task<T> {
+    /// Lets the task keep running without the handle; its output is
+    /// discarded when it completes.
+    pub fn detach(mut self) {
+        self.detached = true;
+    }
+}
+
+impl<T> Drop for Task<T> {
+    fn drop(&mut self) {
+        if self.detached {
+            return;
+        }
+        // Cancel: drop the task's future if it has not completed yet.
+        if let Some(state) = self.executor.upgrade() {
+            if let Some(slot) = state.tasks.borrow_mut().get_mut(self.id) {
+                if slot.take().is_some() {
+                    state.free.borrow_mut().push(self.id);
+                }
+            }
+        }
+    }
+}
+
+impl<T> Future for Task<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut join = this.join.borrow_mut();
+        match join.result.take() {
+            Some(value) => Poll::Ready(value),
+            None => {
+                join.waiter = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// A future that completes when its deadline passes, yielding the
+/// reactor's time at completion.
+///
+/// Deadlines are [`Duration`] offsets from executor creation (see the
+/// crate docs for why the shim does not use `Instant`).  Must be awaited
+/// inside [`LocalExecutor::run`].
+pub struct Timer {
+    deadline: Option<Duration>,
+    delay: Duration,
+    absolute: bool,
+    registration: Option<(Rc<Reactor>, TimerKey)>,
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timer")
+            .field("deadline", &self.deadline)
+            .field("delay", &self.delay)
+            .field("absolute", &self.absolute)
+            .finish()
+    }
+}
+
+impl Timer {
+    /// Fires `delay` after the first poll.
+    pub fn after(delay: Duration) -> Timer {
+        Timer {
+            deadline: None,
+            delay,
+            absolute: false,
+            registration: None,
+        }
+    }
+
+    /// Fires at an absolute offset from executor creation (shim
+    /// extension: the real crate takes an `Instant`).  A deadline already
+    /// in the past fires immediately — the natural way to schedule a
+    /// drift-free periodic tick (`phase + k * period`).
+    pub fn at(deadline: Duration) -> Timer {
+        Timer {
+            deadline: Some(deadline),
+            delay: Duration::ZERO,
+            absolute: true,
+            registration: None,
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        // Deregister so a dropped (e.g. raced) timer does not leave a
+        // stale entry growing the wheel.
+        if let Some((reactor, key)) = self.registration.take() {
+            reactor.deregister(key);
+        }
+    }
+}
+
+impl Future for Timer {
+    type Output = Duration;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let reactor = match &this.registration {
+            Some((reactor, _)) => Rc::clone(reactor),
+            None => active_reactor(),
+        };
+        let now = reactor.now();
+        let deadline = *this.deadline.get_or_insert(now + this.delay);
+        if now >= deadline {
+            if let Some((reactor, key)) = this.registration.take() {
+                reactor.deregister(key);
+            }
+            return Poll::Ready(now);
+        }
+        // Re-register with the freshest waker on every pending poll.
+        if let Some((reactor, key)) = this.registration.take() {
+            reactor.deregister(key);
+        }
+        let key = reactor.register(deadline, cx.waker().clone());
+        this.registration = Some((reactor, key));
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn virtual_clock_jumps_instead_of_sleeping() {
+        let executor = LocalExecutor::deterministic(1);
+        let wall = Instant::now();
+        let elapsed = executor.run(async {
+            Timer::after(Duration::from_secs(3600)).await;
+            now()
+        });
+        assert!(elapsed >= Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(5), "must not really sleep");
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        fn trace(seed: u64) -> Vec<u64> {
+            let executor = LocalExecutor::deterministic(seed);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..4u64 {
+                let log = Rc::clone(&log);
+                executor
+                    .spawn(async move {
+                        for k in 0..3u64 {
+                            Timer::at(Duration::from_millis(10 * (k + 1))).await;
+                            log.borrow_mut().push(i * 10 + k);
+                        }
+                    })
+                    .detach();
+            }
+            executor.run(async {
+                Timer::after(Duration::from_millis(50)).await;
+            });
+            let result = log.borrow().clone();
+            result
+        }
+        assert_eq!(trace(7), trace(7), "same seed, same schedule");
+        assert_eq!(trace(7).len(), 12);
+    }
+
+    #[test]
+    fn task_handles_yield_outputs_and_cancel_on_drop() {
+        let executor = LocalExecutor::deterministic(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let task = executor.spawn(async { 21u64 * 2 });
+        let cancelled = {
+            let counter = Arc::clone(&counter);
+            executor.spawn(async move {
+                Timer::after(Duration::from_secs(1)).await;
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        drop(cancelled);
+        let value = executor.run(async move {
+            let value = task.await;
+            Timer::after(Duration::from_secs(2)).await;
+            value
+        });
+        assert_eq!(value, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "dropped task must not run");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn deadlock_panics_instead_of_hanging() {
+        let executor = LocalExecutor::deterministic(3);
+        executor.run(std::future::pending::<()>());
+    }
+}
