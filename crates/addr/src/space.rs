@@ -211,6 +211,24 @@ impl AddressSpace {
         Address::new(components)
     }
 
+    /// Returns the dense index range `[start, end)` of the addresses
+    /// sharing the given prefix; every subtree occupies a contiguous range
+    /// of the lexicographic index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the prefix is not valid for this space.
+    pub fn index_range_under(&self, prefix: &Prefix) -> Result<(u128, u128), AddrError> {
+        self.validate_prefix(prefix)?;
+        let mut base: u128 = 0;
+        for (level, &component) in prefix.components().iter().enumerate() {
+            base = base * self.arities[level] as u128 + component as u128;
+        }
+        let below = self.capacity_under(prefix);
+        let start = base * below;
+        Ok((start, start + below))
+    }
+
     /// Converts an address back to its dense lexicographic index.
     ///
     /// # Errors

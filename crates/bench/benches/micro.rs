@@ -13,7 +13,7 @@ use pmcast_core::{
 use pmcast_interest::{Event, Filter, Interest, InterestSummary, Predicate};
 use pmcast_membership::{
     AssignmentOracle, DelegateView, DelegateViewConfig, GlobalOracleView, ImplicitRegularTree,
-    InterestOracle, MembershipView,
+    InterestOracle, MembershipView, TreeTopology,
 };
 use pmcast_net::{ChannelTransport, Frame, Seen, Transport};
 use pmcast_simnet::{FaultPlan, NetworkConfig, ProcessId, Simulation};
@@ -271,6 +271,51 @@ fn bench(c: &mut Criterion) {
             sim.run_rounds(5);
             sim.stats().messages_sent
         })
+    });
+    group.finish();
+
+    // Active-set scheduling guard: one engine step of a *fully quiescent*
+    // paper-scale group (n = 22³ = 10 648) after a completed dissemination.
+    // With the sparse core a quiescent step visits only the (empty) active
+    // set and quiescence detection is O(1), so this must sit at nanoseconds
+    // — independent of n — rather than the O(n) full-group sweep the dense
+    // path pays.  A regression here silently turns the million-process
+    // trial back into minutes.
+    let paper_tree = ImplicitRegularTree::new(AddressSpace::regular(3, 22).expect("valid"));
+    let mut paper_rng = ChaCha8Rng::seed_from_u64(5);
+    let paper_oracle = Arc::new(AssignmentOracle::sample(&paper_tree, 0.5, &mut paper_rng));
+    let paper_view: Arc<dyn MembershipView> =
+        Arc::new(GlobalOracleView::new(paper_tree.member_count()));
+    let built = PmcastFactory::build(
+        &paper_tree,
+        paper_oracle,
+        paper_view,
+        &PmcastConfig::default(),
+    );
+    let mut quiet_sim = Simulation::new(built.processes, NetworkConfig::reliable(1));
+    quiet_sim
+        .process_mut(ProcessId(0))
+        .pmcast(Event::builder(31).int("b", 1).build());
+    quiet_sim.run_until_quiescent(300);
+    assert!(quiet_sim.is_quiescent(), "warm-up dissemination must finish");
+    c.bench_function("quiescent_round_n10648", |b| {
+        b.iter(|| {
+            quiet_sim.step();
+            quiet_sim.is_quiescent()
+        })
+    });
+
+    // Sparse group construction at the million-process scale (a = 32,
+    // d = 4): the shared per-(depth, prefix) view tables — 33 825 views
+    // and one shared view *stack* per leaf subgroup instead of a million
+    // per-process tables.  This is the fixed cost every 32⁴ trial pays
+    // before the first round; it must stay in the hundreds of
+    // milliseconds, not scale like n separate view materializations.
+    let million_tree = ImplicitRegularTree::new(AddressSpace::regular(4, 32).expect("valid"));
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("sparse_group_build_n1m", |b| {
+        b.iter(|| SharedViews::build(&million_tree, 3).view_count())
     });
     group.finish();
 }

@@ -24,10 +24,10 @@ use std::sync::{Arc, RwLock};
 
 use pmcast_addr::Address;
 use pmcast_analysis::pittel;
-use pmcast_interest::{Event, EventId};
+use pmcast_interest::{Event, EventId, EventIdSet};
 use pmcast_membership::{InterestOracle, MembershipView, TreeTopology};
-use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
-use rustc_hash::{FxHashMap, FxHashSet};
+use pmcast_simnet::{Activity, ProcessId, RoundContext, RoundProcess};
+use rustc_hash::FxHashMap;
 
 use crate::{DeliveryOutcome, Gossip, PmcastConfig, ProtocolGroup};
 
@@ -53,8 +53,8 @@ pub struct FloodBroadcastProcess {
     oracle: Arc<dyn InterestOracle + Send + Sync>,
     membership: Arc<dyn MembershipView>,
     buffered: FxHashMap<EventId, FlatEntry>,
-    delivered: FxHashSet<EventId>,
-    received: FxHashSet<EventId>,
+    delivered: EventIdSet,
+    received: EventIdSet,
     /// Reusable buffer for the fanout draw (indices into the target pool).
     picks: Vec<usize>,
 }
@@ -89,8 +89,8 @@ impl FloodBroadcastProcess {
             oracle,
             membership,
             buffered: FxHashMap::default(),
-            delivered: FxHashSet::default(),
-            received: FxHashSet::default(),
+            delivered: EventIdSet::new(),
+            received: EventIdSet::new(),
             picks: Vec::new(),
         }
     }
@@ -130,12 +130,12 @@ impl FloodBroadcastProcess {
 
     /// Returns `true` if the event was delivered locally.
     pub fn has_delivered(&self, event: EventId) -> bool {
-        self.delivered.contains(&event)
+        self.delivered.contains(event)
     }
 
     /// Returns `true` if the event was received at all.
     pub fn has_received(&self, event: EventId) -> bool {
-        self.received.contains(&event)
+        self.received.contains(event)
     }
 
     /// The process address.
@@ -148,6 +148,12 @@ impl RoundProcess for FloodBroadcastProcess {
     type Message = Gossip;
 
     fn on_round(&mut self, ctx: &mut RoundContext<'_, Gossip>) {
+        // Nothing buffered → nothing to forward; return before even the
+        // membership query so a quiescent round is a pure no-op (the
+        // guarantee behind this process's `Activity::SkipWhenQuiescent`).
+        if self.buffered.is_empty() {
+            return;
+        }
         // The target pool is the membership view's peer enumeration (the
         // whole group minus ourselves under a global view, the bounded
         // partial view under gossip membership — lpbcast's own rule); no
@@ -183,6 +189,13 @@ impl RoundProcess for FloodBroadcastProcess {
 
     fn is_quiescent(&self) -> bool {
         self.buffered.is_empty()
+    }
+
+    fn activity(&self) -> Activity {
+        // `on_round` early-returns on an empty buffer — the quiescence
+        // condition — without drawing randomness, so skipping quiescent
+        // rounds is stream-neutral.
+        Activity::SkipWhenQuiescent
     }
 }
 
@@ -364,8 +377,8 @@ pub struct GenuineMulticastProcess {
     /// Interested peers per event, shared by the whole group.
     directory: Arc<EventDirectory>,
     buffered: FxHashMap<EventId, GenuineEntry>,
-    delivered: FxHashSet<EventId>,
-    received: FxHashSet<EventId>,
+    delivered: EventIdSet,
+    received: EventIdSet,
     /// Reusable buffer for the fanout draw.
     picks: Vec<usize>,
 }
@@ -458,12 +471,12 @@ impl GenuineMulticastProcess {
 
     /// Returns `true` if the event was delivered locally.
     pub fn has_delivered(&self, event: EventId) -> bool {
-        self.delivered.contains(&event)
+        self.delivered.contains(event)
     }
 
     /// Returns `true` if the event was received at all.
     pub fn has_received(&self, event: EventId) -> bool {
-        self.received.contains(&event)
+        self.received.contains(event)
     }
 
     /// The process address.
@@ -505,6 +518,12 @@ impl RoundProcess for GenuineMulticastProcess {
 
     fn is_quiescent(&self) -> bool {
         self.buffered.is_empty()
+    }
+
+    fn activity(&self) -> Activity {
+        // An empty buffer makes `on_round`'s retain a no-op over nothing:
+        // no sends, no RNG draws — quiescent rounds are safely skippable.
+        Activity::SkipWhenQuiescent
     }
 }
 
@@ -562,8 +581,8 @@ pub(crate) fn build_genuine_group_internal<T: TreeTopology>(
             addresses: Arc::clone(&addresses),
             directory: Arc::clone(&directory),
             buffered: FxHashMap::default(),
-            delivered: FxHashSet::default(),
-            received: FxHashSet::default(),
+            delivered: EventIdSet::new(),
+            received: EventIdSet::new(),
             picks: Vec::new(),
         })
         .collect();

@@ -1,8 +1,7 @@
 use std::sync::Arc;
 
 use pmcast_addr::Depth;
-use pmcast_interest::{Event, EventId};
-use rustc_hash::FxHashSet;
+use pmcast_interest::{Event, EventId, EventIdSet};
 
 /// One buffered event at one depth: the `(event, rate, round)` tuples of the
 /// `gossips[depth]` sets in Figure 3, extended with the precomputed round
@@ -30,13 +29,14 @@ pub struct BufferedGossip {
 /// an event lives in a depth's buffer for at most its round budget, after
 /// which it is either promoted to the next depth or dropped for good.  The
 /// `seen` set prevents a late gossip from resurrecting an already
-/// garbage-collected event; it is an [`FxHashSet`] because the 64-bit event
-/// identifiers need no SipHash DoS protection and the membership test sits
-/// on the per-message hot path.
+/// garbage-collected event; it is an [`EventIdSet`] — a sorted vector that
+/// costs no heap allocation while empty — because a million-process group
+/// holds one of these per process and a trial only disseminates a handful
+/// of events through each.
 #[derive(Debug, Clone)]
 pub struct GossipBuffers {
     by_depth: Vec<Vec<BufferedGossip>>,
-    seen: FxHashSet<EventId>,
+    seen: EventIdSet,
 }
 
 impl GossipBuffers {
@@ -49,7 +49,7 @@ impl GossipBuffers {
         assert!(depth >= 1, "a tree has at least one depth");
         Self {
             by_depth: vec![Vec::new(); depth],
-            seen: FxHashSet::default(),
+            seen: EventIdSet::new(),
         }
     }
 
@@ -60,7 +60,7 @@ impl GossipBuffers {
 
     /// Returns `true` if the event was ever inserted at any depth.
     pub fn has_seen(&self, event: EventId) -> bool {
-        self.seen.contains(&event)
+        self.seen.contains(event)
     }
 
     /// Returns `true` if every per-depth buffer is empty.

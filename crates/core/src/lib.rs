@@ -89,4 +89,4 @@ pub use multicast::{
 };
 pub use protocol::{PmcastGroup, PmcastProcess};
 pub use report::{DeliveryOutcome, MulticastReport};
-pub use views::{GossipTarget, SharedViews};
+pub use views::{DepthView, GossipTarget, SharedViews, ViewStack};

@@ -43,12 +43,13 @@ impl Gossip {
         }
     }
 
+    /// Wire size of the non-payload fields (depth, rate, round counter).
+    pub(crate) const HEADER_SIZE: usize =
+        std::mem::size_of::<u32>() + std::mem::size_of::<f64>() + std::mem::size_of::<u32>();
+
     /// Approximate wire size in bytes, used for traffic accounting.
     pub fn wire_size(&self) -> usize {
-        self.event.payload_size()
-            + std::mem::size_of::<u32>()   // depth
-            + std::mem::size_of::<f64>()   // rate
-            + std::mem::size_of::<u32>() // round
+        self.event.payload_size() + Self::HEADER_SIZE
     }
 }
 

@@ -2,11 +2,10 @@ use std::sync::Arc;
 
 use pmcast_addr::{Address, Depth};
 use pmcast_analysis::pittel;
-use pmcast_interest::{Event, EventId};
+use pmcast_interest::{Event, EventId, EventIdSet};
 use pmcast_membership::{InterestOracle, MembershipView, TreeTopology};
-use pmcast_simnet::{ProcessId, RoundContext, RoundProcess};
+use pmcast_simnet::{Activity, ProcessId, RoundContext, RoundProcess};
 use rand::Rng;
-use rustc_hash::FxHashSet;
 
 use crate::{BufferedGossip, Gossip, GossipBuffers, GossipTarget, PmcastConfig, SharedViews};
 
@@ -76,12 +75,20 @@ pub struct PmcastProcess {
     id: ProcessId,
     config: PmcastConfig,
     views: Arc<SharedViews>,
+    /// This process's own view per depth (`depth_views[i]` is the depth
+    /// `i + 1` view), resolved once at construction: the views are immutable
+    /// after [`SharedViews::build`], and caching the handles keeps the
+    /// per-round loop free of prefix hashing and map lookups.  The stack
+    /// allocation is shared with every leaf-subgroup sibling.
+    depth_views: crate::ViewStack,
     oracle: Arc<dyn InterestOracle + Send + Sync>,
     membership: Arc<dyn MembershipView>,
     buffers: GossipBuffers,
     delivered: Vec<Arc<Event>>,
-    delivered_ids: FxHashSet<EventId>,
-    received_ids: FxHashSet<EventId>,
+    // Sorted-vector sets (not hash sets): three words each while empty, so
+    // a million never-contacted processes hold no dedup heap at all.
+    delivered_ids: EventIdSet,
+    received_ids: EventIdSet,
     rounds_active: u64,
     scratch: GossipScratch,
 }
@@ -108,17 +115,27 @@ impl PmcastProcess {
         membership: Arc<dyn MembershipView>,
     ) -> Self {
         let depth = views.depth();
+        let depth_views = views.view_stack(&address);
+        // An address outside the populated leaf subgroups (possible for
+        // hand-built processes) gets the per-depth fallback views instead of
+        // a shared stack.
+        let depth_views = if depth_views.len() == depth {
+            depth_views
+        } else {
+            Arc::new((1..=depth).map(|d| views.view_for(&address, d)).collect())
+        };
         Self {
             address,
             id,
             config,
             views,
+            depth_views,
             oracle,
             membership,
             buffers: GossipBuffers::new(depth),
             delivered: Vec::new(),
-            delivered_ids: FxHashSet::default(),
-            received_ids: FxHashSet::default(),
+            delivered_ids: EventIdSet::new(),
+            received_ids: EventIdSet::new(),
             rounds_active: 0,
             scratch: GossipScratch::default(),
         }
@@ -143,14 +160,14 @@ impl PmcastProcess {
 
     /// Returns `true` if the given event was delivered to the application.
     pub fn has_delivered(&self, event: EventId) -> bool {
-        self.delivered_ids.contains(&event)
+        self.delivered_ids.contains(event)
     }
 
     /// Returns `true` if the given event was *received* by this process at
     /// all (delivered or merely buffered/forwarded); the paper's Figure 5
     /// measures exactly this for uninterested processes.
     pub fn has_received(&self, event: EventId) -> bool {
-        self.received_ids.contains(&event)
+        self.received_ids.contains(event)
     }
 
     /// Number of rounds during which this process had something buffered.
@@ -210,7 +227,7 @@ impl PmcastProcess {
         }
         let mut depth = 1;
         while depth < d {
-            let view = self.views.view_for(&self.address, depth);
+            let view = &self.depth_views[depth - 1];
             let own_subtree = self.address.prefix_of_depth(depth + 1);
             let foreign_interest = view.iter().any(|target| {
                 target.subgroup != own_subtree
@@ -227,7 +244,7 @@ impl PmcastProcess {
     /// `GETRATE(depth, event)`: the fraction of view entries (delegates /
     /// neighbours) whose subtree is interested in the event.
     pub fn matching_rate(&self, depth: Depth, event: &Event) -> f64 {
-        let view = self.views.view_for(&self.address, depth);
+        let view = &self.depth_views[depth - 1];
         if view.is_empty() {
             return 0.0;
         }
@@ -244,7 +261,7 @@ impl PmcastProcess {
         let raw = self.matching_rate(depth, event);
         match self.config.tuning {
             Some(tuning) => {
-                let view_len = self.views.view_for(&self.address, depth).len();
+                let view_len = self.depth_views[depth - 1].len();
                 if view_len == 0 {
                     return raw;
                 }
@@ -258,7 +275,7 @@ impl PmcastProcess {
     /// The Pittel round budget for one depth given the (effective) matching
     /// rate there (Figure 3, line 7).
     fn round_budget(&self, depth: Depth, rate: f64) -> u32 {
-        let view_len = self.views.view_for(&self.address, depth).len();
+        let view_len = self.depth_views[depth - 1].len();
         let effective_size = view_len as f64 * rate;
         let effective_fanout = self.config.fanout as f64 * rate;
         pittel::round_budget(effective_size, effective_fanout, &self.config.env)
@@ -302,27 +319,38 @@ impl PmcastProcess {
         let mut entries = std::mem::take(self.buffers.at_depth_mut(depth));
         let mut scratch = std::mem::take(&mut self.scratch);
 
-        let view = self.views.view_for(&self.address, depth);
+        let view = Arc::clone(&self.depth_views[depth - 1]);
         let d = self.views.depth();
         let fanout = self.config.fanout;
         let own_id = self.id;
 
         // Candidate destinations: everyone in the view but ourselves that
         // the membership provider currently knows *at this depth*.  Under a
-        // global view that is the whole view; under a flat partial view it
-        // is the discovered subset (`knows_at_depth` falls back to `knows`);
-        // under the hierarchical `DelegateView` the answer comes straight
-        // from the depth-`depth` delegate slots, so pmcast's tree delegates
-        // are exactly the processes the maintained hierarchy seats.
-        // Computed once per depth and re-shuffled per entry.
+        // global view that is the whole view (asked once via `is_global`
+        // instead of per entry); under a flat partial view it is the
+        // discovered subset (`knows_at_depth` falls back to `knows`); under
+        // the hierarchical `DelegateView` the answer comes straight from the
+        // depth-`depth` delegate slots, so pmcast's tree delegates are
+        // exactly the processes the maintained hierarchy seats.  Computed
+        // once per depth and re-shuffled per entry.
         scratch.candidates.clear();
-        scratch.candidates.extend((0..view.len()).filter(|&i| {
-            view[i].id != own_id && self.membership.knows_at_depth(own_id.0, depth, view[i].id.0)
-        }));
+        if self.membership.is_global() {
+            scratch
+                .candidates
+                .extend((0..view.len()).filter(|&i| view[i].id != own_id));
+        } else {
+            scratch.candidates.extend((0..view.len()).filter(|&i| {
+                view[i].id != own_id
+                    && self.membership.knows_at_depth(own_id.0, depth, view[i].id.0)
+            }));
+        }
 
         entries.retain_mut(|entry| {
             if entry.round < entry.budget {
                 entry.round += 1;
+                // Every gossip of this entry has the same wire size; compute
+                // it once per entry-round instead of per target.
+                let size = entry.event.payload_size() + Gossip::HEADER_SIZE;
                 // Choose F distinct destinations uniformly from the view,
                 // then send only to those that pass the interest test
                 // (Figure 3, lines 10–14).
@@ -335,7 +363,6 @@ impl PmcastProcess {
                     if self.target_selected(target, position, &entry.event) {
                         let gossip =
                             Gossip::new(Arc::clone(&entry.event), depth, entry.rate, entry.round);
-                        let size = gossip.wire_size();
                         ctx.send_sized(target.id, gossip, size);
                     }
                 }
@@ -407,6 +434,15 @@ impl RoundProcess for PmcastProcess {
 
     fn is_quiescent(&self) -> bool {
         self.buffers.is_empty()
+    }
+
+    fn activity(&self) -> Activity {
+        // `on_round` early-returns on empty buffers — exactly the
+        // quiescence condition — before touching the RNG, so a quiescent
+        // round is a pure no-op and the engine may skip it.  This is what
+        // makes million-process groups simulable: a round costs O(gossiping
+        // processes), not O(n).
+        Activity::SkipWhenQuiescent
     }
 }
 

@@ -1,8 +1,8 @@
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use pmcast_addr::{Address, Depth, Prefix};
+use pmcast_addr::{Address, Component, Depth, Prefix};
 use pmcast_simnet::ProcessId;
+use rustc_hash::FxHashMap;
 
 use pmcast_membership::TreeTopology;
 
@@ -19,6 +19,14 @@ pub struct GossipTarget {
     pub subgroup: Prefix,
 }
 
+/// One shared per-depth view: the gossip targets every process under the
+/// corresponding prefix iterates at that depth.
+pub type DepthView = Arc<Vec<GossipTarget>>;
+
+/// A process's whole view stack — its [`DepthView`]s of depths `1..=d`,
+/// one allocation shared by every process of the same leaf subgroup.
+pub type ViewStack = Arc<Vec<DepthView>>;
+
 /// Precomputed, shareable per-depth views for a whole group.
 ///
 /// A process's view at depth `i` only depends on its own prefix of depth `i`
@@ -31,8 +39,14 @@ pub struct GossipTarget {
 pub struct SharedViews {
     depth: Depth,
     redundancy: usize,
-    views: HashMap<Prefix, Arc<Vec<GossipTarget>>>,
-    ids: HashMap<Address, ProcessId>,
+    // Keyed by the raw component vector of the prefix so lookups hash a
+    // borrowed `&[Component]` slice — no per-call `Prefix` allocation and
+    // no SipHash on the gossip hot path.
+    views: FxHashMap<Vec<Component>, DepthView>,
+    // One view *stack* per leaf subgroup: the views of depths `1..=d` of
+    // every process in that subgroup (siblings hold identical views at every
+    // depth, so one shared allocation serves the whole leaf group).
+    stacks: FxHashMap<Vec<Component>, ViewStack>,
     addresses: Arc<Vec<Address>>,
 }
 
@@ -41,16 +55,28 @@ impl SharedViews {
     /// `redundancy` delegates per subgroup.
     pub fn build<T: TreeTopology>(topology: &T, redundancy: usize) -> Self {
         let depth = topology.depth();
+        // `members()` returns addresses in (lexicographic) address order, so
+        // the dense identifier of an address is its position here and every
+        // subtree occupies a contiguous index range — both facts the builder
+        // below relies on instead of a million-entry id map.
         let addresses: Vec<Address> = topology.members();
-        let ids: HashMap<Address, ProcessId> = addresses
-            .iter()
-            .enumerate()
-            .map(|(index, address)| (address.clone(), ProcessId(index)))
-            .collect();
+        debug_assert!(addresses.windows(2).all(|pair| pair[0] < pair[1]));
+        let id_of = |address: &Address| -> ProcessId {
+            ProcessId(
+                addresses
+                    .binary_search(address)
+                    .expect("view targets are group members"),
+            )
+        };
 
-        let mut views: HashMap<Prefix, Arc<Vec<GossipTarget>>> = HashMap::new();
-        // Enumerate populated prefixes breadth-first from the root.
+        let mut views: FxHashMap<Vec<Component>, DepthView> = FxHashMap::default();
+        let mut stacks: FxHashMap<Vec<Component>, ViewStack> = FxHashMap::default();
+        // Enumerate populated prefixes breadth-first from the root.  Each
+        // frontier is in lexicographic order, so at the leaf level a single
+        // cursor over `addresses` yields every subgroup's members (and their
+        // dense identifiers) without re-materializing them per prefix.
         let mut frontier = vec![Prefix::root()];
+        let mut cursor = 0usize;
         for level in 0..depth {
             let mut next_frontier = Vec::new();
             for prefix in &frontier {
@@ -58,20 +84,21 @@ impl SharedViews {
                 let mut targets = Vec::new();
                 if view_depth == depth {
                     // Leaf views: one target per neighbour process.
-                    for address in topology.members_under(prefix) {
-                        let id = ids[&address];
+                    while cursor < addresses.len() && addresses[cursor].has_prefix(prefix) {
+                        let address = addresses[cursor].clone();
                         targets.push(GossipTarget {
                             subgroup: address.as_prefix(),
                             address,
-                            id,
+                            id: ProcessId(cursor),
                         });
+                        cursor += 1;
                     }
                 } else {
                     // Inner views: R delegates per populated child subgroup.
                     for component in topology.populated_children(prefix) {
                         let child = prefix.child(component);
                         for address in topology.delegates(&child, redundancy) {
-                            let id = ids[&address];
+                            let id = id_of(&address);
                             targets.push(GossipTarget {
                                 subgroup: child.clone(),
                                 address,
@@ -81,7 +108,19 @@ impl SharedViews {
                         next_frontier.push(child);
                     }
                 }
-                views.insert(prefix.clone(), Arc::new(targets));
+                views.insert(prefix.components().to_vec(), Arc::new(targets));
+            }
+            if level + 1 == depth {
+                // `frontier` currently holds the leaf prefixes: share one
+                // view stack per leaf subgroup.
+                for prefix in &frontier {
+                    let stack: Vec<DepthView> = (1..=depth)
+                        .map(|view_depth| {
+                            Arc::clone(&views[&prefix.components()[..view_depth - 1]])
+                        })
+                        .collect();
+                    stacks.insert(prefix.components().to_vec(), Arc::new(stack));
+                }
             }
             frontier = next_frontier;
         }
@@ -90,7 +129,7 @@ impl SharedViews {
             depth,
             redundancy,
             views,
-            ids,
+            stacks,
             addresses: Arc::new(addresses),
         }
     }
@@ -115,9 +154,10 @@ impl SharedViews {
         self.addresses.len()
     }
 
-    /// The dense identifier of an address.
+    /// The dense identifier of an address (`O(log n)` over the sorted
+    /// member list).
     pub fn id_of(&self, address: &Address) -> Option<ProcessId> {
-        self.ids.get(address).copied()
+        self.addresses.binary_search(address).ok().map(ProcessId)
     }
 
     /// The address of a dense identifier.
@@ -131,11 +171,23 @@ impl SharedViews {
     /// # Panics
     ///
     /// Panics if the depth is out of range.
-    pub fn view_for(&self, address: &Address, depth: Depth) -> Arc<Vec<GossipTarget>> {
+    pub fn view_for(&self, address: &Address, depth: Depth) -> DepthView {
         assert!(depth >= 1 && depth <= self.depth, "depth {depth} out of range");
-        let prefix = address.prefix_of_depth(depth);
         self.views
-            .get(&prefix)
+            .get(&address.components()[..depth - 1])
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Vec::new()))
+    }
+
+    /// The whole view stack of a process — its views of depths `1..=d`,
+    /// `stack[i]` being the depth `i + 1` view.  The stack allocation is
+    /// shared by all processes of the same leaf subgroup, so a
+    /// million-process group holds one stack per leaf group, not per
+    /// process.  Returns an empty stack for an address whose leaf subgroup
+    /// is not populated.
+    pub fn view_stack(&self, address: &Address) -> ViewStack {
+        self.stacks
+            .get(&address.components()[..self.depth - 1])
             .cloned()
             .unwrap_or_else(|| Arc::new(Vec::new()))
     }

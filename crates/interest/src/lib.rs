@@ -18,7 +18,10 @@
 //!   **over-approximates** the union of the represented processes' interests:
 //!   it may accept extra events (costing only spurious gossip) but never
 //!   rejects an event that one of the represented processes wants,
-//! * [`Interest`] — the trait the dissemination layer uses to match events.
+//! * [`Interest`] — the trait the dissemination layer uses to match events,
+//! * [`EventIdSet`] — a compact sorted-vector set of event identifiers for
+//!   the per-process dedup state (seen / received / delivered), sized for
+//!   million-process groups where hash-set constant factors dominate.
 //!
 //! ## Example
 //!
@@ -55,11 +58,13 @@
 
 mod event;
 mod filter;
+mod idset;
 mod predicate;
 mod summary;
 mod value;
 
 pub use event::{Event, EventBuilder, EventId};
+pub use idset::EventIdSet;
 pub use filter::Filter;
 pub use predicate::Predicate;
 pub use summary::InterestSummary;

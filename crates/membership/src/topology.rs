@@ -187,13 +187,11 @@ impl ImplicitRegularTree {
     /// Returns the dense index range `[start, end)` of the subtree below a
     /// prefix; all addresses of a subtree are contiguous in index order.
     pub fn index_range(&self, prefix: &Prefix) -> (usize, usize) {
-        let mut base: u128 = 0;
-        for (level, &component) in prefix.components().iter().enumerate() {
-            base = base * self.space.arity(level + 1) as u128 + component as u128;
-        }
-        let below = self.space.capacity_under(prefix);
-        let start = base * below;
-        (start as usize, (start + below) as usize)
+        let (start, end) = self
+            .space
+            .index_range_under(prefix)
+            .expect("prefix is valid for the tree's space");
+        (start as usize, end as usize)
     }
 }
 

@@ -270,8 +270,11 @@ impl ExperimentConfig {
 /// publish round); a process that never delivers appears in no bucket, so
 /// [`delivered`](Self::delivered) matches the event's
 /// `delivered_interested` count.  Recorded by the generic trial loop for
-/// every protocol via [`MulticastProtocol::has_delivered`] — protocol state
-/// is scanned between rounds, so tracking changes no random stream.
+/// every protocol via [`MulticastProtocol::has_delivered`], delta-driven:
+/// deliveries are receipt-driven (a process first delivers an event while
+/// handling a message or a locally injected publication, never inside
+/// `on_round`), so only each round's receivers and publishers are checked.
+/// The checks are reads only — tracking changes no random stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeliveryLatency {
     /// The event this histogram describes.
@@ -672,29 +675,43 @@ pub fn run_scenario_trial_states<F: ProtocolFactory>(
         });
     let mut injected = 0;
     let mut rounds = 0;
+    // The per-round delivery-candidate buffer of the delta-driven latency
+    // tracker (reused across rounds): publishers injected this iteration
+    // plus every process handed a message by the step.
+    let mut delivery_candidates: Vec<usize> = Vec::new();
     while rounds < scenario.max_rounds {
+        delivery_candidates.clear();
         while injected < injection_order.len() {
             let (round, sender, event) = &schedule[injection_order[injected]];
             if *round > sim.round() {
                 break;
             }
             sim.process_mut(ProcessId(*sender)).publish(Arc::clone(event));
+            delivery_candidates.push(*sender);
             injected += 1;
         }
         membership.round_elapsed();
         sim.step();
         rounds += 1;
         // Record first deliveries of the round just executed (`rounds - 1`)
-        // by scanning protocol state — reads only, so the scan is invisible
-        // to every random stream of the seed contract.
+        // delta-driven: `has_delivered` can only flip while a process
+        // handles a delivered message or has a publication injected into
+        // it, so this round's receivers (the engine's delivery delta) plus
+        // this iteration's publishers are the only processes whose
+        // delivery state can have changed — no O(n) re-scan per round.
+        // Reads only, so the recording is invisible to every random stream
+        // of the seed contract and bit-identical to the historical scan.
         let executed = rounds - 1;
+        delivery_candidates.extend_from_slice(sim.last_step_receivers());
         for tracker in &mut trackers {
             if tracker.publish_round > executed {
                 continue;
             }
             let latency = (executed - tracker.publish_round) as usize;
-            for (index, process) in sim.processes().enumerate() {
-                if !tracker.recorded[index] && process.has_delivered(tracker.event) {
+            for &index in &delivery_candidates {
+                if !tracker.recorded[index]
+                    && sim.process(ProcessId(index)).has_delivered(tracker.event)
+                {
                     tracker.recorded[index] = true;
                     if tracker.counts.len() <= latency {
                         tracker.counts.resize(latency + 1, 0);

@@ -37,6 +37,42 @@ pub trait RoundProcess {
     fn is_quiescent(&self) -> bool {
         false
     }
+
+    /// How the engine may schedule this process's [`on_round`]
+    /// (`RoundProcess::on_round`) calls.  The default is the conservative
+    /// [`Activity::EveryRound`], which preserves the dense sweep for
+    /// third-party implementations; protocols whose quiescent `on_round` is
+    /// a pure no-op should return [`Activity::SkipWhenQuiescent`] to opt
+    /// into active-set scheduling (see [`Activity`] for the exact contract).
+    ///
+    /// [`on_round`]: RoundProcess::on_round
+    fn activity(&self) -> Activity {
+        Activity::EveryRound
+    }
+}
+
+/// A [`RoundProcess`]'s scheduling hint: whether the engine must drive its
+/// [`on_round`](RoundProcess::on_round) every round, or may skip rounds in
+/// which the process is quiescent.
+///
+/// Active-set scheduling is what makes million-process groups simulable:
+/// with every process opted in, a round costs O(active) instead of O(n),
+/// and a fully-quiescent round costs O(1).  The opt-in carries a proof
+/// obligation, spelled out on [`SkipWhenQuiescent`](Self::SkipWhenQuiescent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// `on_round` must be called every round, quiescent or not — the
+    /// conservative default, bit-identical to the historical dense sweep.
+    EveryRound,
+    /// While [`is_quiescent`](RoundProcess::is_quiescent) returns `true`,
+    /// `on_round` is guaranteed to be a pure no-op: it sends nothing, draws
+    /// nothing from the shared RNG and changes no observable state.  Under
+    /// that guarantee skipping the call is stream-neutral — the shared
+    /// protocol RNG advances exactly as it would under the dense sweep —
+    /// so the engine schedules the process only when something could have
+    /// woken it (a delivered message, a lifecycle join, or direct mutation
+    /// through [`Simulation::process_mut`]).
+    SkipWhenQuiescent,
 }
 
 /// The per-process, per-round execution context handed to [`RoundProcess`]
@@ -225,6 +261,28 @@ pub struct Simulation<P: RoundProcess> {
     /// `(round, kind, process)` and drained through a deque cursor.
     scheduled_lifecycle: VecDeque<(u64, LifecycleKind, usize)>,
     round: u64,
+    /// `true` when at least one process declared [`Activity::EveryRound`]
+    /// (or [`force_dense_stepping`](Self::force_dense_stepping) was called):
+    /// the engine then keeps the historical dense 0..n sweep.  When every
+    /// process opted into [`Activity::SkipWhenQuiescent`], rounds run over
+    /// the active set instead.
+    dense: bool,
+    /// Dense indices scheduled for the next `on_round` phase, unsorted;
+    /// deduplicated through `active_stamp` and sorted ascending right
+    /// before the sweep, so active-set rounds visit processes in the same
+    /// index order as the dense sweep.
+    active_pending: Vec<usize>,
+    /// Per-process stamp of the round the process was last scheduled for
+    /// (`u64::MAX` = never); makes `mark_active` idempotent per round.
+    active_stamp: Vec<u64>,
+    /// Reused sweep buffer (the sorted snapshot of `active_pending`).
+    active_scratch: Vec<usize>,
+    /// Dense indices handed at least one message during the most recent
+    /// [`step`](Self::step), deduplicated via `receiver_stamp` — the
+    /// delivery delta observers use instead of re-scanning all n processes.
+    receivers: Vec<usize>,
+    /// Per-process stamp (`round + 1`) deduplicating `receivers`.
+    receiver_stamp: Vec<u64>,
     /// Reused across rounds: messages delivered at the current boundary.
     inbox: Vec<Envelope<P::Message>>,
     /// Reused across rounds: messages emitted by the process being driven.
@@ -368,6 +426,13 @@ impl<P: RoundProcess> Simulation<P> {
         for &absent in &lifecycle.initially_absent {
             network.crash(ProcessId(absent));
         }
+        // Active-set scheduling is all-or-nothing: one conservative
+        // process forces the dense sweep for everyone, because a partial
+        // skip would still reorder nothing but would complicate the
+        // stream-neutrality argument for no gain (mixed-protocol groups
+        // share one process type in this engine anyway).
+        let dense = processes.iter().any(|p| p.activity() == Activity::EveryRound);
+        let count = processes.len();
         Self {
             processes,
             network,
@@ -375,10 +440,49 @@ impl<P: RoundProcess> Simulation<P> {
             stragglers,
             scheduled_lifecycle: schedule.into(),
             round: 0,
+            dense,
+            // Round 0 schedules everybody: initial state (buffered
+            // publications, seeded tokens) predates the simulation, so no
+            // delivery could have marked it.  Crashed processes are
+            // dropped by the first sweep.  The stamp encodes
+            // `scheduled_round + 1` (0 = never), hence 1 here.
+            active_pending: (0..count).collect(),
+            active_stamp: vec![1; count],
+            active_scratch: Vec::new(),
+            receivers: Vec::new(),
+            receiver_stamp: vec![0; count],
             inbox: Vec::new(),
             outbox: Vec::new(),
             lifecycle_observer,
         }
+    }
+
+    /// Schedules a process for the next `on_round` phase (idempotent per
+    /// round).  A no-op under dense stepping, where every live process is
+    /// visited anyway.
+    fn mark_active(&mut self, index: usize) {
+        if self.dense {
+            return;
+        }
+        // The stamp encodes `scheduled_round + 1`.  `self.round` is the
+        // round of the next `on_round` phase at every call site of this
+        // method: between steps and during the delivery phase it is the
+        // round about to sweep (sweep-time rescheduling, which targets
+        // `round + 1`, stamps inline in `step`).
+        if self.active_stamp[index] != self.round + 1 {
+            self.active_stamp[index] = self.round + 1;
+            self.active_pending.push(index);
+        }
+    }
+
+    /// Forces the historical dense 0..n sweep even when every process
+    /// opted into [`Activity::SkipWhenQuiescent`] — a validation hook for
+    /// asserting that active-set and dense stepping produce bit-identical
+    /// outcomes (dense stepping is always correct; active-set stepping is
+    /// the optimisation under test).
+    pub fn force_dense_stepping(&mut self) {
+        self.dense = true;
+        self.active_pending.clear();
     }
 
     /// Discards a departing process's held-back messages (its unsent queue
@@ -467,6 +571,9 @@ impl<P: RoundProcess> Simulation<P> {
             return;
         }
         self.network.activate(id);
+        // A rejoiner may still hold state frozen at crash/leave time
+        // (buffered gossip it never flushed), so it must be scheduled.
+        self.mark_active(id.0);
         self.notify(id, LifecycleKind::Join);
     }
 
@@ -487,13 +594,33 @@ impl<P: RoundProcess> Simulation<P> {
 
     /// Mutable access to a process's protocol state (e.g. to inject an
     /// application-level multicast before running).
+    ///
+    /// Conservatively schedules the process for the next round: the caller
+    /// may wake it (inject a publication, hand it a token), and under
+    /// active-set scheduling a wake the engine cannot see would otherwise
+    /// never be swept.
     pub fn process_mut(&mut self, id: ProcessId) -> &mut P {
+        self.mark_active(id.0);
         &mut self.processes[id.0]
     }
 
     /// Iterates over all protocol states.
     pub fn processes(&self) -> impl Iterator<Item = &P> {
         self.processes.iter()
+    }
+
+    /// The dense indices of the live processes handed at least one message
+    /// during the most recent [`step`](Self::step), deduplicated (a
+    /// process receiving several messages appears once), in delivery
+    /// order.  Empty before the first step.
+    ///
+    /// This is the per-round delivery delta: state observers (such as a
+    /// delivery-latency tracker) can inspect just these processes instead
+    /// of re-scanning the whole group after every round, because a
+    /// receipt-driven protocol only changes delivery state while handling
+    /// a message or while the caller mutates it directly.
+    pub fn last_step_receivers(&self) -> &[usize] {
+        &self.receivers
     }
 
     /// The network traffic statistics.
@@ -552,10 +679,18 @@ impl<P: RoundProcess> Simulation<P> {
         // before the round's fresh traffic (a no-op without stragglers).
         self.flush_stragglers();
 
+        self.receivers.clear();
         for envelope in inbox.drain(..) {
             if self.network.is_crashed(envelope.to) {
                 continue;
             }
+            // Record the delivery delta (deduplicated) and schedule the
+            // receiver: a message may have woken it.
+            if self.receiver_stamp[envelope.to.0] != self.round + 1 {
+                self.receiver_stamp[envelope.to.0] = self.round + 1;
+                self.receivers.push(envelope.to.0);
+            }
+            self.mark_active(envelope.to.0);
             let mut ctx = RoundContext {
                 process: envelope.to,
                 round: self.round,
@@ -569,19 +704,56 @@ impl<P: RoundProcess> Simulation<P> {
             self.dispatch_outbox(envelope.to, &mut outbox);
         }
 
-        for index in 0..self.processes.len() {
-            let id = ProcessId(index);
-            if self.network.is_crashed(id) {
-                continue;
+        if self.dense {
+            for index in 0..self.processes.len() {
+                let id = ProcessId(index);
+                if self.network.is_crashed(id) {
+                    continue;
+                }
+                let mut ctx = RoundContext {
+                    process: id,
+                    round: self.round,
+                    outbox: &mut outbox,
+                    rng: &mut self.protocol_rng,
+                };
+                self.processes[index].on_round(&mut ctx);
+                self.dispatch_outbox(id, &mut outbox);
             }
-            let mut ctx = RoundContext {
-                process: id,
-                round: self.round,
-                outbox: &mut outbox,
-                rng: &mut self.protocol_rng,
-            };
-            self.processes[index].on_round(&mut ctx);
-            self.dispatch_outbox(id, &mut outbox);
+        } else {
+            // The active-set sweep: visit exactly the scheduled processes,
+            // in ascending index order — the same order the dense sweep
+            // visits them in.  Every process skipped here is quiescent and
+            // declared `SkipWhenQuiescent`, so its `on_round` would have
+            // been a no-op drawing nothing from the shared RNG: the RNG
+            // stream, the traffic and every process state are bit-identical
+            // to the dense sweep's.
+            let mut current = std::mem::take(&mut self.active_scratch);
+            current.clear();
+            current.append(&mut self.active_pending);
+            current.sort_unstable();
+            for &index in &current {
+                let id = ProcessId(index);
+                if self.network.is_crashed(id) {
+                    continue;
+                }
+                let mut ctx = RoundContext {
+                    process: id,
+                    round: self.round,
+                    outbox: &mut outbox,
+                    rng: &mut self.protocol_rng,
+                };
+                self.processes[index].on_round(&mut ctx);
+                self.dispatch_outbox(id, &mut outbox);
+                // Still busy?  Reschedule for the next round (stamp
+                // encoding `scheduled_round + 1` = `(round + 1) + 1`).
+                if !self.processes[index].is_quiescent()
+                    && self.active_stamp[index] != self.round + 2
+                {
+                    self.active_stamp[index] = self.round + 2;
+                    self.active_pending.push(index);
+                }
+            }
+            self.active_scratch = current;
         }
         self.inbox = inbox;
         self.outbox = outbox;
@@ -601,10 +773,23 @@ impl<P: RoundProcess> Simulation<P> {
     /// callers driving the simulation step by step (e.g. to inject
     /// publications on a schedule) can stop on the same condition.
     pub fn is_quiescent(&self) -> bool {
-        self.processes
-            .iter()
-            .enumerate()
-            .all(|(index, p)| self.network.is_crashed(ProcessId(index)) || p.is_quiescent())
+        let protocol_quiet = if self.dense {
+            self.processes
+                .iter()
+                .enumerate()
+                .all(|(index, p)| self.network.is_crashed(ProcessId(index)) || p.is_quiescent())
+        } else {
+            // Invariant of active-set scheduling: every live non-quiescent
+            // process is in `active_pending` (it was scheduled by the wake
+            // that made it non-quiescent — a delivery, a join, or a
+            // `process_mut` touch — or rescheduled by its own sweep).  So
+            // scanning the pending set is enough, and a fully-quiescent
+            // simulation answers in O(1) because the set is empty.
+            self.active_pending
+                .iter()
+                .all(|&index| self.network.is_crashed(ProcessId(index)) || self.processes[index].is_quiescent())
+        };
+        protocol_quiet
             && self.network.is_idle()
             // A straggler's held-back backlog is in-flight traffic the
             // network cannot see yet; the run keeps stepping until the
@@ -612,15 +797,20 @@ impl<P: RoundProcess> Simulation<P> {
             && self.stragglers.iter().all(|s| s.holdback.is_empty())
     }
 
-    /// Runs until every process is quiescent and no messages are in flight,
-    /// or until `max_rounds` have elapsed.  Returns the number of rounds
-    /// executed.
+    /// Runs until every process is quiescent, no messages are in flight
+    /// **and** the declared lifecycle schedule has fully applied, or until
+    /// `max_rounds` have elapsed.  Returns the number of rounds executed.
+    ///
+    /// Waiting on [`pending_lifecycle`](Self::pending_lifecycle) keeps a
+    /// run from ending with part of its schedule silently unapplied: a
+    /// join at round 50 still happens even if the protocol went quiet at
+    /// round 10.
     pub fn run_until_quiescent(&mut self, max_rounds: u64) -> u64 {
         let mut executed = 0;
         while executed < max_rounds {
             self.step();
             executed += 1;
-            if self.is_quiescent() {
+            if self.pending_lifecycle() == 0 && self.is_quiescent() {
                 break;
             }
         }
@@ -680,6 +870,13 @@ mod tests {
 
         fn is_quiescent(&self) -> bool {
             !self.has_token || self.announced
+        }
+
+        fn activity(&self) -> Activity {
+            // `on_round` acts exactly when `has_token && !announced`, i.e.
+            // when not quiescent, and never draws from the RNG — so a
+            // quiescent `on_round` is a pure no-op and skipping is safe.
+            Activity::SkipWhenQuiescent
         }
     }
 
@@ -1041,6 +1238,176 @@ mod tests {
         assert_eq!(with_plan.stats(), without.stats());
     }
 
+    /// A rumor-mongering process that *draws from the shared protocol RNG*
+    /// while active: each round it holds the rumor and has budget left, it
+    /// picks two random peers and forwards.  This makes the bit-identical
+    /// tests below sensitive to any divergence in which processes run and
+    /// in which order — a single extra or missing `on_round` call of a
+    /// non-quiescent process shifts every later draw of the shared stream.
+    struct Rumor {
+        count: usize,
+        has_rumor: bool,
+        budget: u32,
+        deliveries: u32,
+        picks: Vec<usize>,
+    }
+
+    impl Rumor {
+        fn new(count: usize, seeded: bool) -> Self {
+            Self {
+                count,
+                has_rumor: seeded,
+                budget: if seeded { 3 } else { 0 },
+                deliveries: 0,
+                picks: Vec::new(),
+            }
+        }
+
+        fn fingerprint(&self) -> (bool, u32, u32) {
+            (self.has_rumor, self.budget, self.deliveries)
+        }
+    }
+
+    impl RoundProcess for Rumor {
+        type Message = u8;
+
+        fn on_round(&mut self, ctx: &mut RoundContext<'_, u8>) {
+            if !self.has_rumor || self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let own = ctx.process().0;
+            ctx.choose_indices_into(self.count - 1, 2, &mut self.picks);
+            for &pick in &self.picks {
+                let target = if pick >= own { pick + 1 } else { pick };
+                ctx.send_sized(ProcessId(target), 7, 1);
+            }
+        }
+
+        fn on_message(&mut self, _from: ProcessId, message: u8, _ctx: &mut RoundContext<'_, u8>) {
+            assert_eq!(message, 7);
+            self.deliveries += 1;
+            if !self.has_rumor {
+                self.has_rumor = true;
+                self.budget = 3;
+            }
+        }
+
+        fn is_quiescent(&self) -> bool {
+            !self.has_rumor || self.budget == 0
+        }
+
+        fn activity(&self) -> Activity {
+            Activity::SkipWhenQuiescent
+        }
+    }
+
+    fn rumor_simulation(count: usize, config: NetworkConfig, plan: LifecyclePlan) -> Simulation<Rumor> {
+        let processes: Vec<Rumor> = (0..count).map(|i| Rumor::new(count, i == 0)).collect();
+        Simulation::with_lifecycle_observer(processes, config, plan, |_| {})
+    }
+
+    #[test]
+    fn active_set_is_bit_identical_to_dense_sweep() {
+        // A deliberately adversarial scenario: lossy links, an initial
+        // crash fraction, a scheduled crash, a straggler, a leave, and a
+        // join of an initially-absent process.  The active-set run and the
+        // dense run must agree on every observable: rounds to quiescence,
+        // full traffic statistics (loss draws consume the network RNG, so
+        // equality here means the streams stayed aligned) and the complete
+        // per-process state.
+        let build = || {
+            let plan = CrashPlan::Mixed {
+                fraction: 0.1,
+                schedule: vec![(4, 2)],
+            };
+            let config = NetworkConfig::default()
+                .with_loss(0.15)
+                .with_seed(13)
+                .with_crash_plan(plan)
+                .with_fault_plan(FaultPlan::default().with_straggler(3, 2));
+            let lifecycle = LifecyclePlan {
+                initially_absent: vec![5],
+                joins: vec![(2, 5)],
+                leaves: vec![(6, 1)],
+            };
+            rumor_simulation(40, config, lifecycle)
+        };
+        let mut sparse = build();
+        let mut dense = build();
+        dense.force_dense_stepping();
+        let sparse_rounds = sparse.run_until_quiescent(100);
+        let dense_rounds = dense.run_until_quiescent(100);
+        assert_eq!(sparse_rounds, dense_rounds);
+        assert_eq!(sparse.stats(), dense.stats());
+        assert_eq!(sparse.round(), dense.round());
+        assert_eq!(sparse.crashed_count(), dense.crashed_count());
+        let sparse_states: Vec<_> = sparse.processes().map(Rumor::fingerprint).collect();
+        let dense_states: Vec<_> = dense.processes().map(Rumor::fingerprint).collect();
+        assert_eq!(sparse_states, dense_states);
+        // The scenario actually spread the rumor (the test is vacuous if
+        // nothing happened).
+        assert!(sparse_states.iter().filter(|(has, ..)| *has).count() > 5);
+    }
+
+    #[test]
+    fn run_until_quiescent_waits_for_the_lifecycle_schedule() {
+        // The flood is over by round ~2, but the schedule extends to round
+        // 50: the run must keep stepping until the join has applied
+        // instead of ending with part of the declared schedule unapplied.
+        let everyone: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let processes: Vec<Flood> = (0..4)
+            .map(|i| Flood::new(everyone.clone(), i == 0))
+            .collect();
+        let plan = LifecyclePlan {
+            initially_absent: vec![3],
+            joins: vec![(50, 3)],
+            leaves: Vec::new(),
+        };
+        let mut sim = Simulation::with_lifecycle_observer(
+            processes,
+            NetworkConfig::reliable(6),
+            plan,
+            |_| {},
+        );
+        let rounds = sim.run_until_quiescent(100);
+        assert!(rounds > 50, "stopped at {rounds}, before the scheduled join");
+        assert_eq!(sim.pending_lifecycle(), 0);
+        assert!(!sim.is_crashed(ProcessId(3)), "the join applied");
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn last_step_receivers_reports_the_delivery_delta() {
+        let mut sim = flood_simulation(5, NetworkConfig::reliable(3));
+        assert!(sim.last_step_receivers().is_empty(), "no deliveries before stepping");
+        sim.step(); // round 0: the seed floods; nothing delivered yet
+        assert!(sim.last_step_receivers().is_empty());
+        sim.step(); // round 1: everyone else receives the token
+        let mut receivers = sim.last_step_receivers().to_vec();
+        receivers.sort_unstable();
+        assert_eq!(receivers, vec![1, 2, 3, 4]);
+        sim.step(); // round 2: the echoes land on the seed and each other
+        assert_eq!(sim.last_step_receivers().len(), 5, "deduplicated per process");
+        sim.run_until_quiescent(20);
+        assert!(sim.last_step_receivers().is_empty(), "quiet rounds deliver nothing");
+    }
+
+    #[test]
+    fn process_mut_reactivates_a_quiescent_process() {
+        // Let the simulation go fully quiescent, then wake process 2 by
+        // direct mutation: the next step must sweep it even though no
+        // message or lifecycle event pointed at it.
+        let mut sim = flood_simulation(6, NetworkConfig::reliable(3));
+        sim.run_until_quiescent(20);
+        assert!(sim.is_quiescent());
+        sim.process_mut(ProcessId(2)).announced = false;
+        assert!(!sim.is_quiescent(), "the woken process is visible to the scan");
+        let before = sim.stats().messages_sent;
+        sim.step();
+        assert!(sim.stats().messages_sent > before, "the woken process re-announced");
+    }
+
     #[test]
     #[should_panic(expected = "out of range")]
     fn build_rejects_fault_plans_referencing_missing_processes() {
@@ -1052,5 +1419,53 @@ mod tests {
     #[should_panic(expected = "loss_probability must lie in [0, 1]")]
     fn build_validates_the_network_config() {
         flood_simulation(4, NetworkConfig::reliable(3).with_loss(2.0));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The active-set optimisation's core safety property, checked
+            /// over random group sizes, seeds, loss rates and churn: a
+            /// process skipped by the active set never changes observable
+            /// state — every skipped `on_round` was a no-op, so the sparse
+            /// run is bit-identical to the dense run (rounds, traffic
+            /// statistics including RNG-consuming loss draws, and the full
+            /// per-process state).
+            #[test]
+            fn skipped_processes_never_change_observable_state(
+                seed in 0u64..300,
+                count in 6usize..32,
+                loss in 0u32..25,
+                crash_round in 1u64..6,
+                churn_target in 1usize..6,
+            ) {
+                let build = || {
+                    let config = NetworkConfig::default()
+                        .with_loss(f64::from(loss) / 100.0)
+                        .with_seed(seed)
+                        .with_crash_plan(CrashPlan::Scheduled(vec![(crash_round, churn_target)]));
+                    // The crashed process rejoins two rounds later — the
+                    // join must reschedule it even though no message
+                    // pointed at it while it was down.
+                    let plan = LifecyclePlan {
+                        initially_absent: Vec::new(),
+                        joins: vec![(crash_round + 2, churn_target)],
+                        leaves: Vec::new(),
+                    };
+                    rumor_simulation(count, config, plan)
+                };
+                let mut sparse = build();
+                let mut dense = build();
+                dense.force_dense_stepping();
+                prop_assert_eq!(sparse.run_until_quiescent(200), dense.run_until_quiescent(200));
+                prop_assert_eq!(sparse.stats(), dense.stats());
+                prop_assert_eq!(sparse.round(), dense.round());
+                let sparse_states: Vec<_> = sparse.processes().map(Rumor::fingerprint).collect();
+                let dense_states: Vec<_> = dense.processes().map(Rumor::fingerprint).collect();
+                prop_assert_eq!(sparse_states, dense_states);
+            }
+        }
     }
 }

@@ -78,7 +78,8 @@ mod stats;
 
 pub use config::{CrashPlan, NetworkConfig};
 pub use engine::{
-    LifecycleKind, LifecyclePlan, LifecycleTransition, RoundContext, RoundProcess, Simulation,
+    Activity, LifecycleKind, LifecyclePlan, LifecycleTransition, RoundContext, RoundProcess,
+    Simulation,
 };
 pub use fault::{FaultPlan, LinkDelay, LossOverride, PartitionWindow, Straggler};
 pub use network::{Envelope, ProcessId, RoundNetwork};

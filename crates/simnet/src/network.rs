@@ -57,6 +57,9 @@ pub struct Envelope<M> {
 pub struct RoundNetwork<M> {
     loss_probability: f64,
     crashed: Vec<bool>,
+    /// Count of `true` flags in `crashed`, kept in lockstep so
+    /// [`crashed_count`](Self::crashed_count) is O(1).
+    crashed_count: usize,
     in_flight: Vec<Envelope<M>>,
     /// Timing wheel for per-link extra latency: a message with `extra` more
     /// rounds to wait sits at `delayed[extra]`; every round boundary pops
@@ -136,6 +139,7 @@ impl<M> RoundNetwork<M> {
         Self {
             loss_probability,
             crashed: vec![false; process_count],
+            crashed_count: 0,
             in_flight: Vec::new(),
             delayed: VecDeque::new(),
             delayed_count: 0,
@@ -176,7 +180,12 @@ impl<M> RoundNetwork<M> {
     /// layer distinguishes the transitions.
     pub fn crash(&mut self, process: ProcessId) {
         if let Some(flag) = self.crashed.get_mut(process.0) {
-            *flag = true;
+            // Adjust the counter only on an actual flip: re-crashing a
+            // down process (and out-of-range ids) must stay a no-op.
+            if !*flag {
+                *flag = true;
+                self.crashed_count += 1;
+            }
         }
     }
 
@@ -185,7 +194,10 @@ impl<M> RoundNetwork<M> {
     /// only sees traffic sent after its activation.
     pub fn activate(&mut self, process: ProcessId) {
         if let Some(flag) = self.crashed.get_mut(process.0) {
-            *flag = false;
+            if *flag {
+                *flag = false;
+                self.crashed_count -= 1;
+            }
         }
     }
 
@@ -194,9 +206,11 @@ impl<M> RoundNetwork<M> {
         self.crashed.get(process.0).copied().unwrap_or(true)
     }
 
-    /// Number of crashed processes.
+    /// Number of crashed processes.  O(1): maintained as a counter on
+    /// [`crash`](Self::crash)/[`activate`](Self::activate) flips so
+    /// million-process quiescence checks never rescan the flag vector.
     pub fn crashed_count(&self) -> usize {
-        self.crashed.iter().filter(|&&c| c).count()
+        self.crashed_count
     }
 
     /// Sends a message, to be delivered at the next round boundary (or

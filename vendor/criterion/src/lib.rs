@@ -143,7 +143,9 @@ impl Bencher {
         let batch = ((self.measurement.as_nanos() as f64 / 50.0 / single).round() as u64)
             .clamp(1, 1_000_000);
 
-        while started.elapsed() < self.measurement && samples.len() < 200 {
+        // At least one sample even when a single iteration overruns the
+        // whole measurement budget (e.g. a million-process group build).
+        while samples.is_empty() || (started.elapsed() < self.measurement && samples.len() < 200) {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
