@@ -17,6 +17,12 @@
 //!   multicast event.
 //! * [`views`] — the membership-scalability model (Equations 2 and 12):
 //!   per-process view sizes as a function of `a`, `d` and `R`.
+//! * [`churn`] — population-level departure schedules (graceful leaves and
+//!   crashes at given round offsets) and the delivery-timeline credit a
+//!   departing process keeps.
+//! * [`decentralized`] — the closed-loop model of the simulator's
+//!   decentralized configurations: membership providers (global tables,
+//!   capped delegate tables, flat partial views) layered with churn.
 //!
 //! The protocol crate (`pmcast-core`) uses [`pittel`] at run time; the
 //! simulation harness (`pmcast-sim`) compares its Monte-Carlo results with
@@ -41,6 +47,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod binomial;
+pub mod churn;
+pub mod decentralized;
 pub mod markov;
 pub mod pittel;
 pub mod tree;

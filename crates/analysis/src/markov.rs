@@ -52,12 +52,38 @@ impl InfectionChain {
     /// given fanout and environment, starting from exactly one infected
     /// process (the multicaster).
     pub fn new(group_size: usize, fanout: f64, env: &EnvParams) -> Self {
+        Self::with_initial_infected(group_size, fanout, env, 1.0)
+    }
+
+    /// Creates the chain starting from an *expected* number of initially
+    /// infected processes.
+    ///
+    /// The tree model seeds inner depths with the delegates already carrying
+    /// the event when a subgroup's gossip phase starts; that expectation is
+    /// rarely an integer, so a fractional `initially_infected` places its
+    /// probability mass on the two neighbouring integer states (keeping the
+    /// expectation exact and the model free of rounding cliffs).  Values are
+    /// clamped to `[1, group_size]`; `with_initial_infected(n, f, env, 1.0)`
+    /// is exactly [`InfectionChain::new`].
+    pub fn with_initial_infected(
+        group_size: usize,
+        fanout: f64,
+        env: &EnvParams,
+        initially_infected: f64,
+    ) -> Self {
         let p = pair_infection_probability(group_size as f64, fanout, env);
         let mut distribution = vec![0.0; group_size + 1];
         if group_size == 0 {
             distribution = vec![1.0];
         } else {
-            distribution[1.min(group_size)] = 1.0;
+            let seeds = initially_infected.clamp(1.0, group_size as f64);
+            let lower = seeds.floor() as usize;
+            let upper = seeds.ceil() as usize;
+            let upper_mass = seeds - lower as f64;
+            distribution[lower.min(group_size)] += 1.0 - upper_mass;
+            if upper_mass > 0.0 {
+                distribution[upper.min(group_size)] += upper_mass;
+            }
         }
         Self {
             group_size,
@@ -258,6 +284,31 @@ mod tests {
         assert_eq!(chain.transition(5, 3), 0.0);
         assert_eq!(chain.transition(0, 3), 0.0);
         assert_eq!(chain.transition(5, 26), 0.0);
+    }
+
+    #[test]
+    fn fractional_seeds_interpolate_between_integer_states() {
+        let env = lossless();
+        let chain = InfectionChain::with_initial_infected(20, 2.0, &env, 2.5);
+        assert!((chain.expected_infected() - 2.5).abs() < 1e-12);
+        assert!((chain.distribution()[2] - 0.5).abs() < 1e-12);
+        assert!((chain.distribution()[3] - 0.5).abs() < 1e-12);
+        // Integer seeds collapse to a single state; 1.0 is `new`.
+        let unit = InfectionChain::with_initial_infected(20, 2.0, &env, 1.0);
+        assert_eq!(unit.distribution(), InfectionChain::new(20, 2.0, &env).distribution());
+        // Out-of-range seeds clamp to the group.
+        let all = InfectionChain::with_initial_infected(5, 2.0, &env, 99.0);
+        assert!((all.expected_infected() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_seeds_never_slow_the_spread() {
+        let env = EnvParams::default();
+        let mut one = InfectionChain::new(30, 2.0, &env);
+        let mut three = InfectionChain::with_initial_infected(30, 2.0, &env, 3.0);
+        one.run(4);
+        three.run(4);
+        assert!(three.expected_infected() > one.expected_infected());
     }
 
     #[test]

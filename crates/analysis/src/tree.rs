@@ -10,6 +10,27 @@
 //! probability `r_i` that a child node gets infected (Equation 15), and
 //! combining the depths gives the expected number of infected processes and
 //! the *reliability degree* (Equation 18).
+//!
+//! Two refinements over a literal reading of Section 4.3 keep the model
+//! within a few hundredths of the Monte-Carlo simulation (the closed-loop
+//! contract of `tests/analysis_vs_simulation.rs`):
+//!
+//! * **Interest-filtered fanout.**  The protocol draws its fanout targets
+//!   *after* filtering the view by `subtree_interested` (Figure 3's
+//!   GETDESTS), so no fanout is wasted on uninterested entries; the
+//!   infection chain therefore runs with the full fanout `F` over the
+//!   interested audience `m_i · p_i`.  The *round budget* still scales both
+//!   size and fanout by the rate (Equation 11) — that is what the protocol
+//!   itself computes at run time, pessimism included.
+//! * **Conditional seeding.**  When depth `i`'s gossip starts inside a
+//!   subgroup, the delegates promoted from depth `i − 1` already carry the
+//!   event: the chain starts from the conditional expectation
+//!   `R·f/(1 − (1 − f)^R)` of infected delegates given the subgroup was
+//!   reached at all, not from a single seed.  Expected seed counts (and
+//!   audience sizes) are fractional, so chains interpolate between the two
+//!   neighbouring integer configurations instead of rounding — removing the
+//!   discretization cliffs that would otherwise break monotonicity in the
+//!   matching rate.
 
 use serde::{Deserialize, Serialize};
 
@@ -105,56 +126,102 @@ impl TreeModel {
     }
 
     /// Expected number of infected entities among the interested entities of
-    /// a depth-`i` view after gossiping there (Equation 14).
+    /// a depth-`i` view after gossiping there (Equation 14), from a single
+    /// initially infected entity.
     pub fn expected_infected_at_depth(&self, matching_rate: f64, depth: usize) -> f64 {
         let p_i = self.interest_probability(matching_rate, depth);
-        let interested_entities = (self.view_size(depth) as f64 * p_i).round().max(0.0) as usize;
-        if interested_entities == 0 {
-            return 0.0;
-        }
-        let effective_fanout = self.group.fanout as f64 * p_i;
+        let entities = self.view_size(depth) as f64 * p_i;
         let rounds = self.rounds_at_depth(matching_rate, depth);
-        let mut chain = InfectionChain::new(interested_entities, effective_fanout, &self.env);
-        chain.run(rounds);
-        chain.expected_infected()
+        entities * infected_fraction(entities, self.group.fanout as f64, &self.env, rounds, 1.0)
     }
 
     /// Probability that an interested child node of depth `i` is infected
     /// after gossiping at that depth (Equation 15): one minus the
     /// probability that none of its `R` delegates (1 process at the leaf
-    /// depth) got infected.
+    /// depth) got infected, from a single initially infected entity.
     pub fn node_infection_probability(&self, matching_rate: f64, depth: usize) -> f64 {
         let p_i = self.interest_probability(matching_rate, depth);
-        let interested_entities = self.view_size(depth) as f64 * p_i;
-        if interested_entities < 1.0 {
-            // Fewer than one interested entity in expectation: the multicast
-            // degenerates; be pessimistic but keep the value well defined.
-            return if interested_entities <= 0.0 { 0.0 } else { interested_entities };
-        }
-        let infected_fraction =
-            (self.expected_infected_at_depth(matching_rate, depth) / interested_entities).clamp(0.0, 1.0);
+        let entities = self.view_size(depth) as f64 * p_i;
+        let fraction = self.depth_fraction(matching_rate, depth, 1.0);
         let redundancy_exponent = self.view_size(depth) as f64 / self.group.arity as f64;
-        1.0 - (1.0 - infected_fraction).powf(redundancy_exponent)
+        node_probability(entities, fraction, redundancy_exponent)
+    }
+
+    /// Infected fraction of the interested depth-`i` audience after its
+    /// round budget, starting from `seeds` infected entities.
+    fn depth_fraction(&self, matching_rate: f64, depth: usize, seeds: f64) -> f64 {
+        let p_i = self.interest_probability(matching_rate, depth);
+        let entities = self.view_size(depth) as f64 * p_i;
+        let rounds = self.rounds_at_depth(matching_rate, depth);
+        infected_fraction(entities, self.group.fanout as f64, &self.env, rounds, seeds)
     }
 
     /// Full reliability computation for one matching rate (Equation 18 and
     /// the derived reliability degree).
     pub fn reliability(&self, matching_rate: f64) -> ReliabilityReport {
+        self.reliability_with_floor(matching_rate, None)
+    }
+
+    /// Reliability with the Section 5.3 tuning applied: when fewer than
+    /// `threshold` processes of a view are interested, the first `threshold`
+    /// processes are treated as interested, artificially enlarging the
+    /// audience so that Pittel's asymptote applies again.
+    pub fn reliability_tuned(&self, matching_rate: f64, threshold: usize) -> ReliabilityReport {
+        // The tuning is equivalent to clamping the per-depth interest
+        // probability from below at h / m_i.
+        self.reliability_with_floor(matching_rate, Some(threshold))
+    }
+
+    /// Gossip-audience interest probability at a depth: the genuine
+    /// Equation 7 value, floored at `h / m_i` when audience inflation is
+    /// active.
+    fn gossip_interest(&self, matching_rate: f64, depth: usize, tuning: Option<usize>) -> f64 {
+        let raw = self.interest_probability(matching_rate, depth);
+        match tuning {
+            Some(threshold) => {
+                let floor = threshold as f64 / self.view_size(depth) as f64;
+                raw.max(floor.min(1.0))
+            }
+            None => raw,
+        }
+    }
+
+    /// The shared per-depth engine behind [`TreeModel::reliability`] and
+    /// [`TreeModel::reliability_tuned`]: walk the depths, run the seeded
+    /// infection chain inside each view, and refine the expected number of
+    /// infected entities multiplicatively
+    /// (`E[g_i] = r_i · a · p_i · E[g_{i-1}]`, `g_0 = 1`).
+    fn reliability_with_floor(
+        &self,
+        matching_rate: f64,
+        tuning: Option<usize>,
+    ) -> ReliabilityReport {
         let matching_rate = matching_rate.clamp(0.0, 1.0);
         let n = self.group.group_size() as f64;
         let interested = n * matching_rate;
+        let fanout = self.group.fanout as f64;
         let mut rounds_per_depth = Vec::with_capacity(self.group.depth);
         let mut node_probabilities = Vec::with_capacity(self.group.depth);
-        // Expected number of infected entities, multiplicatively refined
-        // depth by depth: E[g_i] = r_i · a · p_i · E[g_{i-1}] with g_0 = 1.
         let mut expected_infected_entities = 1.0;
+        // The multicaster is the only seed when depth 1 starts.
+        let mut seeds = 1.0;
         for depth in 1..=self.group.depth {
-            rounds_per_depth.push(self.rounds_at_depth(matching_rate, depth));
-            let r_i = self.node_infection_probability(matching_rate, depth);
+            let gossip_p = self.gossip_interest(matching_rate, depth, tuning);
+            let entities = self.view_size(depth) as f64 * gossip_p;
+            let effective_size = entities;
+            let effective_fanout = fanout * gossip_p;
+            let rounds = pittel::round_budget(effective_size, effective_fanout, &self.env);
+            rounds_per_depth.push(rounds);
+            let fraction = infected_fraction(entities, fanout, &self.env, rounds, seeds);
+            let redundancy_exponent = self.view_size(depth) as f64 / self.group.arity as f64;
+            let r_i = node_probability(entities, fraction, redundancy_exponent);
             node_probabilities.push(r_i);
+            // The audience may be inflated for gossiping, but only genuinely
+            // interested children count towards delivery.
             let p_i = self.interest_probability(matching_rate, depth);
             let children_per_node = (self.group.arity as f64 * p_i).min(self.group.arity as f64);
             expected_infected_entities *= (r_i * children_per_node).max(0.0);
+            seeds = conditional_seeds(fraction, redundancy_exponent);
         }
         // At the leaf depth an entity is a single process.
         let expected_infected_processes = expected_infected_entities.min(interested.max(0.0));
@@ -173,93 +240,66 @@ impl TreeModel {
             reliability_degree,
         }
     }
-
-    /// Reliability with the Section 5.3 tuning applied: when fewer than
-    /// `threshold` processes of a view are interested, the first `threshold`
-    /// processes are treated as interested, artificially enlarging the
-    /// audience so that Pittel's asymptote applies again.
-    pub fn reliability_tuned(&self, matching_rate: f64, threshold: usize) -> ReliabilityReport {
-        // The tuning is equivalent to clamping the per-depth interest
-        // probability from below at h / m_i.
-        let matching_rate = matching_rate.clamp(0.0, 1.0);
-        let tuned = TunedTreeModel {
-            inner: *self,
-            threshold,
-        };
-        tuned.reliability(matching_rate)
-    }
 }
 
-/// Internal helper applying the audience-inflation tuning of Section 5.3.
-#[derive(Debug, Clone, Copy)]
-struct TunedTreeModel {
-    inner: TreeModel,
-    threshold: usize,
-}
-
-impl TunedTreeModel {
-    fn effective_interest(&self, matching_rate: f64, depth: usize) -> f64 {
-        let raw = self.inner.interest_probability(matching_rate, depth);
-        let floor = self.threshold as f64 / self.inner.view_size(depth) as f64;
-        raw.max(floor.min(1.0))
+/// Infected fraction of a flat audience of (fractional) `entities` after
+/// `rounds` rounds of gossiping with the interest-filtered fanout, starting
+/// from `seeds` infected entities.
+///
+/// Fractional audiences interpolate linearly between the two neighbouring
+/// integer chains so the model has no rounding cliffs; audiences below one
+/// entity degenerate to the audience size itself (the historical pessimistic
+/// reading: with less than one interested entity in expectation the
+/// multicast fizzles).
+pub(crate) fn infected_fraction(
+    entities: f64,
+    fanout: f64,
+    env: &EnvParams,
+    rounds: u32,
+    seeds: f64,
+) -> f64 {
+    if entities < 1.0 {
+        return entities.clamp(0.0, 1.0);
     }
-
-    fn rounds_at_depth(&self, matching_rate: f64, depth: usize) -> u32 {
-        let p_i = self.effective_interest(matching_rate, depth);
-        let effective_size = self.inner.view_size(depth) as f64 * p_i;
-        let effective_fanout = self.inner.group.fanout as f64 * p_i;
-        pittel::round_budget(effective_size, effective_fanout, &self.inner.env)
-    }
-
-    fn node_infection_probability(&self, matching_rate: f64, depth: usize) -> f64 {
-        let p_i = self.effective_interest(matching_rate, depth);
-        let entities = (self.inner.view_size(depth) as f64 * p_i).round().max(0.0) as usize;
-        if entities == 0 {
+    let lower = entities.floor() as usize;
+    let upper = entities.ceil() as usize;
+    let fraction_at = |size: usize| -> f64 {
+        if size == 0 {
             return 0.0;
         }
-        let effective_fanout = self.inner.group.fanout as f64 * p_i;
-        let rounds = self.rounds_at_depth(matching_rate, depth);
-        let mut chain = InfectionChain::new(entities, effective_fanout, &self.inner.env);
+        let mut chain = InfectionChain::with_initial_infected(size, fanout, env, seeds);
         chain.run(rounds);
-        let infected_fraction = (chain.expected_infected() / entities as f64).clamp(0.0, 1.0);
-        let redundancy_exponent =
-            self.inner.view_size(depth) as f64 / self.inner.group.arity as f64;
-        1.0 - (1.0 - infected_fraction).powf(redundancy_exponent)
+        (chain.expected_infected() / size as f64).clamp(0.0, 1.0)
+    };
+    let low = fraction_at(lower);
+    if upper == lower {
+        return low;
     }
+    let high = fraction_at(upper);
+    let blend = entities - lower as f64;
+    low + (high - low) * blend
+}
 
-    fn reliability(&self, matching_rate: f64) -> ReliabilityReport {
-        let group = self.inner.group;
-        let n = group.group_size() as f64;
-        let interested = n * matching_rate;
-        let mut rounds_per_depth = Vec::with_capacity(group.depth);
-        let mut node_probabilities = Vec::with_capacity(group.depth);
-        let mut expected_infected_entities = 1.0;
-        for depth in 1..=group.depth {
-            rounds_per_depth.push(self.rounds_at_depth(matching_rate, depth));
-            let r_i = self.node_infection_probability(matching_rate, depth);
-            node_probabilities.push(r_i);
-            // The audience is inflated for gossiping, but only genuinely
-            // interested children count towards delivery.
-            let p_i = self.inner.interest_probability(matching_rate, depth);
-            let children_per_node = (group.arity as f64 * p_i).min(group.arity as f64);
-            expected_infected_entities *= (r_i * children_per_node).max(0.0);
-        }
-        let expected_infected_processes = expected_infected_entities.min(interested.max(0.0));
-        let reliability_degree = if interested > 0.0 {
-            (expected_infected_processes / interested).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        ReliabilityReport {
-            matching_rate,
-            total_rounds: rounds_per_depth.iter().sum(),
-            rounds_per_depth,
-            node_infection_probability: node_probabilities,
-            interested_processes: interested,
-            expected_infected_processes,
-            reliability_degree,
-        }
+/// Equation 15: probability that a child node with `redundancy_exponent`
+/// delegates in the audience is reached, given the audience's infected
+/// fraction.  Degenerate audiences (< 1 entity) keep the pessimistic
+/// audience-sized value.
+pub(crate) fn node_probability(entities: f64, fraction: f64, redundancy_exponent: f64) -> f64 {
+    if entities < 1.0 {
+        return entities.clamp(0.0, 1.0);
     }
+    1.0 - (1.0 - fraction.clamp(0.0, 1.0)).powf(redundancy_exponent)
+}
+
+/// Conditional expectation of the number of already-infected delegates a
+/// reached subgroup starts its next depth with: `R·f / (1 − (1 − f)^R)`,
+/// clamped to `[1, R]`.
+pub(crate) fn conditional_seeds(fraction: f64, redundancy_exponent: f64) -> f64 {
+    let r = 1.0 - (1.0 - fraction.clamp(0.0, 1.0)).powf(redundancy_exponent);
+    if r <= 0.0 {
+        return 1.0;
+    }
+    (redundancy_exponent * fraction / r).clamp(1.0, redundancy_exponent.max(1.0))
 }
 
 #[cfg(test)]

@@ -59,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod prediction;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -31,15 +31,20 @@
 //! cargo run --release --example adversarial_sweep -- --quick   # same, explicit
 //! cargo run --release --example adversarial_sweep -- --paper   # n = 10 648
 //! cargo run --release --example adversarial_sweep -- --json    # machine-readable lines
+//! cargo run --release --example adversarial_sweep -- --check-model 0.08
 //! ```
+//!
+//! Each provider cell also carries the analytical prediction
+//! (`pmcast_sim::prediction`); fault-axis rows are outside the model's
+//! domain ('-') and only the baseline rows are gated by `--check-model`.
 //!
 //! `BENCH_PR6.json` snapshots the `--paper --json` output; its
 //! `partition-heal` row is the PR 6 acceptance bar (delegate-view post-heal
 //! reliability within 0.05 of the global oracle at n = 10 648).
 
 use pmcast::{
-    DelegateViewConfig, DeliveryLatency, Event, MembershipSpec, Protocol, Publisher, Scenario,
-    ScenarioBuilder,
+    parse_check_model, predict, DelegateViewConfig, DeliveryLatency, Event, MembershipSpec,
+    ModelPrediction, Protocol, Publisher, Scenario, ScenarioBuilder,
 };
 
 /// One fault-family row: label, publish round, builder shape.
@@ -50,11 +55,14 @@ struct Curve {
     name: &'static str,
     delivery: f64,
     latency: DeliveryLatency,
+    prediction: ModelPrediction,
 }
 
 fn main() {
-    let paper = std::env::args().any(|arg| arg == "--paper");
-    let json = std::env::args().any(|arg| arg == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut gate, args) = parse_check_model(&args);
+    let paper = args.iter().any(|arg| arg == "--paper");
+    let json = args.iter().any(|arg| arg == "--json");
     let (arity, depth, trials): (u32, usize, usize) = if paper { (22, 3, 3) } else { (6, 3, 3) };
     let n = (arity as usize).pow(depth as u32);
     let delegate_entries = DelegateViewConfig::default()
@@ -103,10 +111,10 @@ fn main() {
             "pmcast degradation under adversarial faults — n = {n}, matching rate 0.5, 1% loss, \
              0.1% crashes, {trials} trials (delegate/flat bounded to {delegate_entries} entries)"
         );
-        println!("{:>16} {:>30} {:>30} {:>30}", "fault", "global", "delegate", "flat");
+        println!("{:>16} {:>34} {:>34} {:>34}", "fault", "global", "delegate", "flat");
         println!(
-            "{:>16} {:>30} {:>30} {:>30}",
-            "", "deliv / lat / p99", "deliv / lat / p99", "deliv / lat / p99"
+            "{:>16} {:>34} {:>34} {:>34}",
+            "", "deliv/pred / lat / p99", "deliv/pred / lat / p99", "deliv/pred / lat / p99"
         );
     }
 
@@ -127,9 +135,15 @@ fn main() {
                 .trials(trials)
                 .seed(42);
             let scenario = shape(builder).build();
+            let prediction = predict(&scenario);
             let outcomes = scenario.run_parallel(Protocol::Pmcast);
             let delivery = outcomes.iter().map(|o| o.report.delivery_ratio()).sum::<f64>()
                 / outcomes.len() as f64;
+            // Fault-axis rows are out of the model's domain and only
+            // reported; the baseline rows are gated.
+            if let Some(gate) = gate.as_mut() {
+                gate.record(&format!("adversarial_sweep {label} {name}"), &prediction, delivery);
+            }
             // Merge the per-trial histograms into one distribution per
             // provider (same event shape across trials).
             let mut latency = outcomes[0].latency[0].clone();
@@ -140,6 +154,7 @@ fn main() {
                 name,
                 delivery,
                 latency,
+                prediction,
             });
         }
         if json {
@@ -149,9 +164,14 @@ fn main() {
                     let counts: Vec<String> =
                         c.latency.counts.iter().map(|v| v.to_string()).collect();
                     format!(
-                        "\"{}\":{:.4},\"{}_lat_mean\":{:.3},\"{}_lat_p99\":{},\"{}_latency\":[{}]",
+                        "\"{}\":{:.4},\"{}_predicted\":{:.4},\"{}_in_domain\":{},\
+                         \"{}_lat_mean\":{:.3},\"{}_lat_p99\":{},\"{}_latency\":[{}]",
                         c.name,
                         c.delivery,
+                        c.name,
+                        c.prediction.reliability,
+                        c.name,
+                        c.prediction.in_domain,
                         c.name,
                         c.latency.mean(),
                         c.name,
@@ -170,12 +190,13 @@ fn main() {
             print!("{label:>16}");
             for c in &curves {
                 let cell = format!(
-                    "{:.3} / {:.2} / {}",
+                    "{:.3}/{} / {:.2} / {}",
                     c.delivery,
+                    c.prediction.display(),
                     c.latency.mean(),
                     c.latency.quantile(0.99)
                 );
-                print!(" {cell:>30}");
+                print!(" {cell:>34}");
             }
             println!();
         }
@@ -189,5 +210,12 @@ fn main() {
              the heal, so they measure provider *recovery* from the outage.  delegate = \
              maintained Section 2 view tables; flat = same-size lpbcast views.)"
         );
+    }
+    if let Some(gate) = gate {
+        eprintln!("{}", gate.summary());
+        if let Err(drift) = gate.verdict() {
+            eprintln!("{drift}");
+            std::process::exit(1);
+        }
     }
 }

@@ -21,19 +21,31 @@
 //! start absent and join at rounds 2–6 (the sparse-bootstrap + mid-trial
 //! activation path), with the event published after the crowd has arrived.
 //!
+//! Every provider column carries the analytical prediction of the
+//! churn-aware model (`pmcast_sim::prediction`) next to the simulated
+//! value; `--check-model <tol>` exits nonzero when an in-domain row drifts
+//! beyond the tolerance (flat rows are gated only at paper scale — see
+//! `ARCHITECTURE.md` invariant 9).
+//!
 //! ```text
 //! cargo run --release --example churn_sweep            # quick, n = 216
 //! cargo run --release --example churn_sweep -- --paper # n = 10 648
 //! cargo run --release --example churn_sweep -- --json  # machine-readable lines
+//! cargo run --release --example churn_sweep -- --check-model 0.08
 //! ```
 
-use pmcast::{DelegateViewConfig, Event, MembershipSpec, Protocol, Publisher, Scenario};
+use pmcast::{
+    parse_check_model, predict, DelegateViewConfig, Event, MembershipSpec, Protocol, Publisher,
+    Scenario,
+};
 
 const CHURN_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
 
 fn main() {
-    let paper = std::env::args().any(|arg| arg == "--paper");
-    let json = std::env::args().any(|arg| arg == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut gate, args) = parse_check_model(&args);
+    let paper = args.iter().any(|arg| arg == "--paper");
+    let json = args.iter().any(|arg| arg == "--json");
     let (arity, depth, trials): (u32, usize, usize) = if paper { (22, 3, 3) } else { (6, 3, 3) };
     let n = (arity as usize).pow(depth as u32);
     let delegate_entries = DelegateViewConfig::default()
@@ -48,11 +60,12 @@ fn main() {
     if !json {
         println!(
             "reliability vs. graceful-leave churn — n = {n}, matching rate 0.5, 1% loss, \
-             {trials} trials (delegate/flat bounded to {delegate_entries} entries)"
+             {trials} trials (delegate/flat bounded to {delegate_entries} entries; \
+             sim/pred = simulated vs. model-predicted, '-' = out of model domain)"
         );
         println!(
-            "{:>12} {:>8} {:>10} {:>10} {:>10}",
-            "workload", "churn", "global", "delegate", "flat"
+            "{:>12} {:>8} {:>15} {:>15} {:>15}",
+            "workload", "churn", "global sim/pred", "delegate s/p", "flat s/p"
         );
     }
 
@@ -73,15 +86,26 @@ fn main() {
 
     // `build` produces the scenario for one membership provider, so every
     // variant goes through the builder's validation.
-    let report = |label: &str, churn: f64, build: &dyn Fn(MembershipSpec) -> Scenario| {
+    let mut report = |label: &str, churn: f64, build: &dyn Fn(MembershipSpec) -> Scenario| {
         let mut row = Vec::new();
         for (name, membership) in providers {
-            row.push((name, delivery(&build(membership))));
+            let scenario = build(membership);
+            let prediction = predict(&scenario);
+            let simulated = delivery(&scenario);
+            if let Some(gate) = gate.as_mut() {
+                gate.record(&format!("churn_sweep {label} {churn} {name}"), &prediction, simulated);
+            }
+            row.push((name, simulated, prediction));
         }
         if json {
             let curves: Vec<String> = row
                 .iter()
-                .map(|(name, d)| format!("\"{name}\":{d:.4}"))
+                .map(|(name, d, p)| {
+                    format!(
+                        "\"{name}\":{d:.4},\"{name}_predicted\":{:.4},\"{name}_in_domain\":{}",
+                        p.reliability, p.in_domain
+                    )
+                })
                 .collect();
             println!(
                 "{{\"workload\":\"{label}\",\"n\":{n},\"churn\":{churn},\"entries\":{delegate_entries},{}}}",
@@ -89,8 +113,8 @@ fn main() {
             );
         } else {
             print!("{label:>12} {churn:>8.2}");
-            for (_, d) in &row {
-                print!(" {d:>10.3}");
+            for (_, d, p) in &row {
+                print!(" {:>15}", format!("{d:.3}/{}", p.display()));
             }
             println!();
         }
@@ -141,5 +165,12 @@ fn main() {
              start absent and join at rounds 2-6, publish at round 8.  delegate = maintained \
              Section 2 view tables; flat = same-size lpbcast views.)"
         );
+    }
+    if let Some(gate) = gate {
+        eprintln!("{}", gate.summary());
+        if let Err(drift) = gate.verdict() {
+            eprintln!("{drift}");
+            std::process::exit(1);
+        }
     }
 }

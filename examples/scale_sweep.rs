@@ -25,11 +25,18 @@
 //! cargo run --release --example scale_sweep -- --quick  # 512 only (CI smoke)
 //! cargo run --release --example scale_sweep -- --paper  # adds n = 32⁴ ≈ 1.05M
 //! cargo run --release --example scale_sweep -- --json   # machine-readable lines
+//! cargo run --release --example scale_sweep -- --check-model 0.05
 //! ```
+//!
+//! Every row also carries the analytical prediction
+//! (`pmcast_sim::prediction`) — including the million-process row, where
+//! the model costs microseconds while the trial costs seconds — and
+//! `--check-model <tol>` exits nonzero when a row drifts beyond the
+//! tolerance.
 
 use std::time::Instant;
 
-use pmcast::{Event, MembershipSpec, Protocol, Publisher, Scenario};
+use pmcast::{parse_check_model, predict, Event, MembershipSpec, Protocol, Publisher, Scenario};
 
 /// Peak resident set size of this process in MiB (`VmHWM`), or 0.0 when
 /// `/proc/self/status` is unavailable (non-Linux hosts).
@@ -48,9 +55,11 @@ fn peak_rss_mb() -> f64 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|arg| arg == "--quick");
-    let paper = std::env::args().any(|arg| arg == "--paper");
-    let json = std::env::args().any(|arg| arg == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut gate, args) = parse_check_model(&args);
+    let quick = args.iter().any(|arg| arg == "--quick");
+    let paper = args.iter().any(|arg| arg == "--paper");
+    let json = args.iter().any(|arg| arg == "--json");
 
     // (arity, depth, trials, run the delegate provider too?).  The sizes
     // grow by ~100× per step; the delegate bootstrap is dense (its table
@@ -70,8 +79,8 @@ fn main() {
              one publication, single core"
         );
         println!(
-            "{:>9} {:>7} {:>10} {:>12} {:>12} {:>10} {:>8}",
-            "n", "a^d", "provider", "s/trial", "delivered", "rounds", "peakMB"
+            "{:>9} {:>7} {:>10} {:>12} {:>12} {:>10} {:>10} {:>8}",
+            "n", "a^d", "provider", "s/trial", "delivered", "predicted", "rounds", "peakMB"
         );
     }
 
@@ -91,6 +100,7 @@ fn main() {
                 .trials(trials)
                 .seed(42)
                 .build();
+            let prediction = predict(&scenario);
             let started = Instant::now();
             let outcomes = scenario.run(Protocol::Pmcast);
             let seconds = started.elapsed().as_secs_f64() / trials as f64;
@@ -99,16 +109,21 @@ fn main() {
             let rounds: f64 =
                 outcomes.iter().map(|o| o.rounds as f64).sum::<f64>() / outcomes.len() as f64;
             let peak = peak_rss_mb();
+            if let Some(gate) = gate.as_mut() {
+                gate.record(&format!("scale_sweep n={n} {provider}"), &prediction, delivered);
+            }
             if json {
                 println!(
                     "{{\"n\":{n},\"arity\":{arity},\"depth\":{depth},\"provider\":\"{provider}\",\
                      \"seconds_per_trial\":{seconds:.3},\"delivery_ratio\":{delivered:.4},\
-                     \"rounds\":{rounds:.1},\"peak_rss_mb\":{peak:.1},\"trials\":{trials}}}"
+                     \"rounds\":{rounds:.1},\"peak_rss_mb\":{peak:.1},\"trials\":{trials},{}}}",
+                    prediction.json_fields()
                 );
             } else {
                 println!(
-                    "{n:>9} {:>7} {provider:>10} {seconds:>12.3} {delivered:>12.3} {rounds:>10.1} {peak:>8.0}",
-                    format!("{arity}^{depth}")
+                    "{n:>9} {:>7} {provider:>10} {seconds:>12.3} {delivered:>12.3} {:>10} {rounds:>10.1} {peak:>8.0}",
+                    format!("{arity}^{depth}"),
+                    prediction.display()
                 );
             }
         }
@@ -122,5 +137,12 @@ fn main() {
              trial stays in single-digit seconds on one core.  delegate = the paper's \
              Section 2 view tables, bounded to the paper scale by its dense bootstrap.)"
         );
+    }
+    if let Some(gate) = gate {
+        eprintln!("{}", gate.summary());
+        if let Err(drift) = gate.verdict() {
+            eprintln!("{drift}");
+            std::process::exit(1);
+        }
     }
 }

@@ -152,6 +152,7 @@ pub use pmcast_core::{
     MulticastProtocol, MulticastReport, PmcastConfig, PmcastFactory, PmcastGroup, PmcastProcess,
     ProtocolFactory, ProtocolGroup, TuningConfig,
 };
+pub use pmcast_sim::prediction::{parse_check_model, predict, DriftGate, ModelPrediction};
 pub use pmcast_sim::runner::{DeliveryLatency, ExperimentConfig, Protocol, TrialOutcome};
 pub use pmcast_sim::scenario::{
     MembershipSpec, Publication, Publisher, Scenario, ScenarioBuilder, SubtreeLoss,

@@ -3,12 +3,16 @@
 //! simulation (pmcast-core + pmcast-simnet), on small groups where both are
 //! cheap to evaluate.
 
+use pmcast::analysis::churn::ChurnProfile;
+use pmcast::analysis::decentralized::{DecentralizedModel, ProviderShape};
 use pmcast::analysis::markov::InfectionChain;
 use pmcast::analysis::pittel;
 use pmcast::analysis::tree::TreeModel;
 use pmcast::analysis::views::view_size_report;
 use pmcast::sim::runner::{run_experiment, ExperimentConfig};
-use pmcast::{EnvParams, GroupParams};
+use pmcast::{
+    predict, EnvParams, Event, GroupParams, MembershipSpec, Protocol, Publisher, Scenario,
+};
 
 #[test]
 fn simulation_and_model_agree_at_comfortable_matching_rates() {
@@ -120,6 +124,100 @@ fn view_size_model_matches_group_parameters() {
     assert_eq!(report.group_size, group.group_size());
     assert_eq!(report.tree_view_size, 154);
     assert!(report.reduction_factor > 60.0);
+}
+
+#[test]
+fn provider_and_churn_matrix_stays_within_model_tolerance() {
+    // The closed loop of invariant 9, as a matrix: {global oracle, paper
+    // delegate tables, lpbcast-style flat views} × {static, 10% graceful
+    // leaves} at the quick scale (n = 216), each simulated cell within 0.1
+    // of its provider- and churn-aware model prediction.
+    //
+    // Global and delegate go through the scenario-level `predict` (the same
+    // entry point the sweeps gate on).  The flat view (ℓ = 42, the delegate
+    // table size) sits below the prediction module's paper-scale domain
+    // floor, so that row exercises `DecentralizedModel` directly — the
+    // fixed-sample percolation model itself, without the domain gate.
+    let (arity, depth) = (6u32, 3usize);
+    let n = (arity as usize).pow(depth as u32);
+    let flat_entries = 42; // R·a·(d−1) + a for R = 3: the delegate bound.
+
+    // The churn_sweep leave schedule: `rate·n` distinct leavers spread
+    // evenly over the index space, unsubscribing at rounds 2..=6.
+    let leavers = |rate: f64| -> Vec<(u64, usize)> {
+        let count = (rate * n as f64).round() as usize;
+        (0..count)
+            .map(|i| (2 + (i % 5) as u64, (i * n) / count.max(1)))
+            .collect()
+    };
+    let scenario_for = |membership: MembershipSpec, churn: f64| -> Scenario {
+        let mut builder = Scenario::builder()
+            .group(arity, depth)
+            .matching_rate(0.5)
+            .loss(0.01)
+            .membership(membership)
+            .publish(Publisher::Interested, Event::builder(1).int("b", 1).build())
+            .trials(3)
+            .seed(42);
+        for (round, process) in leavers(churn) {
+            builder = builder.leave_at(round, process);
+        }
+        builder.build()
+    };
+    let simulate = |scenario: &Scenario| -> f64 {
+        let outcomes = scenario.run_parallel(Protocol::Pmcast);
+        outcomes.iter().map(|o| o.report.delivery_ratio()).sum::<f64>() / outcomes.len() as f64
+    };
+    // The model-side churn profile for the same schedule: per-round departed
+    // fractions, offsets relative to the round-0 publish.
+    let churn_profile = |churn: f64| -> ChurnProfile {
+        let mut per_round = std::collections::BTreeMap::new();
+        for (round, _) in leavers(churn) {
+            *per_round.entry(round as u32).or_insert(0.0) += 1.0 / n as f64;
+        }
+        ChurnProfile::from_departures(per_round)
+    };
+
+    const TOLERANCE: f64 = 0.1;
+    for churn in [0.0, 0.10] {
+        // Global and delegate: the scenario-level prediction is in-domain
+        // and must track the simulation.
+        for membership in [MembershipSpec::Global, MembershipSpec::delegate(3)] {
+            let scenario = scenario_for(membership, churn);
+            let prediction = predict(&scenario);
+            assert!(
+                prediction.in_domain,
+                "{membership:?} at churn {churn} should be inside the model domain"
+            );
+            let simulated = simulate(&scenario);
+            assert!(
+                (simulated - prediction.reliability).abs() < TOLERANCE,
+                "{membership:?} churn {churn}: simulated {simulated:.4} vs \
+                 predicted {:.4}",
+                prediction.reliability
+            );
+        }
+
+        // Flat views: quick scale is outside `predict`'s trust region, so
+        // compare against the percolation model directly.
+        let scenario = scenario_for(MembershipSpec::partial(flat_entries), churn);
+        assert!(!predict(&scenario).in_domain, "quick-scale flat views are out of domain");
+        let simulated = simulate(&scenario);
+        let group = GroupParams { arity, depth, redundancy: 3, fanout: 2 };
+        let modeled = DecentralizedModel::new(
+            group,
+            scenario.protocol.env,
+            ProviderShape::Partial { view_size: flat_entries },
+        )
+        .with_churn(churn_profile(churn))
+        .predict(0.5);
+        assert!(
+            (simulated - modeled.reliability).abs() < TOLERANCE,
+            "flat ℓ={flat_entries} churn {churn}: simulated {simulated:.4} vs \
+             modeled {:.4}",
+            modeled.reliability
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! Schema regression for the sweep examples' `--json` output, against the
+//! committed `BENCH_PR9.json` snapshot.
+//!
+//! The five sweep examples emit one JSON object per row; downstream
+//! consumers (the BENCH snapshots, plotting scripts, the CI drift gate)
+//! key on the field names.  This test pins the shape: every row of the
+//! snapshot must carry exactly the fields the current emitters produce —
+//! renaming or dropping a column fails here instead of silently breaking
+//! the snapshot lineage.
+//!
+//! The prediction fields themselves (`predicted`, `predicted_rounds`,
+//! `model_in_domain`, and the per-provider `*_predicted` / `*_in_domain`
+//! variants) are additionally checked straight from
+//! [`pmcast::ModelPrediction::json_fields`], so the emitter and the
+//! snapshot cannot drift apart.
+
+use serde::Value;
+
+use pmcast::{predict, Scenario};
+
+/// Parses the committed snapshot.
+fn bench_pr9() -> Value {
+    let raw = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_PR9.json"))
+        .expect("BENCH_PR9.json is committed at the workspace root");
+    serde_json::from_str(&raw).expect("BENCH_PR9.json is valid JSON")
+}
+
+/// A required field of a snapshot row.
+fn field<'a>(row: &'a Value, key: &str, context: &str) -> &'a Value {
+    row.get(key).unwrap_or_else(|| panic!("{context}: missing field `{key}`"))
+}
+
+/// A required numeric field.
+fn float(row: &Value, key: &str, context: &str) -> f64 {
+    field(row, key, context)
+        .as_f64()
+        .unwrap_or_else(|| panic!("{context}: `{key}` is not a number"))
+}
+
+/// A required boolean field.
+fn boolean(row: &Value, key: &str, context: &str) -> bool {
+    field(row, key, context)
+        .as_bool()
+        .unwrap_or_else(|| panic!("{context}: `{key}` is not a boolean"))
+}
+
+/// The rows of one sweep section of the snapshot.
+fn rows<'a>(bench: &'a Value, sweep: &str) -> &'a [Value] {
+    bench
+        .get("sweeps")
+        .and_then(|sweeps| sweeps.get(sweep))
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("snapshot has a `sweeps.{sweep}` array"))
+}
+
+/// Asserts a row is an object carrying exactly `expected` keys.
+fn assert_exact_keys(row: &Value, expected: &[&str], context: &str) {
+    let object = row.as_object().unwrap_or_else(|| panic!("{context}: row is not an object"));
+    for key in expected {
+        assert!(
+            object.iter().any(|(k, _)| k == key),
+            "{context}: missing field `{key}`"
+        );
+    }
+    for (key, _) in object {
+        assert!(
+            expected.contains(&key.as_str()),
+            "{context}: unexpected field `{key}` (schema change? update this test \
+             and regenerate BENCH_PR9.json together)"
+        );
+    }
+}
+
+/// The scenario-level prediction fields every gated row carries.
+const PREDICTION_FIELDS: [&str; 3] = ["predicted", "predicted_rounds", "model_in_domain"];
+
+/// `ModelPrediction::json_fields` emits exactly the three fields the
+/// snapshots key on, as a valid JSON fragment.
+#[test]
+fn prediction_json_fields_match_the_documented_names() {
+    let prediction = predict(&Scenario::builder().group(6, 3).matching_rate(0.5).build());
+    let wrapped: Value = serde_json::from_str(&format!("{{{}}}", prediction.json_fields()))
+        .expect("json_fields is a valid JSON object body");
+    assert_exact_keys(&wrapped, &PREDICTION_FIELDS, "json_fields");
+    assert!(float(&wrapped, "predicted", "json_fields").is_finite());
+    assert!(field(&wrapped, "predicted_rounds", "json_fields").as_u64().is_some());
+    boolean(&wrapped, "model_in_domain", "json_fields");
+}
+
+#[test]
+fn bench_pr9_snapshot_has_all_five_sweeps() {
+    let bench = bench_pr9();
+    assert_eq!(field(&bench, "pr", "snapshot").as_u64(), Some(9));
+    assert!(float(&bench, "tolerance", "snapshot") > 0.0);
+    for sweep in [
+        "reliability_sweep",
+        "partial_view_sweep",
+        "churn_sweep",
+        "adversarial_sweep",
+        "scale_sweep",
+    ] {
+        assert!(!rows(&bench, sweep).is_empty(), "sweeps.{sweep} has rows");
+    }
+}
+
+#[test]
+fn reliability_sweep_rows_keep_their_schema() {
+    let bench = bench_pr9();
+    let expected: Vec<&str> = ["matching_rate", "delivery_simulated", "delivery_std",
+        "delivery_analytical", "rounds"]
+    .into_iter()
+    .chain(PREDICTION_FIELDS)
+    .collect();
+    for (i, row) in rows(&bench, "reliability_sweep").iter().enumerate() {
+        assert_exact_keys(row, &expected, &format!("reliability_sweep[{i}]"));
+    }
+}
+
+#[test]
+fn partial_view_sweep_rows_keep_their_schema() {
+    let bench = bench_pr9();
+    let expected: Vec<&str> = ["membership", "n", "entries", "pmcast", "flood", "genuine"]
+        .into_iter()
+        .chain(PREDICTION_FIELDS)
+        .collect();
+    for (i, row) in rows(&bench, "partial_view_sweep").iter().enumerate() {
+        assert_exact_keys(row, &expected, &format!("partial_view_sweep[{i}]"));
+    }
+}
+
+#[test]
+fn churn_sweep_rows_keep_their_schema() {
+    let bench = bench_pr9();
+    let expected = [
+        "workload", "n", "churn", "entries",
+        "global", "global_predicted", "global_in_domain",
+        "delegate", "delegate_predicted", "delegate_in_domain",
+        "flat", "flat_predicted", "flat_in_domain",
+    ];
+    for (i, row) in rows(&bench, "churn_sweep").iter().enumerate() {
+        assert_exact_keys(row, &expected, &format!("churn_sweep[{i}]"));
+    }
+}
+
+#[test]
+fn adversarial_sweep_rows_keep_their_schema() {
+    let bench = bench_pr9();
+    let per_provider: Vec<String> = ["global", "delegate", "flat"]
+        .iter()
+        .flat_map(|name| {
+            ["", "_predicted", "_in_domain", "_lat_mean", "_lat_p99", "_latency"]
+                .iter()
+                .map(move |suffix| format!("{name}{suffix}"))
+        })
+        .collect();
+    let mut expected = vec!["workload", "n", "publish_round", "entries"];
+    expected.extend(per_provider.iter().map(String::as_str));
+    for (i, row) in rows(&bench, "adversarial_sweep").iter().enumerate() {
+        assert_exact_keys(row, &expected, &format!("adversarial_sweep[{i}]"));
+    }
+}
+
+#[test]
+fn scale_sweep_rows_keep_their_schema() {
+    let bench = bench_pr9();
+    let expected: Vec<&str> = ["n", "arity", "depth", "provider", "seconds_per_trial",
+        "delivery_ratio", "rounds", "peak_rss_mb", "trials"]
+    .into_iter()
+    .chain(PREDICTION_FIELDS)
+    .collect();
+    for (i, row) in rows(&bench, "scale_sweep").iter().enumerate() {
+        assert_exact_keys(row, &expected, &format!("scale_sweep[{i}]"));
+    }
+}
+
+#[test]
+fn snapshot_rows_respect_the_paper_tolerance() {
+    // The snapshot is the paper-scale gate made durable: every in-domain
+    // prediction in it must sit within the recorded tolerance of its
+    // simulated value (flat rows at twice the base — invariant 9).
+    let bench = bench_pr9();
+    let tolerance = float(&bench, "tolerance", "snapshot");
+    let mut gated = 0usize;
+
+    let mut check = |label: String, simulated: f64, predicted: f64, scale: f64| {
+        let budget = tolerance * scale;
+        assert!(
+            (simulated - predicted).abs() <= budget,
+            "{label}: simulated {simulated} vs predicted {predicted} \
+             exceeds tolerance {budget}"
+        );
+        gated += 1;
+    };
+
+    for (i, row) in rows(&bench, "reliability_sweep").iter().enumerate() {
+        let context = format!("reliability_sweep[{i}]");
+        if boolean(row, "model_in_domain", &context) {
+            let simulated = float(row, "delivery_simulated", &context);
+            let predicted = float(row, "predicted", &context);
+            check(context, simulated, predicted, 1.0);
+        }
+    }
+    for (i, row) in rows(&bench, "partial_view_sweep").iter().enumerate() {
+        let context = format!("partial_view_sweep[{i}]");
+        if boolean(row, "model_in_domain", &context) {
+            let flat = field(row, "membership", &context)
+                .as_str()
+                .is_some_and(|m| m.starts_with("flat"));
+            let simulated = float(row, "pmcast", &context);
+            let predicted = float(row, "predicted", &context);
+            check(context, simulated, predicted, if flat { 2.0 } else { 1.0 });
+        }
+    }
+    for sweep in ["churn_sweep", "adversarial_sweep"] {
+        for (i, row) in rows(&bench, sweep).iter().enumerate() {
+            for provider in ["global", "delegate", "flat"] {
+                let context = format!("{sweep}[{i}].{provider}");
+                if boolean(row, &format!("{provider}_in_domain"), &context) {
+                    let simulated = float(row, provider, &context);
+                    let predicted = float(row, &format!("{provider}_predicted"), &context);
+                    let scale = if provider == "flat" { 2.0 } else { 1.0 };
+                    check(context, simulated, predicted, scale);
+                }
+            }
+        }
+    }
+    for (i, row) in rows(&bench, "scale_sweep").iter().enumerate() {
+        let context = format!("scale_sweep[{i}]");
+        if boolean(row, "model_in_domain", &context) {
+            let simulated = float(row, "delivery_ratio", &context);
+            let predicted = float(row, "predicted", &context);
+            check(context, simulated, predicted, 1.0);
+        }
+    }
+    assert!(gated >= 10, "the paper snapshot gates a real row population, got {gated}");
+}

@@ -44,6 +44,63 @@ impl Value {
         self.as_object()
             .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
+
+    /// The elements, if this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a float (any of the number variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an unsigned integer, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            Value::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+}
+
+// `Value` round-trips through itself, so generic JSON documents (e.g. the
+// BENCH_*.json snapshots) can be parsed without a schema struct.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
 }
 
 /// Serialization / deserialization error.
