@@ -5,15 +5,15 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pmcast_addr::AddressSpace;
+use pmcast_addr::{AddressSpace, Prefix};
 use pmcast_core::{
     GenuineFactory, Gossip, MulticastProtocol, PmcastConfig, PmcastFactory, ProtocolFactory,
     SharedViews,
 };
-use pmcast_interest::{Event, Filter, Interest, InterestSummary, Predicate};
+use pmcast_interest::{Event, Filter, Interest, InterestSummary, Interner, Predicate};
 use pmcast_membership::{
     AssignmentOracle, DelegateView, DelegateViewConfig, GlobalOracleView, ImplicitRegularTree,
-    InterestOracle, MembershipView, TreeTopology,
+    InterestOracle, MembershipView, TopicOracle, TreeTopology, TOPIC_ATTRIBUTE,
 };
 use pmcast_net::{ChannelTransport, Frame, Seen, Transport};
 use pmcast_simnet::{FaultPlan, NetworkConfig, ProcessId, Simulation};
@@ -167,6 +167,74 @@ fn bench(c: &mut Criterion) {
                 let swap = draw_rng.gen_range(slot..delegate_candidates.len());
                 delegate_candidates.swap(slot, swap);
                 acc += delegate_candidates[slot];
+            }
+            acc
+        })
+    });
+
+    // The audience hashcons hit path: interning an audience the table
+    // already holds is a hash + set probe + refcount bump — no allocation
+    // and no group scan.  This is the per-distinct-audience unit behind the
+    // multi-topic workloads: a 10k-event stream over 50 topics pays ~50
+    // audience constructions, and every other registration lands here.
+    let audience_space = AddressSpace::regular(3, 8).expect("valid");
+    let audience_members = (0..512u128)
+        .step_by(8)
+        .map(|i| audience_space.address_of_index(i))
+        .collect::<Vec<_>>();
+    let audience_interner: Interner<AssignmentOracle> = Interner::new();
+    let probe_audience =
+        AssignmentOracle::with_space(audience_members, audience_space.clone());
+    audience_interner.intern(&probe_audience);
+    c.bench_function("audience_hashcons_hit", |b| {
+        b.iter(|| audience_interner.intern(&probe_audience))
+    });
+
+    // Aggregated interest routing's addition to the fanout draw: before
+    // drawing, each distinct subgroup's subtree summary is consulted once
+    // (consecutive slot positions share a memoized verdict) and vetoed
+    // subtrees never consume a pick.  Same view, RNG and Fisher–Yates as
+    // `delegate_draw` above, so the gap between the two cases is the whole
+    // cost of the veto sweep: it must stay O(subgroups) summary probes per
+    // entry-round, not O(candidates)·O(disjuncts).  Interest is clustered
+    // one topic per depth-2 subgroup — the sparse-interest regime the skip
+    // is built for, where 7 of 8 subtrees are provably uninterested.
+    let clustered: Vec<Vec<u32>> = (0..512).map(|i| vec![(i / 8) % 12]).collect();
+    let clustered_topics = TopicOracle::new(audience_space, clustered, 12);
+    delegate_view.attach_interest_summaries(clustered_topics.subtree_summaries());
+    let summary_targets: Vec<(usize, Prefix)> = (0..8u32)
+        .flat_map(|g| {
+            let prefix = Prefix::from_components(vec![0, g]);
+            (0..3usize).map(move |r| (g as usize * 8 + r, prefix.clone()))
+        })
+        .collect();
+    let topic_event = Event::builder(901).int(TOPIC_ATTRIBUTE, 4).build();
+    let mut summary_candidates: Vec<usize> = Vec::with_capacity(summary_targets.len());
+    c.bench_function("summary_skip_draw", |b| {
+        b.iter(|| {
+            let own = 37usize;
+            summary_candidates.clear();
+            let mut last: Option<(&Prefix, bool)> = None;
+            summary_candidates.extend(summary_targets.iter().filter_map(|(p, subgroup)| {
+                if *p == own || !delegate_view.knows_at_depth(own, 2, *p) {
+                    return None;
+                }
+                let allowed = match last {
+                    Some((prefix, verdict)) if prefix == subgroup => verdict,
+                    _ => {
+                        let verdict = delegate_view.summary_allows(subgroup, &topic_event);
+                        last = Some((subgroup, verdict));
+                        verdict
+                    }
+                };
+                allowed.then_some(*p)
+            }));
+            let mut acc = 0usize;
+            let picks = 4.min(summary_candidates.len());
+            for slot in 0..picks {
+                let swap = draw_rng.gen_range(slot..summary_candidates.len());
+                summary_candidates.swap(slot, swap);
+                acc += summary_candidates[slot];
             }
             acc
         })

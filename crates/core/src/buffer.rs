@@ -115,6 +115,23 @@ impl GossipBuffers {
     pub fn seen_count(&self) -> usize {
         self.seen.len()
     }
+
+    /// The smallest identifier currently buffered at any depth, if any —
+    /// the in-flight low watermark a retire must not cross.
+    pub fn min_buffered_id(&self) -> Option<EventId> {
+        self.by_depth
+            .iter()
+            .flatten()
+            .map(|gossip| gossip.event.id())
+            .min()
+    }
+
+    /// Compacts the seen-set below `floor` (see
+    /// [`EventIdSet::compact_below`]); identifiers below the floor still
+    /// count as seen.  Returns the number of retired identifiers.
+    pub fn retire_seen_below(&mut self, floor: EventId) -> usize {
+        self.seen.compact_below(floor)
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,39 @@ pub struct PmcastConfig {
     /// Hard cap on the per-depth round budget, protecting against degenerate
     /// estimates.
     pub max_rounds_per_depth: u32,
+    /// How the fanout draw decides which subtrees are worth gossiping into
+    /// (defaults to [`InterestRouting::Oracle`], the historical behaviour).
+    #[serde(default)]
+    pub interest_routing: InterestRouting,
+}
+
+/// Strategy for the per-target interest decision of the `GOSSIP` task
+/// (Figure 3, lines 10–14).
+///
+/// All three strategies share the oracle-based `GETRATE` and round budgets —
+/// routing only changes *which* drawn targets receive the gossip, so the
+/// three arms of a routing experiment spend identical round budgets and the
+/// comparison isolates the routing decision itself.
+///
+/// Stream-neutrality: routing decisions are pure functions of the view and
+/// the event — none of them consume randomness — so scenarios that do not
+/// opt in stay bit-identical to the historical goldens.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterestRouting {
+    /// Consult the global interest oracle per target (the paper's model:
+    /// every process knows the interests of its view).  The default.
+    #[default]
+    Oracle,
+    /// Consult the membership provider's aggregated per-subtree
+    /// [summaries](pmcast_membership::MembershipView::summary_allows):
+    /// candidates whose subtree *provably* contains no interested process
+    /// are skipped before the fanout draw, every drawn target is sent to.
+    /// Degenerates to [`Blind`](Self::Blind) when the provider carries no
+    /// summaries.
+    Summary,
+    /// Send to every drawn target unconditionally — the "no interest
+    /// filtering" control arm of the routing experiment.
+    Blind,
 }
 
 impl Default for PmcastConfig {
@@ -52,6 +85,7 @@ impl Default for PmcastConfig {
             tuning: None,
             local_interest_shortcut: false,
             max_rounds_per_depth: 64,
+            interest_routing: InterestRouting::default(),
         }
     }
 }
@@ -100,6 +134,13 @@ impl PmcastConfig {
     /// Enables the local-interest shortcut of Section 3.2.
     pub fn with_local_interest_shortcut(mut self, enabled: bool) -> Self {
         self.local_interest_shortcut = enabled;
+        self
+    }
+
+    /// Sets the interest-routing strategy, returning the config for
+    /// chaining.
+    pub fn with_interest_routing(mut self, routing: InterestRouting) -> Self {
+        self.interest_routing = routing;
         self
     }
 
@@ -180,5 +221,23 @@ mod tests {
         let json = serde_json::to_string(&config).unwrap();
         let back: PmcastConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(config, back);
+        let summary = config.with_interest_routing(InterestRouting::Summary);
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: PmcastConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.interest_routing, InterestRouting::Summary);
+    }
+
+    #[test]
+    fn routing_defaults_to_oracle_in_old_configs() {
+        // Configs serialized before the routing knob existed must keep
+        // deserializing — and must route exactly as they always did.
+        let json = r#"{
+            "redundancy": 3, "fanout": 2,
+            "env": {"loss_probability": 0.0, "crash_probability": 0.0, "pittel_constant": 2.0},
+            "tuning": null, "local_interest_shortcut": false,
+            "max_rounds_per_depth": 64
+        }"#;
+        let back: PmcastConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(back.interest_routing, InterestRouting::Oracle);
     }
 }

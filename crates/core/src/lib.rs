@@ -82,7 +82,7 @@ mod views;
 
 pub use baseline::{FloodBroadcastProcess, GenuineMulticastProcess};
 pub use buffer::{BufferedGossip, GossipBuffers};
-pub use config::{PmcastConfig, TuningConfig};
+pub use config::{InterestRouting, PmcastConfig, TuningConfig};
 pub use message::Gossip;
 pub use multicast::{
     FloodFactory, GenuineFactory, MulticastProtocol, PmcastFactory, ProtocolFactory, ProtocolGroup,

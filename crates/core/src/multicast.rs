@@ -105,6 +105,26 @@ pub trait MulticastProtocol: RoundProcess<Message = Gossip> + DeliveryOutcome {
 
     /// The process's address in the membership tree.
     fn address(&self) -> &Address;
+
+    /// Retires dedup state for events with identifiers below `floor`.
+    ///
+    /// Long-running processes accumulate seen/delivered identifier sets
+    /// without bound; once every event below a watermark is quiescent
+    /// (fully disseminated and past its round budgets everywhere), those
+    /// identifiers can be collapsed into the watermark itself: after the
+    /// call, any identifier below the floor *counts as already seen* —
+    /// re-deliveries stay impossible, only the per-id storage is gone.
+    /// Implementations clamp the floor so identifiers still buffered
+    /// in-flight are never retired.  The default does nothing (a fresh
+    /// process has nothing worth retiring).
+    fn retire_below(&mut self, _floor: EventId) {}
+
+    /// Number of event identifiers currently held in dedup state — the
+    /// quantity [`retire_below`](Self::retire_below) bounds.  Diagnostic;
+    /// defaults to zero for protocols without explicit dedup storage.
+    fn dedup_len(&self) -> usize {
+        0
+    }
 }
 
 /// A whole group of protocol instances, one per member of a topology,

@@ -1,13 +1,16 @@
 use std::sync::Arc;
 
-use pmcast_addr::{Address, Depth};
+use pmcast_addr::{Address, Depth, Prefix};
 use pmcast_analysis::pittel;
 use pmcast_interest::{Event, EventId, EventIdSet};
 use pmcast_membership::{InterestOracle, MembershipView, TreeTopology};
 use pmcast_simnet::{Activity, ProcessId, RoundContext, RoundProcess};
 use rand::Rng;
 
-use crate::{BufferedGossip, Gossip, GossipBuffers, GossipTarget, PmcastConfig, SharedViews};
+use crate::{
+    BufferedGossip, Gossip, GossipBuffers, GossipTarget, InterestRouting, PmcastConfig,
+    SharedViews,
+};
 
 /// A whole pmcast group ready to be handed to a
 /// [`pmcast_simnet::Simulation`]: one protocol state machine per process
@@ -66,6 +69,10 @@ pub(crate) fn build_pmcast_group<T: TreeTopology>(
 #[derive(Debug, Default)]
 struct GossipScratch {
     candidates: Vec<usize>,
+    /// Per-event narrowing of `candidates` under
+    /// [`InterestRouting::Summary`]: the positions whose subtree summary
+    /// does not rule the event out.
+    event_candidates: Vec<usize>,
     promoted: Vec<Arc<Event>>,
 }
 
@@ -282,16 +289,27 @@ impl PmcastProcess {
             .min(self.config.max_rounds_per_depth)
     }
 
-    /// Whether a gossip destination should be sent the event: its subtree is
-    /// interested, or audience inflation designates it (it is among the
-    /// first `h` entries of the view).
+    /// Whether a drawn gossip destination should be sent the event.
+    ///
+    /// Under [`InterestRouting::Oracle`] (the historical behaviour) the
+    /// target's subtree must be interested per the oracle, or audience
+    /// inflation designates it (it is among the first `h` entries of the
+    /// view).  Under [`InterestRouting::Summary`] the candidate pool was
+    /// already narrowed by the membership provider's subtree summaries
+    /// before the draw, so every drawn target is sent to — as it is under
+    /// [`InterestRouting::Blind`], the unfiltered control arm.
     fn target_selected(&self, target: &GossipTarget, position: usize, event: &Event) -> bool {
-        if self.oracle.subtree_interested(&target.subgroup, event) {
-            return true;
-        }
-        match self.config.tuning {
-            Some(tuning) => position < tuning.threshold,
-            None => false,
+        match self.config.interest_routing {
+            InterestRouting::Oracle => {
+                if self.oracle.subtree_interested(&target.subgroup, event) {
+                    return true;
+                }
+                match self.config.tuning {
+                    Some(tuning) => position < tuning.threshold,
+                    None => false,
+                }
+            }
+            InterestRouting::Summary | InterestRouting::Blind => true,
         }
     }
 
@@ -345,20 +363,54 @@ impl PmcastProcess {
             }));
         }
 
+        let routing = self.config.interest_routing;
         entries.retain_mut(|entry| {
             if entry.round < entry.budget {
                 entry.round += 1;
                 // Every gossip of this entry has the same wire size; compute
                 // it once per entry-round instead of per target.
                 let size = entry.event.payload_size() + Gossip::HEADER_SIZE;
-                // Choose F distinct destinations uniformly from the view,
+                // Summary routing narrows the pool per event *before* the
+                // draw: subtrees whose aggregated summary proves nobody
+                // below is interested never consume a fanout pick.  The
+                // test is a pure function of the membership state — no
+                // randomness is touched — and in the other modes the pool
+                // is the shared per-depth candidate list, so the draw
+                // sequence there is bit-identical to the historical one.
+                let pool = if routing == InterestRouting::Summary {
+                    let membership = &self.membership;
+                    // Candidates arrive in view order, so the positions of
+                    // one subgroup's delegate slots are consecutive: memoize
+                    // the last verdict and each distinct subtree is judged
+                    // once per entry-round, not once per slot.
+                    let mut last: Option<(&Prefix, bool)> = None;
+                    scratch.event_candidates.clear();
+                    scratch.event_candidates.extend(
+                        scratch.candidates.iter().copied().filter(|&position| {
+                            let subgroup = &view[position].subgroup;
+                            match last {
+                                Some((prefix, verdict)) if prefix == subgroup => verdict,
+                                _ => {
+                                    let verdict =
+                                        membership.summary_allows(subgroup, &entry.event);
+                                    last = Some((subgroup, verdict));
+                                    verdict
+                                }
+                            }
+                        }),
+                    );
+                    &mut scratch.event_candidates
+                } else {
+                    &mut scratch.candidates
+                };
+                // Choose F distinct destinations uniformly from the pool,
                 // then send only to those that pass the interest test
                 // (Figure 3, lines 10–14).
-                let picks = fanout.min(scratch.candidates.len());
+                let picks = fanout.min(pool.len());
                 for slot in 0..picks {
-                    let swap = ctx.rng().gen_range(slot..scratch.candidates.len());
-                    scratch.candidates.swap(slot, swap);
-                    let position = scratch.candidates[slot];
+                    let swap = ctx.rng().gen_range(slot..pool.len());
+                    pool.swap(slot, swap);
+                    let position = pool[slot];
                     let target = &view[position];
                     if self.target_selected(target, position, &entry.event) {
                         let gossip =
@@ -458,6 +510,23 @@ impl crate::MulticastProtocol for PmcastProcess {
     }
     fn address(&self) -> &Address {
         PmcastProcess::address(self)
+    }
+    fn retire_below(&mut self, floor: EventId) {
+        // Never retire past an event still gossiping here: its dedup bits
+        // (and its delivery record) must stay individually addressable.
+        let floor = match self.buffers.min_buffered_id() {
+            Some(min) => floor.min(min),
+            None => floor,
+        };
+        self.buffers.retire_seen_below(floor);
+        self.delivered_ids.compact_below(floor);
+        self.received_ids.compact_below(floor);
+        // The delivered payload log is the other unbounded per-process
+        // store; retired events release their share of the payload Arcs.
+        self.delivered.retain(|event| event.id() >= floor);
+    }
+    fn dedup_len(&self) -> usize {
+        self.buffers.seen_count() + self.delivered_ids.len() + self.received_ids.len()
     }
 }
 

@@ -17,9 +17,22 @@ use crate::EventId;
 /// stress tests pushing thousands of events through one process the set
 /// degrades gracefully to `O(len)` inserts — correct, just not the target
 /// regime.
+///
+/// ## Long-run compaction
+///
+/// Under sustained publishing (the daemon workloads) even `8 × len` grows
+/// without bound.  [`EventIdSet::compact_below`] installs a **low
+/// watermark**: identifiers below the floor are dropped from the vector and
+/// from then on treated as already present (`contains` → `true`, `insert` →
+/// `false`).  With the monotonically increasing identifiers the publishing
+/// layers hand out, retiring quiescent events this way bounds the dedup
+/// state to the in-flight window while never re-admitting (and hence never
+/// re-delivering) a retired event.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventIdSet {
     sorted: Vec<EventId>,
+    /// Identifiers strictly below this are retired: assumed seen, not stored.
+    floor: EventId,
 }
 
 impl EventIdSet {
@@ -29,14 +42,19 @@ impl EventIdSet {
         Self::default()
     }
 
-    /// Returns `true` if the identifier is in the set.
+    /// Returns `true` if the identifier is in the set.  Identifiers retired
+    /// by [`EventIdSet::compact_below`] count as present.
     pub fn contains(&self, id: EventId) -> bool {
-        self.sorted.binary_search(&id).is_ok()
+        id < self.floor || self.sorted.binary_search(&id).is_ok()
     }
 
     /// Inserts the identifier; returns `true` if it was not already present
-    /// (the same contract as `HashSet::insert`).
+    /// (the same contract as `HashSet::insert`).  Identifiers below the
+    /// retirement floor are refused: they count as already seen.
     pub fn insert(&mut self, id: EventId) -> bool {
+        if id < self.floor {
+            return false;
+        }
         match self.sorted.binary_search(&id) {
             Ok(_) => false,
             Err(position) => {
@@ -44,6 +62,26 @@ impl EventIdSet {
                 true
             }
         }
+    }
+
+    /// Retires every identifier strictly below `floor`: they are removed
+    /// from storage and treated as present forever after.  The floor only
+    /// moves forward; calls with a lower floor are no-ops.  Returns the
+    /// number of identifiers dropped.
+    pub fn compact_below(&mut self, floor: EventId) -> usize {
+        if floor <= self.floor {
+            return 0;
+        }
+        self.floor = floor;
+        let cut = self.sorted.partition_point(|&id| id < floor);
+        self.sorted.drain(..cut);
+        cut
+    }
+
+    /// The current retirement floor: identifiers below it are assumed seen.
+    /// Starts at zero (nothing retired).
+    pub fn floor(&self) -> EventId {
+        self.floor
     }
 
     /// Number of identifiers in the set.
@@ -67,7 +105,10 @@ impl FromIterator<EventId> for EventIdSet {
         let mut sorted: Vec<EventId> = iter.into_iter().collect();
         sorted.sort_unstable();
         sorted.dedup();
-        Self { sorted }
+        Self {
+            sorted,
+            floor: EventId(0),
+        }
     }
 }
 
@@ -97,6 +138,32 @@ mod tests {
         let order: Vec<u64> = set.iter().map(|id| id.0).collect();
         assert_eq!(order, vec![1, 3, 7]);
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn compact_below_retires_old_ids_without_forgetting_them() {
+        let mut set: EventIdSet = [1u64, 5, 9, 12].iter().map(|&v| EventId(v)).collect();
+        assert_eq!(set.compact_below(EventId(9)), 2);
+        assert_eq!(set.len(), 2);
+        // Retired identifiers still read as seen and cannot be re-inserted.
+        assert!(set.contains(EventId(1)));
+        assert!(set.contains(EventId(3))); // never seen, but below the horizon
+        assert!(!set.insert(EventId(5)));
+        // Live identifiers are untouched.
+        assert!(set.contains(EventId(9)));
+        assert!(set.insert(EventId(20)));
+        assert_eq!(set.floor(), EventId(9));
+    }
+
+    #[test]
+    fn floor_is_monotone() {
+        let mut set: EventIdSet = [4u64, 8].iter().map(|&v| EventId(v)).collect();
+        assert_eq!(set.compact_below(EventId(8)), 1);
+        // Moving the floor backwards is a no-op.
+        assert_eq!(set.compact_below(EventId(2)), 0);
+        assert_eq!(set.floor(), EventId(8));
+        assert!(set.contains(EventId(8)));
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //! * [`Interest`] — the trait the dissemination layer uses to match events,
 //! * [`EventIdSet`] — a compact sorted-vector set of event identifiers for
 //!   the per-process dedup state (seen / received / delivered), sized for
-//!   million-process groups where hash-set constant factors dominate.
+//!   million-process groups where hash-set constant factors dominate, with
+//!   a low-watermark retire path for long-running daemons,
+//! * [`Interner`] — a hashcons table deduplicating structurally equal
+//!   values (audience sets, interest bitmaps) behind refcounted handles,
+//!   so heavy multi-topic traffic costs one allocation per *distinct*
+//!   audience instead of one per event.
 //!
 //! ## Example
 //!
@@ -58,12 +63,14 @@
 
 mod event;
 mod filter;
+mod hashcons;
 mod idset;
 mod predicate;
 mod summary;
 mod value;
 
 pub use event::{Event, EventBuilder, EventId};
+pub use hashcons::{InternStats, Interner};
 pub use idset::EventIdSet;
 pub use filter::Filter;
 pub use predicate::Predicate;

@@ -76,10 +76,14 @@
 
 use std::sync::RwLock;
 
+use pmcast_addr::Prefix;
+use pmcast_interest::Event;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::provider::MembershipView;
+use crate::summaries::InterestAnnex;
+use crate::SubtreeSummaries;
 
 /// Sentinel marking an unoccupied delegate slot.  `u32::MAX` sorts after
 /// every valid index, so a slot group is simply kept sorted ascending.
@@ -142,18 +146,20 @@ impl DelegateViewConfig {
 /// Dense identifiers enumerate addresses in lexicographic order, so index
 /// `i`'s address components are simply its base-`arity` digits, most
 /// significant first — every tree coordinate a view table needs is computed,
-/// never stored.
+/// never stored.  Shared with the lazy provider (`crate::lazy`), which
+/// computes seat answers from exactly this arithmetic instead of storing
+/// tables.
 #[derive(Debug, Clone)]
-struct TreeShape {
-    arity: usize,
-    depth: usize,
+pub(crate) struct TreeShape {
+    pub(crate) arity: usize,
+    pub(crate) depth: usize,
     /// `pows[k] = arity^k`, `k ∈ 0..=depth`.
     pows: Vec<usize>,
-    slots: usize,
+    pub(crate) slots: usize,
 }
 
 impl TreeShape {
-    fn new(arity: usize, depth: usize, slots: usize) -> Self {
+    pub(crate) fn new(arity: usize, depth: usize, slots: usize) -> Self {
         let mut pows = Vec::with_capacity(depth + 1);
         let mut p = 1usize;
         for _ in 0..=depth {
@@ -168,18 +174,18 @@ impl TreeShape {
         }
     }
 
-    fn member_count(&self) -> usize {
+    pub(crate) fn member_count(&self) -> usize {
         self.pows[self.depth]
     }
 
     /// The `k`-th address component (0-based, most significant first) of
     /// dense index `i`.
-    fn digit(&self, i: usize, k: usize) -> usize {
+    pub(crate) fn digit(&self, i: usize, k: usize) -> usize {
         (i / self.pows[self.depth - 1 - k]) % self.arity
     }
 
     /// Number of leading address components `p` and `q` share.
-    fn common_prefix(&self, p: usize, q: usize) -> usize {
+    pub(crate) fn common_prefix(&self, p: usize, q: usize) -> usize {
         (0..self.depth)
             .take_while(|&k| self.digit(p, k) == self.digit(q, k))
             .count()
@@ -205,13 +211,13 @@ impl TreeShape {
 
     /// First dense index of the depth-`l` sibling subgroup `g` of process
     /// `q` (the subgroup `q.prefix(l−1) · g`).
-    fn subgroup_base(&self, q: usize, l: usize, g: usize) -> usize {
+    pub(crate) fn subgroup_base(&self, q: usize, l: usize, g: usize) -> usize {
         let span = self.pows[self.depth - l + 1];
         (q / span) * span + g * self.pows[self.depth - l]
     }
 
     /// Number of processes in any depth-`l` subgroup.
-    fn subgroup_size(&self, l: usize) -> usize {
+    pub(crate) fn subgroup_size(&self, l: usize) -> usize {
         self.pows[self.depth - l]
     }
 }
@@ -416,6 +422,13 @@ impl DelegateState {
 pub struct DelegateView {
     config: DelegateViewConfig,
     state: RwLock<DelegateState>,
+    /// Aggregated-interest tables attached via
+    /// [`MembershipView::attach_interest_summaries`]: each slot group's
+    /// subtree carries the over-approximating summary of the interests
+    /// below it, maintained through the same (collapsed) gossip that
+    /// carries view digests — a leave retracts the departed filter along
+    /// its root path, a rejoin re-announces it.
+    interest: RwLock<Option<InterestAnnex>>,
 }
 
 impl DelegateView {
@@ -526,6 +539,7 @@ impl DelegateView {
                 pending_dead: Vec::new(),
                 rng: ChaCha8Rng::seed_from_u64(seed),
             }),
+            interest: RwLock::new(None),
         }
     }
 
@@ -586,17 +600,53 @@ impl MembershipView for DelegateView {
         state.tables[of][state.shape.group_range(depth, g)].contains(&(peer as u32))
     }
 
+    /// Attaches the aggregated-interest tables the slot groups carry:
+    /// after this, [`MembershipView::summary_allows`] answers from the
+    /// subtree summaries instead of the over-approximating default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary table does not cover exactly this group's
+    /// member capacity.
+    fn attach_interest_summaries(&self, summaries: SubtreeSummaries) {
+        let annex = InterestAnnex::new(summaries);
+        let members = {
+            let state = self.state.read().expect("delegate view lock poisoned");
+            state.shape.member_count()
+        };
+        assert_eq!(
+            annex.member_capacity(),
+            members as u128,
+            "summary table must cover the delegate group's member capacity"
+        );
+        *self.interest.write().expect("interest annex lock poisoned") = Some(annex);
+    }
+
+    fn summary_allows(&self, subgroup: &Prefix, event: &Event) -> bool {
+        match self
+            .interest
+            .read()
+            .expect("interest annex lock poisoned")
+            .as_ref()
+        {
+            Some(annex) => annex.allows(subgroup, event),
+            None => true,
+        }
+    }
+
     /// One membership round: first the monitored-delegate sweep (crashes
     /// observed since the last round are evicted from every table, with
     /// immediate re-election from known candidates), then every live
     /// process pushes its subscription plus a random view digest to
     /// `gossip_fanout` known peers.
     fn round_elapsed(&self) {
+        let mut swept: Vec<u32> = Vec::new();
         let state = &mut *self.state.write().expect("delegate view lock poisoned");
         // Monitored delegates: a crash is detected and swept within one
         // membership round (pinned-contact re-pinning included).
         while let Some(x) = state.pending_dead.pop() {
             state.evict_everywhere(x as usize);
+            swept.push(x);
         }
         let n = state.alive.len();
         for sender in 0..n {
@@ -629,6 +679,21 @@ impl MembershipView for DelegateView {
                 }
             }
         }
+        // The same sweep retracts the swept processes' interests from the
+        // summary tables (the digest that evicts a delegate also carries
+        // the shrunk subtree summary).
+        if !swept.is_empty() {
+            if let Some(annex) = self
+                .interest
+                .write()
+                .expect("interest annex lock poisoned")
+                .as_mut()
+            {
+                for x in swept {
+                    annex.on_departure(x as usize);
+                }
+            }
+        }
     }
 
     fn observe_join(&self, process: usize) {
@@ -638,6 +703,15 @@ impl MembershipView for DelegateView {
         }
         state.alive[process] = true;
         state.live += 1;
+        // Re-announce the rejoiner's subscription to the summary tables.
+        if let Some(annex) = self
+            .interest
+            .write()
+            .expect("interest annex lock poisoned")
+            .as_mut()
+        {
+            annex.on_join(process);
+        }
         // A crash-then-rejoin must not leave the process queued for the
         // monitored sweep: it is live again, so nothing to evict.
         state.pending_dead.retain(|&x| x as usize != process);
@@ -668,6 +742,15 @@ impl MembershipView for DelegateView {
             *slot = EMPTY;
         }
         state.flat[process].clear();
+        // The eager unsub also retracts the leaver's interests.
+        if let Some(annex) = self
+            .interest
+            .write()
+            .expect("interest annex lock poisoned")
+            .as_mut()
+        {
+            annex.on_departure(process);
+        }
     }
 
     fn observe_crash(&self, process: usize) {
@@ -967,6 +1050,48 @@ mod tests {
         for p in 0..27 {
             assert_eq!(full.peer_count(p), sparse.peer_count(p));
         }
+    }
+
+    #[test]
+    fn interest_annex_follows_churn() {
+        use crate::SubtreeSummaries;
+        use pmcast_addr::AddressSpace;
+        use pmcast_interest::{Filter, Predicate};
+
+        let view = DelegateView::bootstrap(2, 2, DelegateViewConfig::default(), 5);
+        let space = AddressSpace::regular(2, 2).unwrap();
+        let event = Event::builder(1).int("topic", 7).build();
+        let subtree_1 = Prefix::from_components(vec![1]);
+        // Without summaries every subgroup over-approximates to "maybe".
+        assert!(view.summary_allows(&subtree_1, &event));
+        // Only process 1.0 (dense index 2) subscribes to topic 7.
+        let mut filters = vec![None; 4];
+        filters[2] = Some(Filter::new().with("topic", Predicate::one_of([7i64])));
+        view.attach_interest_summaries(SubtreeSummaries::build(space, filters));
+        assert!(view.summary_allows(&subtree_1, &event));
+        assert!(!view.summary_allows(&Prefix::from_components(vec![0]), &event));
+        // The subscriber leaves: its interest is retracted along the path...
+        view.observe_leave(2);
+        assert!(!view.summary_allows(&subtree_1, &event));
+        // ...and a rejoin re-announces the original subscription.
+        view.observe_join(2);
+        assert!(view.summary_allows(&subtree_1, &event));
+        // A crash retracts too, but only once the monitored sweep runs.
+        view.observe_crash(2);
+        assert!(view.summary_allows(&subtree_1, &event));
+        view.round_elapsed();
+        assert!(!view.summary_allows(&subtree_1, &event));
+    }
+
+    #[test]
+    #[should_panic(expected = "member capacity")]
+    fn mismatched_summary_capacity_is_rejected() {
+        use crate::SubtreeSummaries;
+        use pmcast_addr::AddressSpace;
+
+        let view = DelegateView::bootstrap(2, 2, DelegateViewConfig::default(), 5);
+        let space = AddressSpace::regular(2, 3).unwrap();
+        view.attach_interest_summaries(SubtreeSummaries::build(space, vec![None; 9]));
     }
 
     #[test]

@@ -78,9 +78,12 @@ mod churn;
 pub mod delegate;
 mod election;
 mod error;
+mod lazy;
 mod oracle;
 pub mod population;
 pub mod provider;
+mod summaries;
+mod topic;
 mod topology;
 mod tree;
 mod view;
@@ -90,7 +93,10 @@ pub use churn::{FailureDetector, MembershipEvent, MembershipManager};
 pub use delegate::{DelegateView, DelegateViewConfig};
 pub use election::{CapacityWeightedPolicy, DelegatePolicy, SmallestAddressPolicy};
 pub use error::MembershipError;
+pub use lazy::LazyDelegateView;
 pub use oracle::{AssignmentOracle, InterestOracle, SubscriptionOracle, UniformOracle};
+pub use summaries::SubtreeSummaries;
+pub use topic::{TopicOracle, TOPIC_ATTRIBUTE};
 pub use population::{LifecycleEvent, LifecycleEventKind, Population, PopulationSizes};
 pub use provider::{GlobalOracleView, MembershipView, PartialView, PartialViewConfig};
 pub use topology::{ImplicitRegularTree, TreeTopology};

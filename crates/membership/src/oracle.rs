@@ -42,6 +42,19 @@ pub trait InterestOracle {
     fn interested_total(&self, event: &Event) -> usize {
         self.interested_count_under(&Prefix::root(), event)
     }
+
+    /// A cheap equivalence key over audiences: two events mapped to the same
+    /// key are guaranteed to have **identical** audiences under this oracle,
+    /// so audience caches (hashconsing directories) can reuse one computed
+    /// set without rescanning the group.  `None` means "no such key is
+    /// known" and every event must be resolved individually.
+    ///
+    /// [`AssignmentOracle`] answers `Some(0)` (its assignment ignores the
+    /// event), and the topic oracle answers the event's topic index; exact
+    /// per-subscription oracles keep the `None` default.
+    fn audience_key(&self, _event: &Event) -> Option<u64> {
+        None
+    }
 }
 
 impl<T: InterestOracle + ?Sized> InterestOracle for &T {
@@ -56,6 +69,9 @@ impl<T: InterestOracle + ?Sized> InterestOracle for &T {
     }
     fn interested_total(&self, event: &Event) -> usize {
         (**self).interested_total(event)
+    }
+    fn audience_key(&self, event: &Event) -> Option<u64> {
+        (**self).audience_key(event)
     }
 }
 
@@ -143,6 +159,16 @@ impl PartialEq for AssignmentOracle {
 }
 
 impl Eq for AssignmentOracle {}
+
+/// Hashes the same projection `PartialEq` compares (the interested
+/// addresses), so assignments can be hashconsed through
+/// [`pmcast_interest::Interner`]: overlapping topics whose subscriber sets
+/// coincide share one oracle — and one interest bitmap — allocation.
+impl std::hash::Hash for AssignmentOracle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.interested.hash(state);
+    }
+}
 
 impl AssignmentOracle {
     /// Creates an oracle from an explicit set of interested processes.
@@ -306,6 +332,11 @@ impl InterestOracle for AssignmentOracle {
         }
         let (start, end) = self.range_for(prefix);
         end - start
+    }
+
+    /// The assignment ignores the event, so every event shares one audience.
+    fn audience_key(&self, _event: &Event) -> Option<u64> {
+        Some(0)
     }
 
     fn subtree_interested(&self, prefix: &Prefix, _event: &Event) -> bool {

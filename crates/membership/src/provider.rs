@@ -67,8 +67,12 @@
 
 use std::sync::RwLock;
 
+use pmcast_addr::Prefix;
+use pmcast_interest::Event;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+use crate::SubtreeSummaries;
 
 /// A process's source of membership knowledge, keyed by dense process
 /// index.  See the [module docs](self) for the full contract.
@@ -125,6 +129,31 @@ pub trait MembershipView: Send + Sync + std::fmt::Debug {
     /// Observes a crash: the process is marked dead and evicted lazily, on
     /// the next attempted contact.
     fn observe_crash(&self, _process: usize) {}
+
+    /// Hands the provider the aggregated-interest tables of the group (one
+    /// over-approximating [`InterestSummary`](pmcast_interest::InterestSummary)
+    /// per subtree).  Providers that carry interest alongside membership —
+    /// [`DelegateView`](crate::DelegateView), whose slot groups represent
+    /// whole subtrees — store the table and serve
+    /// [`summary_allows`](Self::summary_allows) from it; flat providers
+    /// ignore the call (they have no subtree structure to hang summaries
+    /// on, so their `summary_allows` stays vacuously `true`).
+    fn attach_interest_summaries(&self, _summaries: SubtreeSummaries) {}
+
+    /// Returns `true` unless the provider's aggregated interest knowledge
+    /// **proves** that no process below `subgroup` wants `event`.
+    ///
+    /// This is the summary-routing query the pmcast fanout draw asks before
+    /// spending a candidate slot on a subtree.  The contract mirrors the
+    /// [`InterestSummary`](pmcast_interest::InterestSummary)
+    /// over-approximation invariant: `false` is a *proof* of disinterest
+    /// (skipping is reliability-safe), `true` is the safe default — a
+    /// provider with no summaries attached never causes a skip.  The answer
+    /// must be a pure function of the attached tables (no interior RNG), so
+    /// routing decisions stay outside the three per-trial random streams.
+    fn summary_allows(&self, _subgroup: &Prefix, _event: &Event) -> bool {
+        true
+    }
 }
 
 /// Global membership knowledge: every process knows every other process.

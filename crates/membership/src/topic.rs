@@ -1,0 +1,292 @@
+//! Topic-based interest workloads: many overlapping audiences, one
+//! hashconsed [`AssignmentOracle`] per **distinct** audience.
+//!
+//! The evaluation workloads of PR 3–9 exercise one matching rate per trial
+//! — a single audience.  Production-style pub/sub traffic instead publishes
+//! thousands of events over a few dozen topics, and the paper's Fig. 5
+//! story (per-depth interest filtering keeps spurious deliveries low) only
+//! gets interesting there.  [`TopicOracle`] models this axis: each process
+//! subscribes to a set of topics, each event carries a topic attribute, and
+//! interest queries route to the per-topic audience.  Audiences are interned
+//! through [`Interner`], so topics with coinciding subscriber sets share one
+//! oracle (and one interest bitmap) allocation, and
+//! [`InterestOracle::audience_key`] exposes the topic index so downstream
+//! audience caches never rescan the group for a repeated topic.
+
+use std::sync::Arc;
+
+use pmcast_addr::{Address, AddressSpace, Prefix};
+use pmcast_interest::{AttributeValue, Event, Filter, InternStats, Interner, Predicate};
+
+use crate::{AssignmentOracle, InterestOracle, SubtreeSummaries};
+
+/// The event attribute carrying the topic index (an integer in
+/// `0..topic_count`).
+pub const TOPIC_ATTRIBUTE: &str = "topic";
+
+/// Interest oracle for a multi-topic workload over a fully populated
+/// regular tree: per-process topic subscriptions, per-topic interned
+/// audiences.
+#[derive(Debug)]
+pub struct TopicOracle {
+    space: AddressSpace,
+    topic_count: usize,
+    /// Process (dense index) → sorted subscribed topic indices.
+    subscriptions: Vec<Vec<u32>>,
+    /// Topic → hashconsed audience; overlapping topics with identical
+    /// subscriber sets share one entry.
+    audiences: Vec<Arc<AssignmentOracle>>,
+    /// The hashcons table the audiences went through, kept for its hit/miss
+    /// counters and the generation reclaim.
+    interner: Interner<AssignmentOracle>,
+}
+
+impl TopicOracle {
+    /// Builds the oracle from per-process subscription sets (dense address
+    /// order, one entry per address of the space; topic indices must be
+    /// below `topic_count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscriptions` does not cover the space exactly or any
+    /// topic index is out of range.
+    pub fn new(
+        space: AddressSpace,
+        mut subscriptions: Vec<Vec<u32>>,
+        topic_count: usize,
+    ) -> Self {
+        assert_eq!(
+            subscriptions.len() as u128,
+            space.capacity(),
+            "one subscription set per address of the space"
+        );
+        for set in &mut subscriptions {
+            set.sort_unstable();
+            set.dedup();
+            if let Some(&topic) = set.last() {
+                assert!(
+                    (topic as usize) < topic_count,
+                    "topic index {topic} out of range for {topic_count} topics"
+                );
+            }
+        }
+        // Collect each topic's subscribers in one pass over the processes.
+        let mut members: Vec<Vec<Address>> = vec![Vec::new(); topic_count];
+        for (index, set) in subscriptions.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            let address = space.address_of_index(index as u128);
+            for &topic in set {
+                members[topic as usize].push(address.clone());
+            }
+        }
+        let interner = Interner::new();
+        let audiences = members
+            .into_iter()
+            .map(|addresses| {
+                interner.intern(&AssignmentOracle::with_space(addresses, space.clone()))
+            })
+            .collect();
+        Self {
+            space,
+            topic_count,
+            subscriptions,
+            audiences,
+            interner,
+        }
+    }
+
+    /// Number of topics.
+    pub fn topic_count(&self) -> usize {
+        self.topic_count
+    }
+
+    /// The address space the oracle covers.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// The topic carried by an event, if it is one of ours.
+    pub fn topic_of(&self, event: &Event) -> Option<usize> {
+        match event.get(TOPIC_ATTRIBUTE) {
+            Some(&AttributeValue::Int(topic)) if topic >= 0 && (topic as usize) < self.topic_count => {
+                Some(topic as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The (interned) audience of a topic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic` is out of range.
+    pub fn audience(&self, topic: usize) -> &Arc<AssignmentOracle> {
+        &self.audiences[topic]
+    }
+
+    /// The sorted topic subscriptions of the process at the given dense
+    /// index.
+    pub fn subscriptions_of(&self, index: usize) -> &[u32] {
+        &self.subscriptions[index]
+    }
+
+    /// The subscription of each process as a content filter over the topic
+    /// attribute (`None` for processes subscribed to nothing) — the input
+    /// [`SubtreeSummaries::build`] wants.
+    ///
+    /// Single-attribute `one_of` filters union *exactly*, so the summaries
+    /// aggregated up the tree stay precise until the disjunct bound widens
+    /// them — and even then only ever over-approximate.
+    pub fn filters(&self) -> Vec<Option<Filter>> {
+        self.subscriptions
+            .iter()
+            .map(|set| {
+                if set.is_empty() {
+                    None
+                } else {
+                    Some(Filter::new().with(
+                        TOPIC_ATTRIBUTE,
+                        Predicate::one_of(set.iter().map(|&t| t as i64).collect::<Vec<_>>()),
+                    ))
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the per-subtree aggregated-interest table for this workload.
+    pub fn subtree_summaries(&self) -> SubtreeSummaries {
+        SubtreeSummaries::build(self.space.clone(), self.filters())
+    }
+
+    /// Hashcons counters of the audience table: `misses` is the number of
+    /// **distinct** audiences ever built, `hits` the lookups served without
+    /// an allocation.
+    pub fn intern_stats(&self) -> InternStats {
+        self.interner.stats()
+    }
+}
+
+impl InterestOracle for TopicOracle {
+    fn is_interested(&self, address: &Address, event: &Event) -> bool {
+        match self.topic_of(event) {
+            Some(topic) => self.audiences[topic].is_interested(address, event),
+            None => false,
+        }
+    }
+
+    fn interested_count_under(&self, prefix: &Prefix, event: &Event) -> usize {
+        match self.topic_of(event) {
+            Some(topic) => self.audiences[topic].interested_count_under(prefix, event),
+            None => 0,
+        }
+    }
+
+    fn subtree_interested(&self, prefix: &Prefix, event: &Event) -> bool {
+        match self.topic_of(event) {
+            Some(topic) => self.audiences[topic].subtree_interested(prefix, event),
+            None => false,
+        }
+    }
+
+    /// Same topic ⇒ same audience, so the topic index is the cache key.
+    fn audience_key(&self, event: &Event) -> Option<u64> {
+        self.topic_of(event).map(|topic| topic as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic_event(topic: i64) -> Event {
+        Event::builder(1).int(TOPIC_ATTRIBUTE, topic).build()
+    }
+
+    fn oracle_2x2(subs: [&[u32]; 4], topics: usize) -> TopicOracle {
+        TopicOracle::new(
+            AddressSpace::regular(2, 2).unwrap(),
+            subs.iter().map(|s| s.to_vec()).collect(),
+            topics,
+        )
+    }
+
+    #[test]
+    fn interest_routes_to_the_topic_audience() {
+        let oracle = oracle_2x2([&[0], &[0, 1], &[1], &[]], 2);
+        let e0 = topic_event(0);
+        let e1 = topic_event(1);
+        assert!(oracle.is_interested(&"0.0".parse().unwrap(), &e0));
+        assert!(!oracle.is_interested(&"0.0".parse().unwrap(), &e1));
+        assert!(oracle.is_interested(&"1.0".parse().unwrap(), &e1));
+        assert!(!oracle.is_interested(&"1.1".parse().unwrap(), &e0));
+        assert_eq!(oracle.interested_total(&e0), 2);
+        assert_eq!(oracle.interested_total(&e1), 2);
+        assert!(oracle.subtree_interested(&Prefix::from_components(vec![0]), &e0));
+        assert!(!oracle.subtree_interested(&Prefix::from_components(vec![1]), &e0));
+        assert_eq!(oracle.audience_key(&e0), Some(0));
+        assert_eq!(oracle.audience_key(&e1), Some(1));
+    }
+
+    #[test]
+    fn events_without_a_topic_interest_nobody() {
+        let oracle = oracle_2x2([&[0], &[0], &[0], &[0]], 1);
+        let untopical = Event::builder(9).int("b", 1).build();
+        assert!(!oracle.is_interested(&"0.0".parse().unwrap(), &untopical));
+        assert_eq!(oracle.interested_total(&untopical), 0);
+        assert_eq!(oracle.audience_key(&untopical), None);
+        // Out-of-range topics too.
+        assert_eq!(oracle.audience_key(&topic_event(7)), None);
+        assert_eq!(oracle.audience_key(&topic_event(-3)), None);
+    }
+
+    #[test]
+    fn coinciding_audiences_share_one_allocation() {
+        // Topics 0 and 2 have identical subscriber sets; topic 1 differs.
+        let oracle = oracle_2x2([&[0, 2], &[0, 1, 2], &[1], &[]], 3);
+        assert!(Arc::ptr_eq(oracle.audience(0), oracle.audience(2)));
+        assert!(!Arc::ptr_eq(oracle.audience(0), oracle.audience(1)));
+        let stats = oracle.intern_stats();
+        assert_eq!(stats.misses, 2); // two distinct audiences, three topics
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn summaries_cover_exactly_the_subscribed_topics() {
+        let oracle = oracle_2x2([&[0], &[1], &[2], &[]], 4);
+        let summaries = oracle.subtree_summaries();
+        for topic in 0..3 {
+            assert!(summaries.allows(&Prefix::root(), &topic_event(topic)));
+        }
+        assert!(!summaries.allows(&Prefix::root(), &topic_event(3)));
+        assert!(!summaries.allows(&Prefix::from_components(vec![1]), &topic_event(0)));
+        assert!(summaries.allows(&Prefix::from_components(vec![1]), &topic_event(2)));
+    }
+
+    #[test]
+    fn summary_never_rejects_an_interested_subtree() {
+        // The end-to-end over-approximation check, small scale: for every
+        // process and every topic it subscribes to, every prefix on its
+        // root path must allow the event.
+        let space = AddressSpace::regular(3, 3).unwrap();
+        let subs: Vec<Vec<u32>> = (0..space.capacity() as usize)
+            .map(|i| vec![(i % 5) as u32, ((i * 7) % 5) as u32])
+            .collect();
+        let oracle = TopicOracle::new(space.clone(), subs, 5);
+        let summaries = oracle.subtree_summaries();
+        for (index, address) in space.iter().enumerate() {
+            for &topic in oracle.subscriptions_of(index) {
+                let event = topic_event(topic as i64);
+                for level in 0..=space.depth() {
+                    let prefix =
+                        Prefix::from_components(address.components()[..level].to_vec());
+                    assert!(
+                        summaries.allows(&prefix, &event),
+                        "false negative at {prefix:?} for topic {topic}"
+                    );
+                }
+            }
+        }
+    }
+}

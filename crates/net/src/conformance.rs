@@ -85,6 +85,11 @@ pub fn assert_supported(scenario: &Scenario) {
         scenario.crash_fraction == 0.0,
         "the async runtime does not implement crash_fraction yet (use crash_schedule)"
     );
+    assert!(
+        scenario.topics.is_none(),
+        "the async runtime does not implement the multi-topic workload axis yet \
+         (topic scenarios are simulator-only)"
+    );
 }
 
 /// Runs one trial of `scenario` through the async runtime and reports it

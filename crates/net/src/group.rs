@@ -44,6 +44,15 @@ pub struct NetConfig {
     pub seen_capacity: usize,
     /// Bernoulli loss probability applied per gossip frame.
     pub loss_probability: f64,
+    /// Retire protocol dedup state once the [`Seen`] ring has wrapped:
+    /// each tick of a process whose ring is full calls
+    /// `MulticastProtocol::retire_below(ring minimum)`, so a long-running
+    /// daemon's per-process dedup memory stays proportional to the ring
+    /// capacity instead of the lifetime event count.  Off by default —
+    /// retired ids still *count* as seen, but reports over retired
+    /// delivery history are protocol-dependent, so opting in is a daemon
+    /// deployment decision.
+    pub retire_quiescent: bool,
     /// The seed for the runtime-private streams (see type docs).
     pub seed: u64,
 }
@@ -55,6 +64,7 @@ impl Default for NetConfig {
             mailbox_capacity: 1024,
             seen_capacity: 4096,
             loss_probability: 0.0,
+            retire_quiescent: false,
             seed: 0,
         }
     }
@@ -83,6 +93,13 @@ impl NetConfig {
     /// Replaces the loss probability.
     pub fn with_loss(mut self, probability: f64) -> Self {
         self.loss_probability = probability;
+        self
+    }
+
+    /// Enables (or disables) dedup retirement on full [`Seen`] rings —
+    /// the long-running-daemon memory bound (see the field docs).
+    pub fn with_retire_quiescent(mut self, enabled: bool) -> Self {
+        self.retire_quiescent = enabled;
         self
     }
 
@@ -300,6 +317,7 @@ impl<P: MulticastProtocol + 'static> NetGroup<P> {
                 transport: transport.clone(),
                 rng,
                 seen: Seen::new(config.seen_capacity),
+                retire_quiescent: config.retire_quiescent,
                 outbox: Vec::new(),
                 round: 0,
                 quiescent: Arc::clone(&quiescent[index]),

@@ -61,6 +61,7 @@ pub(crate) struct NetProcess<P> {
     pub(crate) transport: ChannelTransport,
     pub(crate) rng: ChaCha8Rng,
     pub(crate) seen: Seen,
+    pub(crate) retire_quiescent: bool,
     pub(crate) outbox: Vec<(ProcessId, Gossip, usize)>,
     pub(crate) round: u64,
     pub(crate) quiescent: Arc<AtomicBool>,
@@ -113,6 +114,16 @@ impl<P: MulticastProtocol> NetProcess<P> {
         self.round += 1;
         self.stats.ticks += 1;
         self.flush();
+        // Long-running daemons: once the dedup ring has wrapped, compact
+        // the protocol's own dedup state below the ring's minimum (the
+        // protocol clamps the floor to its in-flight buffers), keeping
+        // per-process memory proportional to the ring capacity instead of
+        // the lifetime event count.
+        if self.retire_quiescent && self.seen.is_full() {
+            if let Some(floor) = self.seen.min_id() {
+                self.protocol.retire_below(floor);
+            }
+        }
     }
 
     /// One inbound gossip frame: dedup through the ring, then dispatch.

@@ -83,6 +83,21 @@ impl Seen {
         self.capacity
     }
 
+    /// Whether the ring has reached its capacity (every further fresh id
+    /// evicts the oldest).
+    pub fn is_full(&self) -> bool {
+        self.ring.len() == self.capacity
+    }
+
+    /// The smallest id currently remembered, if any — the retire
+    /// watermark of a full ring: ids below it are at best already evicted
+    /// history, so a protocol may compact its own dedup state below it
+    /// (see `MulticastProtocol::retire_below`, which additionally clamps
+    /// to its in-flight floor).
+    pub fn min_id(&self) -> Option<EventId> {
+        self.ring.iter().copied().min()
+    }
+
     /// How many duplicate pushes have been rejected.
     pub fn deduped(&self) -> u64 {
         self.deduped
@@ -119,5 +134,20 @@ mod tests {
         assert!(!seen.contains(id(1)), "oldest id evicted");
         assert!(seen.contains(id(4)));
         assert!(seen.push(id(1)), "an evicted id reads as fresh again");
+    }
+
+    #[test]
+    fn min_id_tracks_the_retire_watermark() {
+        let mut seen = Seen::new(3);
+        assert_eq!(seen.min_id(), None);
+        assert!(!seen.is_full());
+        for n in [5, 2, 9] {
+            seen.push(EventId(n));
+        }
+        assert!(seen.is_full());
+        assert_eq!(seen.min_id(), Some(EventId(2)));
+        // Evicting the oldest (5) leaves {2, 9, 1}.
+        seen.push(EventId(1));
+        assert_eq!(seen.min_id(), Some(EventId(1)));
     }
 }

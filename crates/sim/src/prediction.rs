@@ -111,7 +111,11 @@ pub fn predict(scenario: &Scenario) -> ModelPrediction {
     let provider = match scenario.membership {
         MembershipSpec::Global => ProviderShape::Global,
         MembershipSpec::Partial { view_size, .. } => ProviderShape::Partial { view_size },
-        MembershipSpec::Delegate { slots, .. } => ProviderShape::Delegate { slots },
+        // The lazy provider answers like converged delegate tables, so it
+        // maps onto the same model shape.
+        MembershipSpec::Delegate { slots, .. } | MembershipSpec::DelegateLazy { slots } => {
+            ProviderShape::Delegate { slots }
+        }
     };
     let mut model = DecentralizedModel::new(group, env, provider)
         .with_churn(churn_profile(scenario));
@@ -121,6 +125,10 @@ pub fn predict(scenario: &Scenario) -> ModelPrediction {
     let report: DecentralizedReport = model.predict(scenario.matching_rate);
     let faultless = scenario.fault_plan().is_neutral();
     let no_flash_crowd = scenario.join_schedule.is_empty();
+    // The analytical model knows one audience per trial; a multi-topic
+    // workload disseminates many overlapping audiences concurrently, which
+    // the single-matching-rate reliability formula does not describe.
+    let no_topics = scenario.topics.is_none();
     // Below one expected interested entity per leaf view the model
     // degenerates (see the module docs).
     let audience_in_domain = scenario.arity as f64 * scenario.matching_rate >= 1.0;
@@ -135,7 +143,11 @@ pub fn predict(scenario: &Scenario) -> ModelPrediction {
         reliability: report.reliability,
         rounds: report.total_rounds,
         view_entries: report.view_entries,
-        in_domain: faultless && no_flash_crowd && audience_in_domain && provider_in_domain,
+        in_domain: faultless
+            && no_flash_crowd
+            && no_topics
+            && audience_in_domain
+            && provider_in_domain,
         tolerance_scale,
     }
 }
@@ -298,6 +310,18 @@ mod tests {
         assert!(!predict(&base.clone().subtree_loss(&[1], 0.2).build()).in_domain);
         assert!(!predict(&base.clone().straggler(3, 2).build()).in_domain);
         assert!(!predict(&base.clone().join_at(3, 7).build()).in_domain);
+        // Multi-topic traffic is out of the single-audience model's domain,
+        // and the lazy delegate provider predicts like the dense one.
+        use crate::scenario::TopicWorkload;
+        let topical = base.clone().topics(TopicWorkload::new(4, 1, 10)).build();
+        assert!(!predict(&topical).in_domain);
+        let dense = base.clone().membership(MembershipSpec::delegate(3)).build();
+        let lazy = base
+            .clone()
+            .membership(MembershipSpec::delegate_lazy(3))
+            .build();
+        assert_eq!(predict(&dense).reliability, predict(&lazy).reliability);
+        assert!(predict(&lazy).in_domain);
     }
 
     #[test]

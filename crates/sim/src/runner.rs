@@ -55,6 +55,19 @@
 //!    by an [`Publisher::Interested`] draw — reproducing the historical
 //!    one-event-one-sender trial stream bit for bit.
 //!
+//!    **Topic workloads** ([`crate::scenario::TopicWorkload`]) replace rule
+//!    1's consumption of the workload stream wholesale (there is no
+//!    matching-rate Bernoulli pass at all): first, for each process in
+//!    address order, `subscriptions_per_process` distinct topic draws —
+//!    each a `gen_range(0..topics)`, redrawn (consuming further
+//!    `gen_range`s) until distinct from the process's earlier picks; then,
+//!    for each event `e` in `0..events`, one `gen::<f64>()` mapped through
+//!    the truncated-Zipf CDF to the event's topic, followed by one
+//!    publisher draw — `gen_range(0..subscriber_count)` resolving the k-th
+//!    subscriber in address order, or `gen_range(0..n)` when the topic has
+//!    no subscribers.  Publish rounds are deterministic
+//!    (`e · publish_rounds / events`) and consume nothing.
+//!
 //! **Lifecycle schedules consume no randomness.**  A scenario's
 //! [`Scenario`] join/leave schedules (`join_at` / `leave_at`) are applied
 //! deterministically by the engine at the start of their round — joins,
@@ -107,7 +120,8 @@ use pmcast_core::{
 };
 use pmcast_interest::{Event, EventId};
 use pmcast_membership::{
-    AssignmentOracle, ImplicitRegularTree, MembershipView, Population, TreeTopology,
+    AssignmentOracle, ImplicitRegularTree, InterestOracle, MembershipView, Population,
+    TopicOracle, TreeTopology, TOPIC_ATTRIBUTE,
 };
 use pmcast_simnet::{
     CrashPlan, LifecycleKind, LifecyclePlan, NetworkConfig, ProcessId, Simulation,
@@ -478,6 +492,10 @@ fn crash_plan(scenario: &Scenario) -> CrashPlan {
     }
 }
 
+/// A resolved publish schedule: `(round, publisher process, event)` in
+/// schedule order.
+pub type PublishSchedule = Vec<(u64, usize, Arc<Event>)>;
+
 /// The fully resolved, seed-contract-consuming part of a trial: the
 /// topology, the sampled interest assignment and the publisher-resolved
 /// publish schedule, plus the trial's population.
@@ -489,18 +507,24 @@ fn crash_plan(scenario: &Scenario) -> CrashPlan {
 /// publishers, same membership bootstrap.  Consumes the workload stream
 /// (rule 1 of the module-level seed contract) exactly as the historical
 /// inline code did, so all goldens are preserved bit for bit.
-#[derive(Debug)]
 pub struct TrialWorkload {
     /// The trial seed `seed_t = scenario.seed + trial` every stream
     /// derives from.
     pub seed: u64,
     /// The regular tree the group lives in.
     pub topology: ImplicitRegularTree,
-    /// The sampled interest assignment.
-    pub oracle: Arc<AssignmentOracle>,
+    /// The sampled interest assignment: the historical matching-rate
+    /// [`AssignmentOracle`] for plain scenarios, a [`TopicOracle`] when the
+    /// scenario declares a topic workload.
+    pub oracle: Arc<dyn InterestOracle + Send + Sync>,
+    /// The topic oracle behind [`oracle`](Self::oracle) when the scenario
+    /// carries a [`crate::scenario::TopicWorkload`] (`None` otherwise); it
+    /// additionally supplies the aggregated per-subtree interest summaries
+    /// and the audience hashcons counters.
+    pub topic_oracle: Option<Arc<TopicOracle>>,
     /// `(round, publisher process, event)` in schedule order, publishers
     /// already resolved.
-    pub schedule: Vec<(u64, usize, Arc<Event>)>,
+    pub schedule: PublishSchedule,
     /// The trial's (possibly sparse, time-varying) population.
     pub population: Population,
     /// Initial occupancy, `Some` only when somebody starts absent (the
@@ -508,17 +532,44 @@ pub struct TrialWorkload {
     pub occupied_at_start: Option<Vec<bool>>,
 }
 
+impl std::fmt::Debug for TrialWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The interest oracle is a trait object without a `Debug` bound;
+        // everything else prints in full.
+        f.debug_struct("TrialWorkload")
+            .field("seed", &self.seed)
+            .field("topology", &self.topology)
+            .field("topic_oracle", &self.topic_oracle)
+            .field("schedule", &self.schedule)
+            .field("population", &self.population)
+            .field("occupied_at_start", &self.occupied_at_start)
+            .finish_non_exhaustive()
+    }
+}
+
 impl TrialWorkload {
     /// Instantiates the scenario's membership provider from the trial's
     /// membership stream (rule 3 of the module-level seed contract) —
     /// shared verbatim by both execution engines.
+    ///
+    /// Topic workloads additionally attach the oracle's aggregated
+    /// per-subtree interest summaries to the provider
+    /// ([`MembershipView::attach_interest_summaries`]), so
+    /// summary-routed trials can skip provably uninterested subtrees;
+    /// providers without summary support keep the no-op default and
+    /// answer every query permissively.  Attaching is pure bookkeeping —
+    /// no stream is touched.
     pub fn membership(&self, scenario: &Scenario) -> Arc<dyn MembershipView> {
-        scenario.membership.instantiate(
+        let view = scenario.membership.instantiate(
             scenario.arity,
             scenario.depth,
             self.seed.wrapping_mul(0xC2B2_AE35).wrapping_add(17),
             self.occupied_at_start.as_deref(),
-        )
+        );
+        if let Some(topics) = &self.topic_oracle {
+            view.attach_interest_summaries(topics.subtree_summaries());
+        }
+        view
     }
 }
 
@@ -532,11 +583,6 @@ pub fn trial_workload(scenario: &Scenario, trial: usize) -> TrialWorkload {
     );
     let mut workload_rng =
         ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
-    let oracle = Arc::new(AssignmentOracle::sample(
-        &topology,
-        scenario.matching_rate,
-        &mut workload_rng,
-    ));
     // The trial's population: occupancy gaps and their deterministic
     // join/leave transitions.  `Population::new` / `with_fault_schedule`
     // also validate every scheduled index (so hand-constructed scenarios
@@ -550,6 +596,26 @@ pub fn trial_workload(scenario: &Scenario, trial: usize) -> TrialWorkload {
     // bit-identical for full occupancy).
     let occupied_at_start =
         (!population.initially_absent().is_empty()).then(|| population.occupied_at_start());
+
+    if let Some(workload) = &scenario.topics {
+        let (topic_oracle, schedule) =
+            topic_trial_workload(workload, &topology, &mut workload_rng);
+        return TrialWorkload {
+            seed,
+            topology,
+            oracle: topic_oracle.clone(),
+            topic_oracle: Some(topic_oracle),
+            schedule,
+            population,
+            occupied_at_start,
+        };
+    }
+
+    let oracle = Arc::new(AssignmentOracle::sample(
+        &topology,
+        scenario.matching_rate,
+        &mut workload_rng,
+    ));
 
     // The default workload: one event, one interested sender, round 0.
     let default_publication;
@@ -565,7 +631,7 @@ pub fn trial_workload(scenario: &Scenario, trial: usize) -> TrialWorkload {
     };
 
     // Resolve publishers in schedule order (the seed contract).
-    let schedule: Vec<(u64, usize, Arc<Event>)> = publications
+    let schedule: PublishSchedule = publications
         .iter()
         .map(|publication| {
             let sender =
@@ -581,10 +647,83 @@ pub fn trial_workload(scenario: &Scenario, trial: usize) -> TrialWorkload {
         seed,
         topology,
         oracle,
+        topic_oracle: None,
         schedule,
         population,
         occupied_at_start,
     }
+}
+
+/// Resolves a topic workload: subscription draws, then the generated
+/// publish schedule — consuming the workload stream exactly as documented
+/// in the module-level seed contract's topic extension.
+fn topic_trial_workload(
+    workload: &crate::scenario::TopicWorkload,
+    topology: &ImplicitRegularTree,
+    workload_rng: &mut ChaCha8Rng,
+) -> (Arc<TopicOracle>, PublishSchedule) {
+    let n = topology.member_count();
+    let topics = workload.topics;
+    // Per-process subscriptions in address order, distinct by rejection
+    // resampling (`subscriptions_per_process ≤ topics` is validated at
+    // build time, so the loop terminates).
+    let mut subscriptions: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut set: Vec<u32> = Vec::with_capacity(workload.subscriptions_per_process);
+        while set.len() < workload.subscriptions_per_process {
+            let topic = workload_rng.gen_range(0..topics) as u32;
+            if !set.contains(&topic) {
+                set.push(topic);
+            }
+        }
+        subscriptions.push(set);
+    }
+    let oracle = Arc::new(TopicOracle::new(
+        topology.space().clone(),
+        subscriptions,
+        topics,
+    ));
+    // Truncated Zipf over the topic ranks: topic k has weight
+    // (k + 1)^-zipf_exponent; one uniform f64 walks the unnormalized CDF.
+    let weights: Vec<f64> = (1..=topics)
+        .map(|rank| (rank as f64).powf(-workload.zipf_exponent))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let schedule = (0..workload.events)
+        .map(|e| {
+            let mut draw = workload_rng.gen::<f64>() * total_weight;
+            let mut topic = topics - 1;
+            for (rank, weight) in weights.iter().enumerate() {
+                if draw < *weight {
+                    topic = rank;
+                    break;
+                }
+                draw -= weight;
+            }
+            let audience = oracle.audience(topic);
+            let sender = if audience.is_empty() {
+                workload_rng.gen_range(0..n)
+            } else {
+                let pick = workload_rng.gen_range(0..audience.len());
+                let address = audience
+                    .iter()
+                    .nth(pick)
+                    .expect("pick is within the audience");
+                topology
+                    .space()
+                    .index_of_address(address)
+                    .expect("subscriber address is valid") as usize
+            };
+            // Deterministic spread over the publish window: no randomness,
+            // rounds non-decreasing in event order.
+            let round = e as u64 * workload.publish_rounds / workload.events as u64;
+            let event = Event::builder(10_000 + e as u64)
+                .int(TOPIC_ATTRIBUTE, topic as i64)
+                .build();
+            (round, sender, Arc::new(event))
+        })
+        .collect();
+    (oracle, schedule)
 }
 
 /// Runs one trial of a scenario with the given protocol factory — **the**
@@ -604,14 +743,27 @@ pub fn run_scenario_trial_states<F: ProtocolFactory>(
     scenario: &Scenario,
     trial: usize,
 ) -> (TrialOutcome, Vec<F::Process>) {
+    let workload = trial_workload(scenario, trial);
+    // The membership provider: global knowledge (bit-identical to the
+    // historical construction), a per-trial gossip-bootstrapped flat
+    // partial view, the hierarchical delegate tables, or their lazy
+    // twin — bootstrapped sparse when the population starts with gaps,
+    // fed every lifecycle transition (join/leave/crash) through the
+    // engine's lifecycle observer, and advanced once per simulation
+    // round.  Gossip providers draw from the membership stream (rule 3 of
+    // the module-level seed contract); lifecycle events consume no
+    // randomness at all.  Topic workloads attach their aggregated
+    // interest summaries here (see [`TrialWorkload::membership`]).
+    let membership = workload.membership(scenario);
     let TrialWorkload {
         seed,
         topology,
         oracle,
+        topic_oracle: _,
         schedule,
         population,
-        occupied_at_start,
-    } = trial_workload(scenario, trial);
+        occupied_at_start: _,
+    } = workload;
     let network = NetworkConfig {
         loss_probability: scenario.loss_probability,
         crash_plan: crash_plan(scenario),
@@ -644,20 +796,6 @@ pub fn run_scenario_trial_states<F: ProtocolFactory>(
         }
     }
 
-    // The membership provider: global knowledge (bit-identical to the
-    // historical construction), a per-trial gossip-bootstrapped flat
-    // partial view, or the hierarchical delegate tables — bootstrapped
-    // sparse when the population starts with gaps, fed every lifecycle
-    // transition (join/leave/crash) through the engine's lifecycle
-    // observer, and advanced once per simulation round.  Gossip providers
-    // draw from the membership stream (rule 3 of the module-level seed
-    // contract); lifecycle events consume no randomness at all.
-    let membership = scenario.membership.instantiate(
-        scenario.arity,
-        scenario.depth,
-        seed.wrapping_mul(0xC2B2_AE35).wrapping_add(17),
-        occupied_at_start.as_deref(),
-    );
     let group = F::build(&topology, oracle.clone(), Arc::clone(&membership), &scenario.protocol);
     let lifecycle = LifecyclePlan {
         initially_absent: population.initially_absent().to_vec(),
@@ -1514,6 +1652,64 @@ mod tests {
             Protocol::GenuineMulticast,
         ] {
             assert_eq!(plain.run(protocol), neutral.run(protocol), "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn topic_workload_builds_one_oracle_and_a_full_schedule() {
+        use crate::scenario::TopicWorkload;
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .topics(TopicWorkload::new(6, 2, 20).with_publish_rounds(4))
+            .seed(19)
+            .build();
+        let workload = trial_workload(&scenario, 0);
+        let oracle = workload.topic_oracle.as_ref().expect("topic oracle");
+        assert_eq!(oracle.topic_count(), 6);
+        assert_eq!(workload.schedule.len(), 20);
+        for (index, (round, sender, event)) in workload.schedule.iter().enumerate() {
+            assert_eq!(event.id().0, 10_000 + index as u64);
+            assert!(*round < 4, "round {round} within the publish window");
+            // The publisher subscribes to the event's topic (every topic
+            // has subscribers here: 16 processes × 2 picks over 6 topics).
+            let topic = oracle.topic_of(event).expect("topical event");
+            assert!(
+                oracle.subscriptions_of(*sender).contains(&(topic as u32)),
+                "publisher {sender} does not subscribe to topic {topic}"
+            );
+        }
+        // Rounds are spread, not a single burst.
+        assert!(workload.schedule.iter().any(|(round, _, _)| *round > 0));
+        // 16 processes × ≤3 distinct audiences… the hashcons built far
+        // fewer oracles than it served topics.
+        let stats = oracle.intern_stats();
+        assert_eq!(stats.misses + stats.hits, 6, "one lookup per topic");
+    }
+
+    #[test]
+    fn topic_trials_deliver_to_subscribers_only_and_stay_deterministic() {
+        use crate::scenario::TopicWorkload;
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .topics(TopicWorkload::new(5, 2, 12).with_publish_rounds(3))
+            .seed(23)
+            .build();
+        // Genuine multicast on a reliable network: every subscriber of a
+        // published topic delivers, nobody else receives anything.
+        let outcome = &scenario.run(Protocol::GenuineMulticast)[0];
+        assert_eq!(outcome.per_event.len(), 12);
+        assert_eq!(outcome.report.received_uninterested, 0);
+        assert_eq!(
+            outcome.report.delivered_interested, outcome.report.interested,
+            "loss-free genuine multicast reaches the whole audience: {:?}",
+            outcome.report
+        );
+        assert!(outcome.report.interested > 0);
+        // Deterministic and parallel-stable, like every other workload.
+        for protocol in [Protocol::Pmcast, Protocol::GenuineMulticast] {
+            let sequential = scenario.run(protocol);
+            assert_eq!(sequential, scenario.run(protocol), "{protocol:?}");
+            assert_eq!(sequential, scenario.run_parallel(protocol), "{protocol:?}");
         }
     }
 

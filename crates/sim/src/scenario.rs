@@ -34,8 +34,8 @@ use std::sync::Arc;
 use pmcast_core::PmcastConfig;
 use pmcast_interest::Event;
 use pmcast_membership::{
-    DelegateView, DelegateViewConfig, GlobalOracleView, MembershipView, PartialView,
-    PartialViewConfig, Population, PopulationSizes,
+    DelegateView, DelegateViewConfig, GlobalOracleView, LazyDelegateView, MembershipView,
+    PartialView, PartialViewConfig, Population, PopulationSizes,
 };
 use pmcast_simnet::{FaultPlan, LinkDelay, PartitionWindow, Straggler};
 use serde::{Deserialize, Serialize};
@@ -107,6 +107,19 @@ pub enum MembershipSpec {
         /// View entries piggybacked per contact.
         digest_size: usize,
     },
+    /// The **lazy** delegate provider ([`LazyDelegateView`]): the same
+    /// per-depth delegate answers as [`Delegate`](Self::Delegate) in its
+    /// churn-converged steady state, but computed on demand from an `O(n)`
+    /// occupancy set instead of materialized slot tables — so a
+    /// million-process delegate trial bootstraps instantly instead of
+    /// building `n · a · d · slots` table entries.  Consumes **no**
+    /// randomness (stream-neutral by construction) and models instant
+    /// re-election under churn; use [`Delegate`](Self::Delegate) when the
+    /// gossip convergence of the tables is itself under study.
+    DelegateLazy {
+        /// Delegate slots per subgroup per depth (keep `slots ≥ R`).
+        slots: usize,
+    },
 }
 
 impl MembershipSpec {
@@ -131,6 +144,13 @@ impl MembershipSpec {
             gossip_fanout: defaults.gossip_fanout,
             digest_size: defaults.digest_size,
         }
+    }
+
+    /// The lazy delegate-view spec with a given per-subgroup slot count —
+    /// [`delegate`](Self::delegate)'s instant-bootstrap counterpart for
+    /// trials whose group is too large to materialize slot tables for.
+    pub fn delegate_lazy(slots: usize) -> Self {
+        Self::DelegateLazy { slots }
     }
 
     /// Instantiates the provider for one trial over a regular
@@ -196,6 +216,12 @@ impl MembershipSpec {
                     None => DelegateView::bootstrap(arity, depth, config, membership_seed),
                 })
             }
+            // The lazy provider derives every answer from occupancy alone:
+            // no tables, no randomness, `membership_seed` deliberately
+            // unused (the stream stays untouched, rule 3 is vacuous here).
+            MembershipSpec::DelegateLazy { slots } => {
+                Arc::new(LazyDelegateView::new(arity, depth, slots, occupied))
+            }
         }
     }
 }
@@ -239,6 +265,65 @@ pub struct SubtreeLoss {
     pub prefix: Vec<u32>,
     /// Extra loss probability applied to the subtree's links.
     pub loss_probability: f64,
+}
+
+/// A heavy multi-topic traffic axis: `topics` overlapping audiences,
+/// `events` publications spread over `publish_rounds` rounds with a
+/// Zipf-tilted topic mix — the production-style pub/sub workload the
+/// single-matching-rate trials cannot express.
+///
+/// When a scenario carries one of these, the matching-rate assignment and
+/// the publish schedule are **replaced**: every process subscribes to
+/// `subscriptions_per_process` distinct topics (drawn from the workload
+/// stream, see the seed contract in [`crate::runner`]), each event carries
+/// a `topic` attribute drawn from the truncated Zipf mix, and its publisher
+/// is a uniform draw among the topic's subscribers.  Interest is answered
+/// by a [`pmcast_membership::TopicOracle`], whose per-topic audiences are
+/// hashconsed — thousands of events over a few dozen topics build a few
+/// dozen audience sets, not thousands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicWorkload {
+    /// Number of topics (audiences) the group publishes over.
+    pub topics: usize,
+    /// Distinct topics each process subscribes to.
+    pub subscriptions_per_process: usize,
+    /// Events published in total (ids `10_000 + e`).
+    pub events: usize,
+    /// The rounds the schedule is spread over: event `e` is published at
+    /// round `e · publish_rounds / events` (deterministic, no randomness).
+    pub publish_rounds: u64,
+    /// Skew of the topic mix: topic `k` (0-based) is drawn with weight
+    /// `(k + 1)^-zipf_exponent`.  `0.0` is a uniform mix; the classic
+    /// Zipf-like skew is `1.0`.
+    pub zipf_exponent: f64,
+}
+
+impl TopicWorkload {
+    /// A topic workload with the given shape, published in a single round
+    /// burst with the classic `1.0` Zipf skew.
+    pub fn new(topics: usize, subscriptions_per_process: usize, events: usize) -> Self {
+        Self {
+            topics,
+            subscriptions_per_process,
+            events,
+            publish_rounds: 1,
+            zipf_exponent: 1.0,
+        }
+    }
+
+    /// Spreads the schedule over the given number of rounds, returning the
+    /// workload for chaining.
+    pub fn with_publish_rounds(mut self, publish_rounds: u64) -> Self {
+        self.publish_rounds = publish_rounds;
+        self
+    }
+
+    /// Sets the Zipf skew of the topic mix, returning the workload for
+    /// chaining.
+    pub fn with_zipf_exponent(mut self, zipf_exponent: f64) -> Self {
+        self.zipf_exponent = zipf_exponent;
+        self
+    }
 }
 
 /// Everything that happens in one Monte-Carlo trial, independent of the
@@ -299,6 +384,12 @@ pub struct Scenario {
     /// The publish schedule; empty means the default workload (see type
     /// docs).
     pub publications: Vec<Publication>,
+    /// The multi-topic traffic axis; `None` (the default, and what every
+    /// scenario serialized before the axis existed deserializes to) keeps
+    /// the historical matching-rate workload.  Mutually exclusive with an
+    /// explicit publish schedule — the axis *generates* the schedule.
+    #[serde(default)]
+    pub topics: Option<TopicWorkload>,
     /// The membership provider processes draw fanout candidates from
     /// ([`MembershipSpec::Global`] by default, which reproduces the
     /// historical scenarios bit for bit).
@@ -357,6 +448,7 @@ impl Scenario {
                 subtree_loss: Vec::new(),
                 straggler_schedule: Vec::new(),
                 publications: Vec::new(),
+                topics: None,
                 membership: MembershipSpec::Global,
                 trials: 1,
                 seed: 42,
@@ -385,6 +477,7 @@ impl Scenario {
             subtree_loss: Vec::new(),
             straggler_schedule: Vec::new(),
             publications: Vec::new(),
+            topics: None,
             membership: MembershipSpec::Global,
             trials: config.trials,
             seed: config.seed,
@@ -609,6 +702,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Replaces the matching-rate workload with a multi-topic traffic axis
+    /// (see [`TopicWorkload`]): per-process topic subscriptions, a
+    /// Zipf-tilted publish mix and a generated schedule of
+    /// `workload.events` events.  Mutually exclusive with
+    /// [`publish`](Self::publish) / [`publish_at`](Self::publish_at).
+    pub fn topics(mut self, workload: TopicWorkload) -> Self {
+        self.scenario.topics = Some(workload);
+        self
+    }
+
     /// Schedules a publication at round 0.
     pub fn publish(self, publisher: Publisher, event: Event) -> Self {
         self.publish_at(0, publisher, event)
@@ -724,6 +827,31 @@ impl ScenarioBuilder {
                 self.scenario.max_rounds
             );
         }
+        if let Some(topics) = &self.scenario.topics {
+            assert!(
+                self.scenario.publications.is_empty(),
+                "the topic axis generates the publish schedule; explicit publications \
+                 cannot be combined with it"
+            );
+            assert!(topics.topics >= 1, "a topic workload needs at least one topic");
+            assert!(
+                (1..=topics.topics).contains(&topics.subscriptions_per_process),
+                "subscriptions per process ({}) must lie in 1..={} (the topic count)",
+                topics.subscriptions_per_process,
+                topics.topics
+            );
+            assert!(topics.events >= 1, "a topic workload publishes at least one event");
+            assert!(
+                (1..=self.scenario.max_rounds).contains(&topics.publish_rounds),
+                "publish_rounds ({}) must lie in 1..={} (max_rounds)",
+                topics.publish_rounds,
+                self.scenario.max_rounds
+            );
+            assert!(
+                topics.zipf_exponent.is_finite() && topics.zipf_exponent >= 0.0,
+                "the Zipf exponent must be a finite non-negative number"
+            );
+        }
         match self.scenario.membership {
             MembershipSpec::Global => {}
             MembershipSpec::Partial {
@@ -741,6 +869,9 @@ impl ScenarioBuilder {
             } => {
                 assert!(slots > 0, "delegate slots must be positive");
                 assert!(gossip_fanout > 0, "membership gossip fanout must be positive");
+            }
+            MembershipSpec::DelegateLazy { slots } => {
+                assert!(slots > 0, "delegate slots must be positive");
             }
         }
         // Fault axes: reject windows the trial can never reach and subtree
@@ -987,6 +1118,81 @@ mod tests {
         assert_eq!(scenario.matching_rate, 0.3);
         assert_eq!(scenario.seed, 9);
         assert!(scenario.publications.is_empty(), "default workload");
+    }
+
+    #[test]
+    fn topic_workload_chains_and_validates() {
+        let scenario = Scenario::builder()
+            .group(4, 2)
+            .topics(
+                TopicWorkload::new(8, 2, 40)
+                    .with_publish_rounds(5)
+                    .with_zipf_exponent(0.8),
+            )
+            .build();
+        let workload = scenario.topics.as_ref().unwrap();
+        assert_eq!((workload.topics, workload.subscriptions_per_process), (8, 2));
+        assert_eq!((workload.events, workload.publish_rounds), (40, 5));
+        assert!((workload.zipf_exponent - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be combined")]
+    fn topic_axis_rejects_explicit_publications() {
+        let _ = Scenario::builder()
+            .publish(Publisher::Uniform, Event::builder(1).build())
+            .topics(TopicWorkload::new(4, 1, 10))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "subscriptions per process")]
+    fn oversubscribed_processes_are_rejected() {
+        let _ = Scenario::builder().topics(TopicWorkload::new(4, 5, 10)).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "publish_rounds")]
+    fn topic_schedule_beyond_the_horizon_is_rejected() {
+        let _ = Scenario::builder()
+            .max_rounds(10)
+            .topics(TopicWorkload::new(4, 1, 10).with_publish_rounds(11))
+            .build();
+    }
+
+    #[test]
+    fn scenarios_without_the_topic_field_still_deserialize() {
+        // A pre-topic-axis scenario round-trips through JSON with the field
+        // stripped — `#[serde(default)]` keeps old files loadable.
+        let scenario = Scenario::builder().build();
+        let json = serde_json::to_string(&scenario).unwrap();
+        let stripped = json.replace(",\"topics\":null", "");
+        assert_ne!(json, stripped, "the field is serialized");
+        let back: Scenario = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn lazy_delegate_spec_instantiates_without_consuming_the_seed() {
+        let spec = MembershipSpec::delegate_lazy(2);
+        assert_eq!(spec, MembershipSpec::DelegateLazy { slots: 2 });
+        // Same provider whatever the membership seed: the lazy view is
+        // deterministic in occupancy alone.
+        let a = spec.instantiate(3, 2, 1, None);
+        let b = spec.instantiate(3, 2, 999, None);
+        for process in 0..9 {
+            for peer in 0..9 {
+                assert_eq!(a.knows(process, peer), b.knows(process, peer));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delegate slots must be positive")]
+    fn zero_lazy_slots_are_rejected() {
+        let _ = Scenario::builder()
+            .membership(MembershipSpec::DelegateLazy { slots: 0 })
+            .build();
     }
 
     #[test]

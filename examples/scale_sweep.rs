@@ -15,10 +15,12 @@
 //! The million-process row exists because of the active-set simulation
 //! core: a round costs O(gossiping processes), not O(n), and quiescence
 //! detection is O(1), so the dissemination cost tracks the message count
-//! the analysis predicts instead of the group size.  The delegate
-//! provider's bootstrap still materializes per-process view tables
-//! (O(n·a·d) entries), so its column stops at the paper scale — see
-//! ROADMAP for the lazy-bootstrap follow-up.
+//! the analysis predicts instead of the group size.  The delegate column
+//! reaches that row too: the eager provider's bootstrap materializes
+//! per-process view tables (O(n·a·d) entries), so above 100k processes
+//! the sweep switches to the lazy provider, which seats a process's
+//! delegate slots on first contact and therefore only pays for the
+//! processes the dissemination actually touches.
 //!
 //! ```text
 //! cargo run --release --example scale_sweep             # 512 and 10 648
@@ -62,15 +64,16 @@ fn main() {
     let json = args.iter().any(|arg| arg == "--json");
 
     // (arity, depth, trials, run the delegate provider too?).  The sizes
-    // grow by ~100× per step; the delegate bootstrap is dense (its table
-    // construction visits every process per process), so that column is
-    // bounded to the paper scale.
+    // grow by ~100× per step; the eager delegate bootstrap is dense (its
+    // table construction visits every process per process), so past 100k
+    // processes the delegate column switches to the lazy first-contact
+    // provider below.
     let mut sizes: Vec<(u32, usize, usize, bool)> = vec![(8, 3, 3, true)];
     if !quick {
         sizes.push((22, 3, 3, true));
     }
     if paper {
-        sizes.push((32, 4, 1, false));
+        sizes.push((32, 4, 1, true));
     }
 
     if !json {
@@ -88,7 +91,14 @@ fn main() {
         let n = (arity as usize).pow(depth as u32);
         let mut providers: Vec<(&str, MembershipSpec)> = vec![("global", MembershipSpec::Global)];
         if with_delegate {
-            providers.push(("delegate", MembershipSpec::delegate(3)));
+            // The eager bootstrap is O(n·a·d) in time and memory; the lazy
+            // provider seats slots on first contact, so the million-process
+            // row only builds tables for the processes gossip reaches.
+            providers.push(if n > 100_000 {
+                ("delegate-lazy", MembershipSpec::delegate_lazy(3))
+            } else {
+                ("delegate", MembershipSpec::delegate(3))
+            });
         }
         for (provider, membership) in providers {
             let scenario = Scenario::builder()
@@ -135,7 +145,8 @@ fn main() {
              The 32^4 row is the active-set core's contribution: rounds cost O(active), \
              quiescence is O(1), and delivery tracking is delta-driven, so a million-process \
              trial stays in single-digit seconds on one core.  delegate = the paper's \
-             Section 2 view tables, bounded to the paper scale by its dense bootstrap.)"
+             Section 2 view tables; past 100k processes the column switches to the lazy \
+             provider, whose first-contact bootstrap only seats the views gossip touches.)"
         );
     }
     if let Some(gate) = gate {

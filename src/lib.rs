@@ -149,22 +149,24 @@ pub use pmcast_addr::{AddrError, Address, AddressSpace, Prefix};
 pub use pmcast_analysis::{EnvParams, GroupParams};
 pub use pmcast_core::{
     FloodBroadcastProcess, FloodFactory, GenuineFactory, GenuineMulticastProcess, Gossip,
-    MulticastProtocol, MulticastReport, PmcastConfig, PmcastFactory, PmcastGroup, PmcastProcess,
-    ProtocolFactory, ProtocolGroup, TuningConfig,
+    InterestRouting, MulticastProtocol, MulticastReport, PmcastConfig, PmcastFactory, PmcastGroup,
+    PmcastProcess, ProtocolFactory, ProtocolGroup, TuningConfig,
 };
 pub use pmcast_sim::prediction::{parse_check_model, predict, DriftGate, ModelPrediction};
 pub use pmcast_sim::runner::{DeliveryLatency, ExperimentConfig, Protocol, TrialOutcome};
 pub use pmcast_sim::scenario::{
-    MembershipSpec, Publication, Publisher, Scenario, ScenarioBuilder, SubtreeLoss,
+    MembershipSpec, Publication, Publisher, Scenario, ScenarioBuilder, SubtreeLoss, TopicWorkload,
 };
 pub use pmcast_interest::{
-    AttributeValue, Event, EventId, Filter, Interest, InterestSummary, Predicate,
+    AttributeValue, Event, EventId, Filter, Interest, InterestSummary, InternStats, Interner,
+    Predicate,
 };
 pub use pmcast_membership::{
     AssignmentOracle, DelegateView, DelegateViewConfig, GlobalOracleView, GroupTree,
-    ImplicitRegularTree, InterestOracle, LifecycleEvent, LifecycleEventKind, MembershipManager,
-    MembershipView, PartialView, PartialViewConfig, Population, PopulationSizes,
-    SubscriptionOracle, TreeTopology, UniformOracle, ViewTable,
+    ImplicitRegularTree, InterestOracle, LazyDelegateView, LifecycleEvent, LifecycleEventKind,
+    MembershipManager, MembershipView, PartialView, PartialViewConfig, Population,
+    PopulationSizes, SubscriptionOracle, SubtreeSummaries, TopicOracle, TreeTopology,
+    UniformOracle, ViewTable, TOPIC_ATTRIBUTE,
 };
 pub use pmcast_net::{NetConfig, NetGroup, NetGroupHandle, NetTrialOutcome, Seen};
 pub use pmcast_simnet::{

@@ -7,12 +7,26 @@
 //! The parser walks raw token trees (no `syn`/`quote` available offline), so
 //! it intentionally supports only the shapes this workspace uses and panics
 //! with a clear message on anything else (generics, discriminants, …).
+//!
+//! One field attribute is honoured: `#[serde(default)]` on a named struct
+//! field makes deserialization fall back to `Default::default()` when the
+//! field is absent from the input object — the forward-compatibility hook
+//! for configs serialized before the field existed.  All other `#[serde]`
+//! attributes are rejected so silently unsupported behaviour cannot creep
+//! in.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// A named struct field: its identifier plus whether `#[serde(default)]`
+/// lets it fall back when missing from the input.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// A parsed `struct` or `enum` definition.
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
+    NamedStruct { name: String, fields: Vec<Field> },
     TupleStruct { name: String, arity: usize },
     UnitStruct { name: String },
     Enum { name: String, variants: Vec<Variant> },
@@ -21,7 +35,7 @@ enum Item {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Variant {
@@ -76,14 +90,69 @@ fn split_on_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
-/// Extracts the field names of a named-fields body (`{ a: T, b: U }`).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Skips attributes and visibility like [`skip_decoration`], additionally
+/// reporting whether a `#[serde(default)]` attribute was among them.
+fn skip_field_decoration(tokens: &[TokenTree], mut index: usize) -> (usize, bool) {
+    let mut default = false;
+    loop {
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(group)) = tokens.get(index + 1) {
+                    default |= parse_serde_attr(group.stream());
+                }
+                index += 2;
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                index += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(index) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        index += 1;
+                    }
+                }
+            }
+            _ => return (index, default),
+        }
+    }
+}
+
+/// Returns `true` for a `serde(default)` attribute body; panics on any
+/// other `serde(...)` content (unsupported by the shim); returns `false`
+/// for non-serde attributes (doc comments and the like).
+fn parse_serde_attr(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            match inner.first() {
+                Some(TokenTree::Ident(ident))
+                    if ident.to_string() == "default" && inner.len() == 1 =>
+                {
+                    true
+                }
+                other => panic!(
+                    "serde derive: only `#[serde(default)]` is supported, found {other:?}"
+                ),
+            }
+        }
+        other => panic!("serde derive: unsupported serde attribute shape: {other:?}"),
+    }
+}
+
+/// Extracts the fields of a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_on_commas(stream)
         .into_iter()
         .map(|chunk| {
-            let index = skip_decoration(&chunk, 0);
+            let (index, default) = skip_field_decoration(&chunk, 0);
             match chunk.get(index) {
-                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                Some(TokenTree::Ident(ident)) => Field {
+                    name: ident.to_string(),
+                    default,
+                },
                 other => panic!("serde derive: expected field name, found {other:?}"),
             }
         })
@@ -181,14 +250,15 @@ fn bindings(count: usize) -> Vec<String> {
 }
 
 /// `#[derive(Serialize)]`
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item {
         Item::NamedStruct { fields, .. } => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
+                .map(|field| {
+                    let f = &field.name;
                     format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
                 })
                 .collect();
@@ -231,13 +301,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         VariantKind::Struct(fields) => {
                             let entries: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
+                                .map(|field| {
+                                    let f = &field.name;
                                     format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
                                 })
                                 .collect();
+                            let binds: Vec<String> =
+                                fields.iter().map(|field| field.name.clone()).collect();
                             format!(
                                 "{name}::{v} {{ {} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
-                                fields.join(", "),
+                                binds.join(", "),
                                 entries.join(", ")
                             )
                         }
@@ -262,8 +335,26 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
+/// Deserialization of one named field: a required field errors when
+/// missing, a `#[serde(default)]` field falls back to `Default::default()`.
+fn named_field_entry(field: &Field, owner: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match ::serde::struct_field(__fields, \"{f}\", \"{owner}\") {{\n\
+                 ::std::result::Result::Ok(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+             }},"
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::struct_field(__fields, \"{f}\", \"{owner}\")?)?,"
+        )
+    }
+}
+
 /// `#[derive(Deserialize)]`
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = match &item {
@@ -276,11 +367,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::NamedStruct { fields, .. } => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::struct_field(__fields, \"{f}\", \"{name}\")?)?,"
-                    )
-                })
+                .map(|field| named_field_entry(field, &name))
                 .collect();
             format!(
                 "let __fields = value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for `{name}`\"))?;\n\
@@ -343,10 +430,20 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         VariantKind::Struct(fields) => {
                             let entries: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(::serde::struct_field(__vfields, \"{f}\", \"{name}::{v}\")?)?,"
-                                    )
+                                .map(|field| {
+                                    let f = &field.name;
+                                    if field.default {
+                                        format!(
+                                            "{f}: match ::serde::struct_field(__vfields, \"{f}\", \"{name}::{v}\") {{\n\
+                                                 ::std::result::Result::Ok(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                                                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+                                             }},"
+                                        )
+                                    } else {
+                                        format!(
+                                            "{f}: ::serde::Deserialize::from_value(::serde::struct_field(__vfields, \"{f}\", \"{name}::{v}\")?)?,"
+                                        )
+                                    }
                                 })
                                 .collect();
                             Some(format!(
